@@ -1,0 +1,441 @@
+//! Dense row-major `f64` matrices.
+//!
+//! Deliberately minimal: only the operations the ABFT factorizations and
+//! their tests need.  The multiplication kernel parallelises over rows with
+//! Rayon when the matrix is large enough for that to pay off.
+
+use ft_platform::rng::{DeterministicRng, Xoshiro256};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AbftError, Result};
+
+/// Threshold (in total elements of the result) above which matrix
+/// multiplication parallelises with Rayon.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(AbftError::DimensionMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[-1, 1)`,
+    /// deterministically from the seed.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Creates a random diagonally-dominant matrix, guaranteed to admit an
+    /// LU factorization without pivoting.
+    pub fn random_diagonally_dominant(n: usize, seed: u64) -> Self {
+        let mut m = Self::random(n, n, seed);
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m.get(i, j).abs()).sum();
+            m.set(i, i, row_sum + 1.0);
+        }
+        m
+    }
+
+    /// Creates a random symmetric positive-definite matrix (`B Bᵀ + n·I`).
+    pub fn random_spd(n: usize, seed: u64) -> Self {
+        let b = Self::random(n, n, seed);
+        let mut m = b.matmul(&b.transpose()).expect("square product");
+        for i in 0..n {
+            let v = m.get(i, i);
+            m.set(i, i, v + n as f64);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element access (panics in debug if out of bounds; use [`Matrix::try_get`]
+    /// for checked access).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Checked element access.
+    pub fn try_get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(AbftError::IndexOutOfBounds {
+                row: i,
+                col: j,
+                dims: (self.rows, self.cols),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(AbftError::DimensionMismatch {
+                op: "matmul",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = self.cols;
+        let rcols = rhs.cols;
+        let compute_row = |(i, out_row): (usize, &mut [f64])| {
+            let a_row = &self.data[i * n..(i + 1) * n];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rcols..(k + 1) * rcols];
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        };
+        if self.rows * rcols >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(rcols)
+                .enumerate()
+                .for_each(compute_row);
+        } else {
+            out.data.chunks_mut(rcols).enumerate().for_each(compute_row);
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(AbftError::DimensionMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect())
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(AbftError::DimensionMismatch {
+                op: "sub",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Copy of a rectangular sub-block `[r0, r1) × [c0, c1)`.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Result<Matrix> {
+        if r1 > self.rows || c1 > self.cols || r0 > r1 || c0 > c1 {
+            return Err(AbftError::IndexOutOfBounds {
+                row: r1,
+                col: c1,
+                dims: (self.rows, self.cols),
+            });
+        }
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            for j in c0..c1 {
+                out.set(i - r0, j - c0, self.get(i, j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a block into `[r0, ...) × [c0, ...)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) -> Result<()> {
+        if r0 + block.rows > self.rows || c0 + block.cols > self.cols {
+            return Err(AbftError::IndexOutOfBounds {
+                row: r0 + block.rows,
+                col: c0 + block.cols,
+                dims: (self.rows, self.cols),
+            });
+        }
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self.set(r0 + i, c0 + j, block.get(i, j));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the unit-lower-triangular factor stored in an in-place LU
+    /// storage of size `n × n` (ignores any extra checksum rows/columns).
+    pub fn extract_unit_lower(&self, n: usize) -> Matrix {
+        let mut l = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..i.min(n) {
+                l.set(i, j, self.get(i, j));
+            }
+        }
+        l
+    }
+
+    /// Extracts the upper-triangular factor stored in an in-place LU storage
+    /// of size `n × n`.
+    pub fn extract_upper(&self, n: usize) -> Matrix {
+        let mut u = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                u.set(i, j, self.get(i, j));
+            }
+        }
+        u
+    }
+
+    /// Maximum absolute difference with another matrix of the same shape.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> Result<f64> {
+        Ok(self.sub(rhs)?.max_abs())
+    }
+
+    /// `true` if the two matrices agree entry-wise within `tol` (absolute).
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.try_get(1, 2).unwrap(), 5.0);
+        assert!(m.try_get(2, 0).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = Matrix::random(5, 5, 3);
+        let i = Matrix::identity(5);
+        let prod = i.matmul(&a).unwrap();
+        assert!(prod.approx_eq(&a, 1e-12));
+        let prod = a.matmul(&i).unwrap();
+        assert!(prod.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn parallel_and_serial_matmul_agree() {
+        // A size above the parallel threshold.
+        let a = Matrix::random(80, 70, 1);
+        let b = Matrix::random(70, 90, 2);
+        let c = a.matmul(&b).unwrap();
+        // Recompute serially by hand.
+        let mut expected = Matrix::zeros(80, 90);
+        for i in 0..80 {
+            for k in 0..70 {
+                for j in 0..90 {
+                    expected.add_to(i, j, a.get(i, k) * b.get(k, j));
+                }
+            }
+        }
+        assert!(c.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::random(4, 7, 11);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::random(6, 4, 5);
+        let v = vec![1.0, -2.0, 0.5, 3.0];
+        let mv = a.matvec(&v).unwrap();
+        let vm = Matrix::from_vec(4, 1, v).unwrap();
+        let prod = a.matmul(&vm).unwrap();
+        for i in 0..6 {
+            assert!((mv[i] - prod.get(i, 0)).abs() < 1e-12);
+        }
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let a = Matrix::random(6, 6, 9);
+        let blk = a.block(1, 4, 2, 5).unwrap();
+        assert_eq!((blk.rows(), blk.cols()), (3, 3));
+        let mut b = Matrix::zeros(6, 6);
+        b.set_block(1, 2, &blk).unwrap();
+        assert_eq!(b.get(2, 3), a.get(2, 3));
+        assert!(a.block(0, 7, 0, 1).is_err());
+        assert!(Matrix::zeros(2, 2).set_block(1, 1, &blk).is_err());
+    }
+
+    #[test]
+    fn diagonally_dominant_matrices_are_diagonally_dominant() {
+        let m = Matrix::random_diagonally_dominant(20, 77);
+        for i in 0..20 {
+            let off: f64 = (0..20).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
+            assert!(m.get(i, i).abs() > off);
+        }
+    }
+
+    #[test]
+    fn spd_matrices_are_symmetric() {
+        let m = Matrix::random_spd(15, 123);
+        assert!(m.approx_eq(&m.transpose(), 1e-9));
+        // Gershgorin-ish sanity: strongly positive diagonal.
+        for i in 0..15 {
+            assert!(m.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn norms_behave() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 4.0, 0.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.max_abs_diff(&m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lu_factor_extraction_helpers() {
+        // In-place storage [[2, 3], [0.5, 4]] means L = [[1,0],[0.5,1]], U = [[2,3],[0,4]].
+        let storage = Matrix::from_vec(2, 2, vec![2.0, 3.0, 0.5, 4.0]).unwrap();
+        let l = storage.extract_unit_lower(2);
+        let u = storage.extract_upper(2);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 0), 0.5);
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(u.get(1, 0), 0.0);
+        assert_eq!(u.get(1, 1), 4.0);
+        let a = l.matmul(&u).unwrap();
+        assert!((a.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((a.get(1, 1) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(Matrix::random(3, 3, 5), Matrix::random(3, 3, 5));
+        assert_ne!(Matrix::random(3, 3, 5), Matrix::random(3, 3, 6));
+    }
+}

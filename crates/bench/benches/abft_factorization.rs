@@ -1,0 +1,52 @@
+//! Criterion bench for the ABFT substrate: plain versus checksum-protected
+//! LU factorization (the measured counterpart of the paper's `φ` parameter)
+//! and the cost of a single-process recovery (`Recons_ABFT`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_abft::lu::{plain_lu, AbftLu};
+use ft_abft::matrix::Matrix;
+use ft_platform::grid::ProcessGrid;
+use std::hint::black_box;
+
+fn bench_factorizations(c: &mut Criterion) {
+    let grid = ProcessGrid::new(2, 2).unwrap();
+    let mut group = c.benchmark_group("abft/lu");
+    group.sample_size(10);
+    for n in [48usize, 96] {
+        let a = Matrix::random_diagonally_dominant(n, 7);
+        group.bench_with_input(BenchmarkId::new("plain", n), &a, |b, a| {
+            b.iter(|| black_box(plain_lu(black_box(a)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("abft_protected", n), &a, |b, a| {
+            b.iter(|| {
+                let mut f = AbftLu::new(black_box(a), &grid, 8).unwrap();
+                f.factor_to_completion().unwrap();
+                black_box(f)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let grid = ProcessGrid::new(2, 2).unwrap();
+    let n = 96;
+    let a = Matrix::random_diagonally_dominant(n, 13);
+    let mut half_factored = AbftLu::new(&a, &grid, 8).unwrap();
+    half_factored.factor_steps(n / 2).unwrap();
+
+    let mut group = c.benchmark_group("abft/recovery");
+    group.sample_size(20);
+    group.bench_function("reconstruct_one_rank_n96", |b| {
+        b.iter(|| {
+            let mut f = half_factored.clone();
+            let lost = f.inject_failure(1).unwrap();
+            f.recover(&lost).unwrap();
+            black_box(f)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorizations, bench_recovery);
+criterion_main!(benches);

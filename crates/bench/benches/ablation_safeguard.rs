@@ -1,0 +1,107 @@
+//! Ablation studies called out in DESIGN.md, packaged as a Criterion bench so
+//! that `cargo bench` exercises them and prints the ablation tables:
+//!
+//! 1. the Section III-B safeguard on/off, as a function of the library-phase
+//!    length;
+//! 2. incremental versus full checkpoints (BiPeriodicCkpt vs
+//!    PurePeriodicCkpt) as ρ varies;
+//! 3. bandwidth-bound versus constant checkpoint storage at 10⁶ nodes (the
+//!    Figure-9 vs Figure-10 contrast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_composite::model::composite::{prediction_with_safeguard, SafeguardChoice};
+use ft_composite::model::{bi, composite, pure};
+use ft_composite::params::ModelParams;
+use ft_composite::scaling::WeakScalingScenario;
+use ft_platform::units::{hours, minutes};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_TABLES: Once = Once::new();
+
+fn print_ablation_tables() {
+    // 1. Safeguard ablation: short epochs where ABFT is not worth its forced
+    // checkpoints.
+    println!("\n# Ablation 1 — ABFT-activation safeguard (epoch 30 min, MTBF 4 h)");
+    println!("{:>6}  {:>14}  {:>16}  {:>10}", "alpha", "always_abft", "with_safeguard", "choice");
+    for alpha in [0.05, 0.1, 0.2, 0.4, 0.8] {
+        let params = ModelParams::builder()
+            .epoch_duration(minutes(30.0))
+            .alpha(alpha)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(hours(4.0))
+            .build()
+            .unwrap();
+        let always = composite::waste(&params).unwrap().value();
+        let (guarded, choice) = prediction_with_safeguard(&params, true).unwrap();
+        println!(
+            "{:>6.2}  {:>14.4}  {:>16.4}  {:>10}",
+            alpha,
+            always,
+            guarded.waste.value(),
+            match choice {
+                SafeguardChoice::Abft => "abft",
+                SafeguardChoice::CheckpointOnly => "ckpt-only",
+            }
+        );
+    }
+
+    // 2. Incremental checkpoints: Bi vs Pure as a function of rho.
+    println!("\n# Ablation 2 — incremental checkpoints (alpha 0.8, MTBF 2 h)");
+    println!("{:>6}  {:>10}  {:>10}  {:>10}", "rho", "pure", "bi", "gain");
+    for rho in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let params = ModelParams::builder()
+            .epoch_duration(ft_platform::units::weeks(1.0))
+            .alpha(0.8)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(rho)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(minutes(120.0))
+            .build()
+            .unwrap();
+        let p = pure::waste(&params).unwrap().value();
+        let b = bi::waste(&params).unwrap().value();
+        println!("{rho:>6.2}  {p:>10.4}  {b:>10.4}  {:>10.4}", p - b);
+    }
+
+    // 3. Storage model at 1M nodes.
+    println!("\n# Ablation 3 — checkpoint storage model at 10^6 nodes");
+    println!("{:>22}  {:>10}  {:>10}  {:>10}", "storage", "pure", "bi", "abft");
+    for (name, scenario) in [
+        ("bandwidth-bound (Fig9)", WeakScalingScenario::figure9()),
+        ("constant (Fig10)", WeakScalingScenario::figure10()),
+    ] {
+        let point = scenario.point(1_000_000.0).unwrap();
+        println!(
+            "{name:>22}  {:>10.4}  {:>10.4}  {:>10.4}",
+            point.pure.waste.value(),
+            point.bi.waste.value(),
+            point.composite.waste.value()
+        );
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    PRINT_TABLES.call_once(print_ablation_tables);
+
+    let params = ModelParams::paper_figure7(0.3, minutes(120.0)).unwrap();
+    let mut group = c.benchmark_group("ablation/safeguard_decision");
+    group.bench_function("prediction_with_safeguard", |b| {
+        b.iter(|| black_box(prediction_with_safeguard(black_box(&params), true).unwrap()))
+    });
+    group.bench_function("prediction_without_safeguard", |b| {
+        b.iter(|| black_box(composite::prediction(black_box(&params)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

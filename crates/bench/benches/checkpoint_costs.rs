@@ -1,0 +1,71 @@
+//! Criterion bench for the checkpoint substrate: full coordinated capture,
+//! partial captures (the composite protocol's forced entry/exit checkpoints),
+//! incremental captures and rollback restores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_ckpt::coordinated::CoordinatedCheckpoint;
+use ft_ckpt::incremental::IncrementalCheckpoint;
+use ft_ckpt::partial::PartialCheckpoint;
+use ft_ckpt::restore::restore_full;
+use ft_ckpt::state::{DatasetKind, ProcessSet};
+use std::hint::black_box;
+
+fn make_set() -> ProcessSet {
+    // 16 processes x (256 KiB library + 64 KiB remainder).
+    ProcessSet::uniform(16, 256 * 1024, 64 * 1024)
+}
+
+fn bench_captures(c: &mut Criterion) {
+    let set = make_set();
+    let mut group = c.benchmark_group("ckpt/capture");
+    group.sample_size(20);
+    group.bench_function("coordinated_full", |b| {
+        b.iter(|| black_box(CoordinatedCheckpoint::capture(black_box(&set), 0.0)))
+    });
+    group.bench_function("partial_remainder_entry", |b| {
+        b.iter(|| {
+            black_box(PartialCheckpoint::capture(
+                black_box(&set),
+                DatasetKind::Remainder,
+                0.0,
+            ))
+        })
+    });
+    group.bench_function("partial_library_exit", |b| {
+        b.iter(|| {
+            black_box(PartialCheckpoint::capture(
+                black_box(&set),
+                DatasetKind::Library,
+                0.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_incremental_and_restore(c: &mut Criterion) {
+    let mut set = make_set();
+    let base = CoordinatedCheckpoint::capture(&set, 0.0);
+    // Dirty only the library dataset, as a LIBRARY phase would.
+    for p in set.iter_mut() {
+        let ids: Vec<usize> = p.regions_of(DatasetKind::Library).map(|r| r.id).collect();
+        for id in ids {
+            p.region_mut(id).unwrap().update(|d| d[0] ^= 0xFF);
+        }
+    }
+    let mut group = c.benchmark_group("ckpt/incremental_and_restore");
+    group.sample_size(20);
+    group.bench_function("incremental_after_library_phase", |b| {
+        b.iter(|| black_box(IncrementalCheckpoint::capture_since(&set, &base, 1.0)))
+    });
+    group.bench_function("rollback_restore_full", |b| {
+        b.iter(|| {
+            let mut scratch = set.clone();
+            black_box(restore_full(&base, &mut scratch).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_captures, bench_incremental_and_restore);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the weak-scaling evaluation (Figures 8–10): cost of a
+//! full four-decade sweep for each scenario, plus a densified sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
+use std::hint::black_box;
+
+fn bench_paper_sweeps(c: &mut Criterion) {
+    let scenarios = [
+        ("figure8", WeakScalingScenario::figure8()),
+        ("figure9", WeakScalingScenario::figure9()),
+        ("figure10", WeakScalingScenario::figure10()),
+    ];
+    let nodes = paper_node_counts();
+    let mut group = c.benchmark_group("weak_scaling/paper_axis");
+    for (name, scenario) in scenarios {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(scenario.sweep(black_box(&nodes)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_sweep(c: &mut Criterion) {
+    let scenario = WeakScalingScenario::figure9();
+    let nodes: Vec<f64> = (0..=30).map(|i| 10f64.powf(3.0 + i as f64 * 0.1)).collect();
+    let mut group = c.benchmark_group("weak_scaling/dense_axis_31_points");
+    group.bench_function("figure9", |b| {
+        b.iter(|| black_box(scenario.sweep(black_box(&nodes)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_sweeps, bench_dense_sweep);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: weak scaling with a fixed α = 0.8 (both phases
+//! `O(n³)`), bandwidth-bound checkpoint storage.  Prints waste and expected
+//! failure counts for the three protocols from 10³ to 10⁶ nodes.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin fig8 -- [--points-per-decade 3] [--csv] [--literal]
+//! ```
+
+use ft_bench::scaling_report::{crossover, report};
+use ft_bench::Args;
+use ft_composite::scaling::WeakScalingScenario;
+
+fn main() {
+    let args = Args::capture();
+    let scenario = if args.flag("--literal") {
+        WeakScalingScenario::figure8_literal()
+    } else {
+        WeakScalingScenario::figure8()
+    };
+    let (points, text) = report(
+        "Figure 8 — weak scaling, fixed alpha = 0.8, checkpoint cost grows with the node count",
+        &scenario,
+        &args,
+    );
+    print!("{text}");
+    match crossover(&points) {
+        Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
+        None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 9: weak scaling with a variable α (LIBRARY `O(n³)`,
+//! GENERAL `O(n²)`), bandwidth-bound checkpoint storage.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin fig9 -- [--points-per-decade 3] [--csv]
+//! ```
+
+use ft_bench::scaling_report::{crossover, report};
+use ft_bench::Args;
+use ft_composite::scaling::WeakScalingScenario;
+
+fn main() {
+    let args = Args::capture();
+    let (points, text) = report(
+        "Figure 9 — weak scaling, variable alpha (LIBRARY O(n^3), GENERAL O(n^2)), checkpoint cost grows with the node count",
+        &WeakScalingScenario::figure9(),
+        &args,
+    );
+    print!("{text}");
+    match crossover(&points) {
+        Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
+        None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
+    }
+}

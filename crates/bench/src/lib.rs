@@ -1,0 +1,106 @@
+//! # ft-bench — benchmark harness and figure regeneration
+//!
+//! The binaries of this crate regenerate every figure of the paper's
+//! evaluation section:
+//!
+//! | Binary | Paper artefact | What it prints |
+//! |--------|----------------|----------------|
+//! | `fig7` | Figures 7a–7f  | CSV grid of (MTBF, α) → model waste, simulated waste and their difference, for each protocol |
+//! | `fig8` | Figure 8       | waste + expected failures vs node count, fixed α = 0.8 |
+//! | `fig9` | Figure 9       | same with variable α (LIBRARY `O(n³)`, GENERAL `O(n²)`) |
+//! | `fig10`| Figure 10      | same with constant checkpoint cost; `--break-even` sweeps C=R |
+//! | `sweep`| generic        | one-dimensional parameter sweeps of the model and simulator |
+//!
+//! The Criterion benches (`benches/`) measure the performance of the
+//! reproduction itself (simulator throughput, ABFT factorization overhead,
+//! checkpoint capture/restore costs) and host the ablation studies called
+//! out in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod output;
+pub mod scaling_report;
+
+pub use output::{csv_line, render_table, Table};
+
+use ft_composite::params::ModelParams;
+
+/// Parses `--key value` style arguments from a raw argument list.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments (skipping the binary name).
+    pub fn capture() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds an argument set from explicit strings (for tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// Whether a bare flag (e.g. `--break-even`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The string value following `--name`, or `default`.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// The base parameter set of the Figure-7 study (everything but MTBF and α).
+pub fn figure7_base() -> ModelParams {
+    ModelParams::paper_figure7(0.5, ft_platform::units::minutes(120.0))
+        .expect("paper parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_values_and_defaults() {
+        let args = Args::from_vec(
+            ["--replications", "250", "--protocol", "pure", "--break-even"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(args.value("--replications", 100usize), 250);
+        assert_eq!(args.value("--missing", 7u32), 7);
+        assert_eq!(args.string("--protocol", "all"), "pure");
+        assert_eq!(args.string("--other", "all"), "all");
+        assert!(args.flag("--break-even"));
+        assert!(!args.flag("--simulate"));
+    }
+
+    #[test]
+    fn figure7_base_matches_the_paper() {
+        let p = figure7_base();
+        assert_eq!(p.rho, 0.8);
+        assert_eq!(p.phi, 1.03);
+        assert_eq!(p.abft_reconstruction, 2.0);
+    }
+}

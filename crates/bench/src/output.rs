@@ -1,0 +1,140 @@
+//! Plain-text output helpers shared by the figure binaries.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        render_table(&self.headers, &self.rows)
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one CSV line.
+pub fn csv_line<S: AsRef<str>>(cells: &[S]) -> String {
+    cells
+        .iter()
+        .map(|c| c.as_ref().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders a column-aligned text table.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a crude ASCII heatmap of `values[row][col]` using a density ramp;
+/// used by the `heatmap` example and the `fig7` binary's `--ascii` mode.
+pub fn ascii_heatmap(values: &[Vec<f64>], min: f64, max: f64) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let span = (max - min).max(1e-12);
+    let mut out = String::new();
+    for row in values {
+        for &v in row {
+            let t = ((v - min) / span).clamp(0.0, 1.0);
+            let idx = ((RAMP.len() - 1) as f64 * t).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new(&["nodes", "waste"]);
+        t.push_row(vec!["1000".into(), "0.01".into()]);
+        t.push_row(vec!["1000000".into(), "0.35".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.contains("nodes"));
+        assert!(text.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "nodes,waste");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn heatmap_uses_denser_glyphs_for_larger_values() {
+        let map = ascii_heatmap(&[vec![0.0, 1.0]], 0.0, 1.0);
+        let chars: Vec<char> = map.trim_end().chars().collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[1], '@');
+    }
+
+    #[test]
+    fn csv_line_joins_cells() {
+        assert_eq!(csv_line(&["a", "b", "c"]), "a,b,c");
+    }
+}

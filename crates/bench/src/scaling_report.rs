@@ -1,0 +1,109 @@
+//! Shared driver for the weak-scaling figures (Figures 8, 9 and 10).
+
+use ft_composite::scaling::{paper_node_counts, ScalingPoint, WeakScalingScenario};
+
+use crate::{Args, Table};
+
+/// Node counts to evaluate: the paper's four decades by default, optionally
+/// densified with `--points-per-decade`.
+pub fn node_axis(args: &Args) -> Vec<f64> {
+    let per_decade: usize = args.value("--points-per-decade", 1);
+    if per_decade <= 1 {
+        return paper_node_counts();
+    }
+    let mut nodes = Vec::new();
+    let (lo, hi) = (3.0_f64, 6.0_f64); // 10^3 .. 10^6
+    let steps = ((hi - lo) * per_decade as f64).round() as usize;
+    for i in 0..=steps {
+        nodes.push(10f64.powf(lo + i as f64 / per_decade as f64));
+    }
+    nodes
+}
+
+/// Evaluates the scenario over the node axis and renders the figure's rows.
+pub fn report(title: &str, scenario: &WeakScalingScenario, args: &Args) -> (Vec<ScalingPoint>, String) {
+    let nodes = node_axis(args);
+    let points = scenario
+        .sweep(&nodes)
+        .expect("paper node counts are valid");
+    let mut table = Table::new(&[
+        "nodes",
+        "alpha",
+        "waste_pure",
+        "waste_bi",
+        "waste_abft",
+        "faults_pure",
+        "faults_bi",
+        "faults_abft",
+    ]);
+    for p in &points {
+        table.push_row(vec![
+            format!("{:.0}", p.nodes),
+            format!("{:.3}", p.alpha),
+            format!("{:.4}", p.pure.waste.value()),
+            format!("{:.4}", p.bi.waste.value()),
+            format!("{:.4}", p.composite.waste.value()),
+            format!("{:.1}", p.pure.expected_failures),
+            format!("{:.1}", p.bi.expected_failures),
+            format!("{:.1}", p.composite.expected_failures),
+        ]);
+    }
+    let body = if args.flag("--csv") {
+        table.to_csv()
+    } else {
+        table.render()
+    };
+    let mut out = format!("# {title}\n");
+    out.push_str(&format!(
+        "# reference: {} nodes, epoch {:.0} s, C = R = {:.0} s, MTBF {:.0} s, {} epochs\n",
+        scenario.reference_nodes,
+        scenario.epoch_at_reference,
+        scenario.checkpoint_at_reference,
+        scenario.mtbf_at_reference,
+        scenario.epochs
+    ));
+    out.push_str(&body);
+    (points, out)
+}
+
+/// Finds the crossover node count (smallest evaluated count at which the
+/// composite protocol's waste drops below PurePeriodicCkpt's), if any.
+pub fn crossover(points: &[ScalingPoint]) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.composite.waste.value() < p.pure.waste.value())
+        .map(|p| p.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_axis_is_the_papers_four_decades() {
+        let args = Args::from_vec(vec![]);
+        assert_eq!(node_axis(&args), vec![1e3, 1e4, 1e5, 1e6]);
+        let dense = Args::from_vec(vec!["--points-per-decade".into(), "2".into()]);
+        let axis = node_axis(&dense);
+        assert_eq!(axis.len(), 7);
+        assert!((axis[0] - 1e3).abs() < 1e-6);
+        assert!((axis[6] - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_produces_one_row_per_node_count() {
+        let args = Args::from_vec(vec![]);
+        let (points, text) = report("Figure 8", &WeakScalingScenario::figure8(), &args);
+        assert_eq!(points.len(), 4);
+        assert!(text.contains("waste_abft"));
+        assert!(text.lines().count() >= 7);
+    }
+
+    #[test]
+    fn crossover_is_detected_in_figure8() {
+        let args = Args::from_vec(vec![]);
+        let (points, _) = report("Figure 8", &WeakScalingScenario::figure8(), &args);
+        let x = crossover(&points).expect("composite must win somewhere");
+        assert!(x >= 1e5, "crossover at {x}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # ft-ckpt — checkpoint/restart substrate
+//!
+//! An in-memory implementation of the checkpointing machinery the composite
+//! protocol of Bosilca et al. (APDCM 2014) relies on:
+//!
+//! * [`state`] — per-process application state, organised in memory regions
+//!   tagged as LIBRARY or REMAINDER dataset, with modification tracking;
+//! * [`coordinated`] — coordinated (globally consistent) checkpoints across a
+//!   set of processes;
+//! * [`partial`] — partial checkpoints covering only one dataset, and the
+//!   *split checkpoint* formed by composing the entry checkpoint (REMAINDER)
+//!   with the exit checkpoint (LIBRARY) of a library call (paper §III-A);
+//! * [`incremental`] — incremental checkpoints capturing only the regions
+//!   modified since the previous checkpoint (paper §III-B);
+//! * [`restore`] — rollback recovery, full or partial;
+//! * [`store`] — checkpoint repositories with storage-cost accounting on top
+//!   of the `ft-platform` storage models;
+//! * [`manager`] — the periodic-checkpoint manager: interval policy,
+//!   phase-aware enabling/disabling, forced checkpoints at phase switches.
+//!
+//! The substrate is exercised directly by unit/property tests, by the
+//! integration tests at the workspace root, and by `ft-sim`'s protocol
+//! executors when they need actual dataset semantics (what exactly is
+//! restored after a rollback) rather than just costs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinated;
+pub mod error;
+pub mod incremental;
+pub mod manager;
+pub mod partial;
+pub mod restore;
+pub mod state;
+pub mod store;
+
+pub use coordinated::CoordinatedCheckpoint;
+pub use error::CkptError;
+pub use incremental::IncrementalCheckpoint;
+pub use manager::{CheckpointDecision, PeriodicManager, Phase};
+pub use partial::{PartialCheckpoint, SplitCheckpoint};
+pub use restore::{restore_full, restore_partial, RestoreReport};
+pub use state::{DatasetKind, MemoryRegion, ProcessSet, ProcessState};
+pub use store::{CheckpointStore, StoredCheckpoint};

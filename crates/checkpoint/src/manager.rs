@@ -1,0 +1,281 @@
+//! Phase-aware periodic checkpoint manager.
+//!
+//! The manager decides *when* to checkpoint and *what kind* of checkpoint to
+//! take, implementing the three policies the paper compares:
+//!
+//! * **PurePeriodicCkpt** — one period, full checkpoints, oblivious to phases;
+//! * **BiPeriodicCkpt** — one period per phase, incremental (LIBRARY-only)
+//!   checkpoints during LIBRARY phases;
+//! * **ABFT&PeriodicCkpt** — periodic checkpoints during GENERAL phases only,
+//!   forced partial checkpoints at library entry/exit, periodic checkpointing
+//!   disabled inside the library call.
+//!
+//! The manager is pure decision logic (no time advances, no cost accounting);
+//! both the composite runtime in `ft-composite` and the protocol executors in
+//! `ft-sim` drive it.
+
+use serde::{Deserialize, Serialize};
+
+/// The phase the application is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// ABFT-unaware application code: only checkpointing can protect it.
+    General,
+    /// ABFT-capable library call.
+    Library,
+}
+
+/// What the manager asks the runtime to do at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointDecision {
+    /// Nothing to do.
+    Skip,
+    /// Take a full coordinated checkpoint (GENERAL-phase periodic checkpoint,
+    /// or any PurePeriodicCkpt checkpoint).
+    PeriodicFull,
+    /// Take an incremental (LIBRARY-dataset-only) checkpoint — BiPeriodicCkpt
+    /// inside a LIBRARY phase.
+    PeriodicIncremental,
+    /// Take the forced partial checkpoint of the REMAINDER dataset when
+    /// entering an ABFT-protected library call.
+    ForcedEntry,
+    /// Take the forced partial checkpoint of the LIBRARY dataset when leaving
+    /// an ABFT-protected library call.
+    ForcedExit,
+}
+
+/// Which of the three checkpointing policies the manager implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Single period, phase-oblivious, full checkpoints.
+    PurePeriodic,
+    /// Per-phase periods, incremental checkpoints during LIBRARY phases.
+    BiPeriodic,
+    /// Periodic checkpoints in GENERAL phases only; forced partial
+    /// checkpoints around ABFT-protected library calls.
+    AbftComposite,
+}
+
+/// Phase-aware periodic checkpoint manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicManager {
+    policy: Policy,
+    /// Checkpoint interval during GENERAL phases (work time between
+    /// checkpoint completions, excluding the checkpoint itself).
+    period_general: f64,
+    /// Checkpoint interval during LIBRARY phases (BiPeriodic only).
+    period_library: f64,
+    phase: Phase,
+    /// Whether the current LIBRARY phase is ABFT-protected (composite policy
+    /// with the safeguard possibly deciding otherwise).
+    abft_active: bool,
+    /// Work executed since the last checkpoint completed.
+    work_since_checkpoint: f64,
+}
+
+impl PeriodicManager {
+    /// Creates a PurePeriodicCkpt manager.
+    pub fn pure_periodic(period: f64) -> Self {
+        Self {
+            policy: Policy::PurePeriodic,
+            period_general: period,
+            period_library: period,
+            phase: Phase::General,
+            abft_active: false,
+            work_since_checkpoint: 0.0,
+        }
+    }
+
+    /// Creates a BiPeriodicCkpt manager with distinct GENERAL/LIBRARY periods.
+    pub fn bi_periodic(period_general: f64, period_library: f64) -> Self {
+        Self {
+            policy: Policy::BiPeriodic,
+            period_general,
+            period_library,
+            phase: Phase::General,
+            abft_active: false,
+            work_since_checkpoint: 0.0,
+        }
+    }
+
+    /// Creates an ABFT&PeriodicCkpt manager; periodic checkpoints use
+    /// `period_general` and only happen during GENERAL phases.
+    pub fn abft_composite(period_general: f64) -> Self {
+        Self {
+            policy: Policy::AbftComposite,
+            period_general,
+            // When the safeguard keeps ABFT off, the library phase is
+            // protected like a general phase, with the same period.
+            period_library: period_general,
+            phase: Phase::General,
+            abft_active: false,
+            work_since_checkpoint: 0.0,
+        }
+    }
+
+    /// The policy the manager implements.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Whether ABFT protection is active (composite policy, inside a library
+    /// call, safeguard passed).
+    pub fn abft_active(&self) -> bool {
+        self.abft_active
+    }
+
+    /// The checkpoint period applicable right now.
+    pub fn current_period(&self) -> f64 {
+        match self.phase {
+            Phase::General => self.period_general,
+            Phase::Library => {
+                if self.policy == Policy::AbftComposite && self.abft_active {
+                    f64::INFINITY
+                } else {
+                    self.period_library
+                }
+            }
+        }
+    }
+
+    /// Work remaining before the next periodic checkpoint is due.
+    pub fn work_until_due(&self) -> f64 {
+        (self.current_period() - self.work_since_checkpoint).max(0.0)
+    }
+
+    /// Records that `work` seconds of useful work have been executed and
+    /// returns the decision for this instant.
+    pub fn advance_work(&mut self, work: f64) -> CheckpointDecision {
+        self.work_since_checkpoint += work;
+        if self.work_since_checkpoint + 1e-12 >= self.current_period() {
+            match (self.policy, self.phase) {
+                (Policy::BiPeriodic, Phase::Library) => CheckpointDecision::PeriodicIncremental,
+                _ => CheckpointDecision::PeriodicFull,
+            }
+        } else {
+            CheckpointDecision::Skip
+        }
+    }
+
+    /// Records that a checkpoint has completed (of any kind): the periodic
+    /// clock restarts.
+    pub fn checkpoint_completed(&mut self) {
+        self.work_since_checkpoint = 0.0;
+    }
+
+    /// Notifies the manager that the application enters a LIBRARY phase;
+    /// `abft_protected` tells whether the safeguard enabled ABFT for this
+    /// call. Returns the decision to apply *before* the call starts.
+    pub fn enter_library(&mut self, abft_protected: bool) -> CheckpointDecision {
+        self.phase = Phase::Library;
+        match self.policy {
+            Policy::AbftComposite if abft_protected => {
+                self.abft_active = true;
+                CheckpointDecision::ForcedEntry
+            }
+            _ => {
+                self.abft_active = false;
+                CheckpointDecision::Skip
+            }
+        }
+    }
+
+    /// Notifies the manager that the library call returned. Returns the
+    /// decision to apply *after* the call (forced exit checkpoint when ABFT
+    /// was active).
+    pub fn exit_library(&mut self) -> CheckpointDecision {
+        self.phase = Phase::General;
+        if self.abft_active {
+            self.abft_active = false;
+            CheckpointDecision::ForcedExit
+        } else {
+            CheckpointDecision::Skip
+        }
+    }
+
+    /// Resets the work counter after a rollback (the re-executed work counts
+    /// from the restored checkpoint).
+    pub fn rollback(&mut self) {
+        self.work_since_checkpoint = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_periodic_fires_every_period_regardless_of_phase() {
+        let mut m = PeriodicManager::pure_periodic(100.0);
+        assert_eq!(m.advance_work(50.0), CheckpointDecision::Skip);
+        assert_eq!(m.advance_work(50.0), CheckpointDecision::PeriodicFull);
+        m.checkpoint_completed();
+        // Entering a library phase changes nothing for the pure policy.
+        assert_eq!(m.enter_library(true), CheckpointDecision::Skip);
+        assert!(!m.abft_active());
+        assert_eq!(m.advance_work(100.0), CheckpointDecision::PeriodicFull);
+        m.checkpoint_completed();
+        assert_eq!(m.exit_library(), CheckpointDecision::Skip);
+    }
+
+    #[test]
+    fn bi_periodic_switches_period_and_kind_in_library_phase() {
+        let mut m = PeriodicManager::bi_periodic(100.0, 80.0);
+        assert_eq!(m.current_period(), 100.0);
+        m.enter_library(false);
+        assert_eq!(m.current_period(), 80.0);
+        assert_eq!(m.advance_work(80.0), CheckpointDecision::PeriodicIncremental);
+        m.checkpoint_completed();
+        m.exit_library();
+        assert_eq!(m.current_period(), 100.0);
+        assert_eq!(m.advance_work(100.0), CheckpointDecision::PeriodicFull);
+    }
+
+    #[test]
+    fn composite_forces_entry_exit_and_disables_periodic_inside() {
+        let mut m = PeriodicManager::abft_composite(100.0);
+        assert_eq!(m.advance_work(60.0), CheckpointDecision::Skip);
+        assert_eq!(m.enter_library(true), CheckpointDecision::ForcedEntry);
+        assert!(m.abft_active());
+        // No periodic checkpoint can fire inside the ABFT-protected call.
+        assert_eq!(m.current_period(), f64::INFINITY);
+        assert_eq!(m.advance_work(10_000.0), CheckpointDecision::Skip);
+        assert_eq!(m.exit_library(), CheckpointDecision::ForcedExit);
+        assert!(!m.abft_active());
+        assert_eq!(m.phase(), Phase::General);
+    }
+
+    #[test]
+    fn composite_safeguard_falls_back_to_periodic() {
+        // If the safeguard decides ABFT is not worth it, the library phase is
+        // protected like a general phase (checkpointing stays active).
+        let mut m = PeriodicManager::abft_composite(100.0);
+        assert_eq!(m.enter_library(false), CheckpointDecision::Skip);
+        assert!(!m.abft_active());
+        assert_eq!(m.current_period(), 100.0);
+        m.checkpoint_completed();
+        assert_eq!(m.advance_work(100.0), CheckpointDecision::PeriodicFull);
+        assert_eq!(m.exit_library(), CheckpointDecision::Skip);
+    }
+
+    #[test]
+    fn rollback_resets_the_periodic_clock() {
+        let mut m = PeriodicManager::pure_periodic(100.0);
+        m.advance_work(90.0);
+        m.rollback();
+        assert_eq!(m.work_until_due(), 100.0);
+        assert_eq!(m.advance_work(50.0), CheckpointDecision::Skip);
+    }
+
+    #[test]
+    fn work_until_due_never_negative() {
+        let mut m = PeriodicManager::pure_periodic(10.0);
+        m.advance_work(25.0);
+        assert_eq!(m.work_until_due(), 0.0);
+    }
+}

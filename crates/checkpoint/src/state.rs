@@ -1,0 +1,416 @@
+//! Per-process application state.
+//!
+//! The composite protocol reasons about *datasets*: during a LIBRARY phase
+//! only the LIBRARY dataset is accessed, the rest is the REMAINDER dataset
+//! (paper §III).  [`ProcessState`] materialises that view: each process owns
+//! a set of [`MemoryRegion`]s, each tagged with a [`DatasetKind`], plus an
+//! abstract notion of computation progress.  Regions carry a generation
+//! counter bumped on every write, which is what incremental checkpoints use
+//! to find dirty data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CkptError, Result};
+
+/// Which dataset a memory region belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Data accessed (and recoverable) by the ABFT-protected library call.
+    Library,
+    /// Everything else: data only the GENERAL phase touches.
+    Remainder,
+}
+
+impl DatasetKind {
+    /// The other dataset.
+    #[inline]
+    pub fn complement(self) -> Self {
+        match self {
+            DatasetKind::Library => DatasetKind::Remainder,
+            DatasetKind::Remainder => DatasetKind::Library,
+        }
+    }
+}
+
+/// A contiguous, tagged region of a process's memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Identifier of the region, unique within its process.
+    pub id: usize,
+    /// Dataset the region belongs to.
+    pub kind: DatasetKind,
+    data: Vec<u8>,
+    generation: u64,
+}
+
+impl MemoryRegion {
+    /// Creates a region with initial contents.
+    pub fn new(id: usize, kind: DatasetKind, data: Vec<u8>) -> Self {
+        Self {
+            id,
+            kind,
+            data,
+            generation: 0,
+        }
+    }
+
+    /// Read-only view of the region contents.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Size of the region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Generation counter: how many times the region has been written.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Overwrites the region contents, bumping the generation.
+    pub fn write(&mut self, data: Vec<u8>) {
+        self.data = data;
+        self.generation += 1;
+    }
+
+    /// Mutates the region contents in place through a closure, bumping the
+    /// generation.
+    pub fn update<F: FnOnce(&mut Vec<u8>)>(&mut self, f: F) {
+        f(&mut self.data);
+        self.generation += 1;
+    }
+
+    /// Restores the region to previously captured contents *without* counting
+    /// as an application write: the generation is set to the captured value.
+    pub(crate) fn restore(&mut self, data: Vec<u8>, generation: u64) {
+        self.data = data;
+        self.generation = generation;
+    }
+
+    /// FNV-1a fingerprint of the contents; used by tests and by the ABFT/
+    /// checkpoint integration to assert exact restoration cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.data)
+    }
+}
+
+/// FNV-1a over a byte slice.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The full state of one (virtual) process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessState {
+    rank: usize,
+    regions: Vec<MemoryRegion>,
+    progress: f64,
+}
+
+impl ProcessState {
+    /// Creates an empty process state.
+    pub fn new(rank: usize) -> Self {
+        Self {
+            rank,
+            regions: Vec::new(),
+            progress: 0.0,
+        }
+    }
+
+    /// Rank of the process.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Adds a region and returns its id.
+    pub fn add_region(&mut self, kind: DatasetKind, data: Vec<u8>) -> usize {
+        let id = self.regions.len();
+        self.regions.push(MemoryRegion::new(id, kind, data));
+        id
+    }
+
+    /// All regions.
+    #[inline]
+    pub fn regions(&self) -> &[MemoryRegion] {
+        &self.regions
+    }
+
+    /// Regions belonging to a dataset.
+    pub fn regions_of(&self, kind: DatasetKind) -> impl Iterator<Item = &MemoryRegion> {
+        self.regions.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Immutable access to a region.
+    pub fn region(&self, id: usize) -> Result<&MemoryRegion> {
+        self.regions.get(id).ok_or(CkptError::UnknownRegion {
+            rank: self.rank,
+            region: id,
+        })
+    }
+
+    /// Mutable access to a region.
+    pub fn region_mut(&mut self, id: usize) -> Result<&mut MemoryRegion> {
+        let rank = self.rank;
+        self.regions.get_mut(id).ok_or(CkptError::UnknownRegion { rank, region: id })
+    }
+
+    /// Total footprint of the process in bytes.
+    pub fn footprint(&self) -> usize {
+        self.regions.iter().map(MemoryRegion::len).sum()
+    }
+
+    /// Footprint of one dataset in bytes.
+    pub fn footprint_of(&self, kind: DatasetKind) -> usize {
+        self.regions_of(kind).map(MemoryRegion::len).sum()
+    }
+
+    /// Abstract computation progress (application-defined work units).
+    #[inline]
+    pub fn progress(&self) -> f64 {
+        self.progress
+    }
+
+    /// Advances the computation progress.
+    pub fn advance(&mut self, work: f64) {
+        self.progress += work;
+    }
+
+    /// Sets the progress. Intended for recovery paths (a restore rewinds the
+    /// process to the progress recorded in the checkpoint; an ABFT recovery
+    /// restores the progress the surviving processes vouch for).
+    pub fn set_progress(&mut self, progress: f64) {
+        self.progress = progress;
+    }
+
+    /// Simulates a crash: all region contents are lost (zeroed) and progress
+    /// is reset. Region structure (ids, kinds, sizes) survives because a
+    /// replacement process is started with the same memory layout.
+    pub fn crash(&mut self) {
+        for r in &mut self.regions {
+            let len = r.data.len();
+            r.data = vec![0; len];
+            r.generation += 1;
+        }
+        self.progress = 0.0;
+    }
+
+    /// Fingerprint of the whole process state (regions of all datasets plus
+    /// progress), for cheap equality assertions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0xCBF2_9CE4_8422_2325;
+        for r in &self.regions {
+            acc ^= r.fingerprint().rotate_left((r.id % 63) as u32);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc ^ self.progress.to_bits()
+    }
+}
+
+/// A set of processes that checkpoint and recover together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSet {
+    processes: Vec<ProcessState>,
+}
+
+impl ProcessSet {
+    /// Creates `n` empty processes with ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            processes: (0..n).map(ProcessState::new).collect(),
+        }
+    }
+
+    /// Creates `n` processes, each holding one LIBRARY region of
+    /// `library_bytes` and one REMAINDER region of `remainder_bytes`, filled
+    /// with a rank-dependent pattern so that restorations are distinguishable.
+    pub fn uniform(n: usize, library_bytes: usize, remainder_bytes: usize) -> Self {
+        let mut set = Self::new(n);
+        for rank in 0..n {
+            let lib: Vec<u8> = (0..library_bytes).map(|i| ((i + rank) % 251) as u8).collect();
+            let rem: Vec<u8> = (0..remainder_bytes)
+                .map(|i| ((i * 7 + rank * 13) % 253) as u8)
+                .collect();
+            let p = &mut set.processes[rank];
+            p.add_region(DatasetKind::Library, lib);
+            p.add_region(DatasetKind::Remainder, rem);
+        }
+        set
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Immutable access to a process.
+    pub fn process(&self, rank: usize) -> Result<&ProcessState> {
+        self.processes.get(rank).ok_or(CkptError::UnknownRank {
+            rank,
+            size: self.processes.len(),
+        })
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, rank: usize) -> Result<&mut ProcessState> {
+        let size = self.processes.len();
+        self.processes.get_mut(rank).ok_or(CkptError::UnknownRank { rank, size })
+    }
+
+    /// Iterator over the processes.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessState> {
+        self.processes.iter()
+    }
+
+    /// Mutable iterator over the processes.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ProcessState> {
+        self.processes.iter_mut()
+    }
+
+    /// Total footprint across all processes, in bytes.
+    pub fn total_footprint(&self) -> usize {
+        self.processes.iter().map(ProcessState::footprint).sum()
+    }
+
+    /// Footprint of one dataset across all processes, in bytes.
+    pub fn footprint_of(&self, kind: DatasetKind) -> usize {
+        self.processes.iter().map(|p| p.footprint_of(kind)).sum()
+    }
+
+    /// Fingerprint of the whole process set.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 14_695_981_039_346_656_037;
+        for p in &self.processes {
+            acc ^= p.fingerprint();
+            acc = acc.wrapping_mul(1_099_511_628_211);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_complement_is_involutive() {
+        assert_eq!(DatasetKind::Library.complement(), DatasetKind::Remainder);
+        assert_eq!(DatasetKind::Remainder.complement(), DatasetKind::Library);
+        assert_eq!(DatasetKind::Library.complement().complement(), DatasetKind::Library);
+    }
+
+    #[test]
+    fn writes_bump_generation() {
+        let mut r = MemoryRegion::new(0, DatasetKind::Library, vec![1, 2, 3]);
+        assert_eq!(r.generation(), 0);
+        r.write(vec![4, 5]);
+        assert_eq!(r.generation(), 1);
+        assert_eq!(r.data(), &[4, 5]);
+        r.update(|d| d.push(6));
+        assert_eq!(r.generation(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let a = MemoryRegion::new(0, DatasetKind::Library, vec![1, 2, 3]);
+        let mut b = MemoryRegion::new(0, DatasetKind::Library, vec![1, 2, 3]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.write(vec![1, 2, 4]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn process_footprints_split_by_dataset() {
+        let mut p = ProcessState::new(0);
+        p.add_region(DatasetKind::Library, vec![0; 100]);
+        p.add_region(DatasetKind::Remainder, vec![0; 40]);
+        p.add_region(DatasetKind::Library, vec![0; 60]);
+        assert_eq!(p.footprint(), 200);
+        assert_eq!(p.footprint_of(DatasetKind::Library), 160);
+        assert_eq!(p.footprint_of(DatasetKind::Remainder), 40);
+    }
+
+    #[test]
+    fn crash_wipes_contents_but_keeps_layout() {
+        let mut set = ProcessSet::uniform(2, 64, 32);
+        let before = set.process(1).unwrap().fingerprint();
+        set.process_mut(1).unwrap().crash();
+        let p = set.process(1).unwrap();
+        assert_ne!(p.fingerprint(), before);
+        assert_eq!(p.footprint(), 96);
+        assert!(p.regions().iter().all(|r| r.data().iter().all(|&b| b == 0)));
+        assert_eq!(p.progress(), 0.0);
+    }
+
+    #[test]
+    fn uniform_set_has_expected_shape() {
+        let set = ProcessSet::uniform(4, 128, 64);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.total_footprint(), 4 * (128 + 64));
+        assert_eq!(set.footprint_of(DatasetKind::Library), 4 * 128);
+        assert_eq!(set.footprint_of(DatasetKind::Remainder), 4 * 64);
+        // Different ranks hold different data.
+        assert_ne!(
+            set.process(0).unwrap().fingerprint(),
+            set.process(1).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn rank_and_region_lookup_errors() {
+        let mut set = ProcessSet::uniform(2, 8, 8);
+        assert!(matches!(set.process(2), Err(CkptError::UnknownRank { rank: 2, size: 2 })));
+        assert!(set.process_mut(5).is_err());
+        let p = set.process_mut(0).unwrap();
+        assert!(matches!(p.region(7), Err(CkptError::UnknownRegion { region: 7, .. })));
+        assert!(p.region_mut(9).is_err());
+    }
+
+    #[test]
+    fn progress_accumulates_and_resets_on_crash() {
+        let mut p = ProcessState::new(0);
+        p.advance(10.0);
+        p.advance(5.0);
+        assert_eq!(p.progress(), 15.0);
+        p.crash();
+        assert_eq!(p.progress(), 0.0);
+    }
+
+    #[test]
+    fn set_fingerprint_detects_any_change() {
+        let set = ProcessSet::uniform(3, 32, 16);
+        let fp = set.fingerprint();
+        let mut modified = set.clone();
+        modified
+            .process_mut(2)
+            .unwrap()
+            .region_mut(0)
+            .unwrap()
+            .update(|d| d[0] ^= 0xFF);
+        assert_ne!(fp, modified.fingerprint());
+    }
+}

@@ -1,0 +1,202 @@
+//! Checkpoint repositories with storage-cost accounting.
+//!
+//! The store keeps the checkpoints an execution has taken, knows how long
+//! each of them took to write (through an `ft-platform` [`StorageModel`]),
+//! and serves the most recent restorable image on demand.  It is what a
+//! protocol executor interrogates when a failure strikes: "what is the newest
+//! checkpoint not younger than the failure, and how long will reloading it
+//! take?".
+
+use ft_platform::storage::StorageModel;
+use serde::{Deserialize, Serialize};
+
+use crate::coordinated::CoordinatedCheckpoint;
+use crate::error::{CkptError, Result};
+
+/// A stored checkpoint together with its accounting metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCheckpoint {
+    /// Monotonically increasing sequence number.
+    pub sequence: u64,
+    /// Application time the checkpoint represents (restore target).
+    pub time: f64,
+    /// Time it took to write the checkpoint, per the storage model.
+    pub write_cost: f64,
+    /// Time it will take to read it back.
+    pub read_cost: f64,
+    /// The checkpoint image itself.
+    pub image: CoordinatedCheckpoint,
+}
+
+/// An ordered collection of checkpoints plus aggregate accounting.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore<S: StorageModel> {
+    storage: S,
+    nodes: usize,
+    checkpoints: Vec<StoredCheckpoint>,
+    retention: usize,
+    total_write_cost: f64,
+    total_bytes_written: f64,
+    next_sequence: u64,
+}
+
+impl<S: StorageModel> CheckpointStore<S> {
+    /// Creates a store over the given storage model; `nodes` is the number of
+    /// nodes writing concurrently (relevant for node-scaling storage models),
+    /// `retention` is how many checkpoints are kept (older ones are pruned,
+    /// but their cost remains accounted).
+    pub fn new(storage: S, nodes: usize, retention: usize) -> Self {
+        Self {
+            storage,
+            nodes,
+            checkpoints: Vec::new(),
+            retention: retention.max(1),
+            total_write_cost: 0.0,
+            total_bytes_written: 0.0,
+            next_sequence: 0,
+        }
+    }
+
+    /// Stores a checkpoint, computing its write/read costs from the storage
+    /// model. Returns the stored record (cloned metadata, not the image).
+    pub fn push(&mut self, image: CoordinatedCheckpoint) -> Result<(u64, f64)> {
+        if let Some(last) = self.checkpoints.last() {
+            if image.time < last.image.time {
+                return Err(CkptError::NonMonotonicTimestamp {
+                    newest: last.sequence,
+                    offered: self.next_sequence,
+                });
+            }
+        }
+        let bytes = image.bytes() as f64;
+        let write_cost = self.storage.write_cost(bytes, self.nodes);
+        let read_cost = self.storage.read_cost(bytes, self.nodes);
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.total_write_cost += write_cost;
+        self.total_bytes_written += bytes;
+        self.checkpoints.push(StoredCheckpoint {
+            sequence,
+            time: image.time,
+            write_cost,
+            read_cost,
+            image,
+        });
+        if self.checkpoints.len() > self.retention {
+            let excess = self.checkpoints.len() - self.retention;
+            self.checkpoints.drain(0..excess);
+        }
+        Ok((sequence, write_cost))
+    }
+
+    /// The newest stored checkpoint, if any.
+    pub fn latest(&self) -> Option<&StoredCheckpoint> {
+        self.checkpoints.last()
+    }
+
+    /// The newest checkpoint whose application time is `<= time`.
+    pub fn latest_before(&self, time: f64) -> Option<&StoredCheckpoint> {
+        self.checkpoints.iter().rev().find(|c| c.time <= time)
+    }
+
+    /// The newest checkpoint, or an error if the store is empty — the restore
+    /// path of the protocol executors.
+    pub fn restore_source(&self) -> Result<&StoredCheckpoint> {
+        self.latest().ok_or(CkptError::NoCheckpointAvailable)
+    }
+
+    /// Number of checkpoints currently retained.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the store holds no checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Cumulative time spent writing checkpoints since the store was created.
+    pub fn total_write_cost(&self) -> f64 {
+        self.total_write_cost
+    }
+
+    /// Cumulative volume written since the store was created, in bytes.
+    pub fn total_bytes_written(&self) -> f64 {
+        self.total_bytes_written
+    }
+
+    /// The underlying storage model.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ProcessSet;
+    use ft_platform::storage::{BandwidthBound, ConstantCost};
+
+    fn ckpt_at(set: &ProcessSet, t: f64) -> CoordinatedCheckpoint {
+        CoordinatedCheckpoint::capture(set, t)
+    }
+
+    #[test]
+    fn push_accounts_costs_with_bandwidth_model() {
+        let set = ProcessSet::uniform(4, 1000, 500);
+        // 1000 B/s bandwidth → cost = bytes / 1000.
+        let storage = BandwidthBound::new(1000.0, 0.0).unwrap();
+        let mut store = CheckpointStore::new(storage, 4, 10);
+        let (seq, cost) = store.push(ckpt_at(&set, 1.0)).unwrap();
+        assert_eq!(seq, 0);
+        let expected = set.total_footprint() as f64 / 1000.0;
+        assert!((cost - expected).abs() < 1e-9);
+        assert!((store.total_write_cost() - expected).abs() < 1e-9);
+        assert_eq!(store.total_bytes_written(), set.total_footprint() as f64);
+    }
+
+    #[test]
+    fn constant_cost_model_ignores_volume() {
+        let set = ProcessSet::uniform(2, 10_000, 10_000);
+        let mut store = CheckpointStore::new(ConstantCost::symmetric(60.0).unwrap(), 2, 4);
+        let (_, cost) = store.push(ckpt_at(&set, 0.0)).unwrap();
+        assert_eq!(cost, 60.0);
+        assert_eq!(store.latest().unwrap().read_cost, 60.0);
+    }
+
+    #[test]
+    fn latest_before_finds_the_right_image() {
+        let set = ProcessSet::uniform(1, 16, 16);
+        let mut store = CheckpointStore::new(ConstantCost::symmetric(1.0).unwrap(), 1, 10);
+        for t in [10.0, 20.0, 30.0] {
+            store.push(ckpt_at(&set, t)).unwrap();
+        }
+        assert_eq!(store.latest_before(25.0).unwrap().time, 20.0);
+        assert_eq!(store.latest_before(30.0).unwrap().time, 30.0);
+        assert_eq!(store.latest_before(5.0), None);
+        assert_eq!(store.latest().unwrap().time, 30.0);
+    }
+
+    #[test]
+    fn retention_prunes_but_keeps_accounting() {
+        let set = ProcessSet::uniform(1, 100, 0);
+        let mut store = CheckpointStore::new(BandwidthBound::new(100.0, 0.0).unwrap(), 1, 2);
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            store.push(ckpt_at(&set, t)).unwrap();
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.latest().unwrap().time, 4.0);
+        // 4 checkpoints of 100 B at 100 B/s = 4 s of cumulated write cost.
+        assert!((store.total_write_cost() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected_and_empty_restore_errors() {
+        let set = ProcessSet::uniform(1, 8, 8);
+        let mut store = CheckpointStore::new(ConstantCost::symmetric(1.0).unwrap(), 1, 3);
+        assert!(matches!(store.restore_source(), Err(CkptError::NoCheckpointAvailable)));
+        store.push(ckpt_at(&set, 10.0)).unwrap();
+        assert!(store.push(ckpt_at(&set, 5.0)).is_err());
+        assert!(store.restore_source().is_ok());
+    }
+}

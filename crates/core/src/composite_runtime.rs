@@ -1,0 +1,555 @@
+//! An executable state machine of the composite protocol.
+//!
+//! [`CompositeRuntime`] drives the `ft-ckpt` substrate with the decisions of
+//! the ABFT&PeriodicCkpt protocol on *real process state*: forced partial
+//! checkpoints at library entry/exit, periodic coordinated checkpoints in
+//! GENERAL phases, rollback recovery for GENERAL-phase failures and
+//! ABFT-style reconstruction (an erasure-coded parity of the LIBRARY dataset
+//! maintained at phase boundaries) for LIBRARY-phase failures.
+//!
+//! The runtime is *not* the performance simulator (`ft-sim` is): its role is
+//! to demonstrate, with byte-exact data, that the protocol's recovery paths
+//! restore the exact application state the failure destroyed, and to produce
+//! the decision trace shown by the `composite_trace` example.  Time is
+//! accounted with the costs of a [`ModelParams`] value.
+
+use ft_ckpt::coordinated::CoordinatedCheckpoint;
+use ft_ckpt::partial::PartialCheckpoint;
+use ft_ckpt::restore::{restore_full, restore_partial};
+use ft_ckpt::state::{DatasetKind, ProcessSet};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, Result};
+use crate::params::ModelParams;
+use crate::scenario::{ApplicationProfile, PhaseKind};
+use crate::young_daly::paper_optimal_period;
+
+/// One entry of the runtime's decision/event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RuntimeEvent {
+    /// A periodic coordinated checkpoint completed.
+    PeriodicCheckpoint {
+        /// Completion time.
+        time: f64,
+    },
+    /// The forced REMAINDER-dataset checkpoint at library entry completed.
+    EntryCheckpoint {
+        /// Completion time.
+        time: f64,
+        /// Epoch index.
+        epoch: usize,
+    },
+    /// The forced LIBRARY-dataset checkpoint at library exit completed.
+    ExitCheckpoint {
+        /// Completion time.
+        time: f64,
+        /// Epoch index.
+        epoch: usize,
+    },
+    /// A failure struck.
+    Failure {
+        /// Failure time.
+        time: f64,
+        /// Victim rank.
+        rank: usize,
+        /// Phase during which the failure struck.
+        phase: PhaseKind,
+    },
+    /// A rollback recovery (GENERAL-phase failure) completed.
+    RollbackRecovery {
+        /// Completion time.
+        time: f64,
+        /// Work that had to be re-executed.
+        lost_work: f64,
+    },
+    /// An ABFT reconstruction (LIBRARY-phase failure) completed.
+    AbftRecovery {
+        /// Completion time.
+        time: f64,
+        /// Victim rank whose LIBRARY data was rebuilt.
+        rank: usize,
+    },
+    /// An epoch completed.
+    EpochComplete {
+        /// Completion time.
+        time: f64,
+        /// Epoch index.
+        epoch: usize,
+    },
+}
+
+/// A failure scripted into a runtime execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedFailure {
+    /// Epoch during which the failure strikes.
+    pub epoch: usize,
+    /// Phase during which it strikes.
+    pub phase: PhaseKind,
+    /// Position within the phase, as a fraction of its work in `[0, 1)`.
+    pub fraction: f64,
+    /// Victim rank.
+    pub rank: usize,
+}
+
+/// Result of a runtime execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total (simulated) wall-clock time of the run.
+    pub total_time: f64,
+    /// Failure-free work contained in the profile.
+    pub useful_work: f64,
+    /// The event trace.
+    pub events: Vec<RuntimeEvent>,
+    /// Fingerprint of the final process state.
+    pub final_fingerprint: u64,
+}
+
+impl RunReport {
+    /// The waste observed on this particular run.
+    pub fn waste(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.useful_work / self.total_time).max(0.0)
+        }
+    }
+
+    /// Number of events matching a predicate (helper for assertions).
+    pub fn count_events(&self, predicate: impl Fn(&RuntimeEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| predicate(e)).count()
+    }
+}
+
+/// The composite-protocol runtime.
+#[derive(Debug, Clone)]
+pub struct CompositeRuntime {
+    processes: ProcessSet,
+    params: ModelParams,
+    clock: f64,
+    events: Vec<RuntimeEvent>,
+    last_full_checkpoint: CoordinatedCheckpoint,
+    library_parity: Vec<u8>,
+}
+
+impl CompositeRuntime {
+    /// Creates a runtime over an initial process set; an initial coordinated
+    /// checkpoint is taken at time 0 (cost accounted), and the LIBRARY-parity
+    /// redundancy is initialised.
+    pub fn new(processes: ProcessSet, params: ModelParams) -> Self {
+        let mut rt = Self {
+            library_parity: Vec::new(),
+            last_full_checkpoint: CoordinatedCheckpoint::capture(&processes, 0.0),
+            processes,
+            params,
+            clock: 0.0,
+            events: Vec::new(),
+        };
+        rt.clock += rt.params.checkpoint_cost;
+        rt.refresh_parity();
+        rt
+    }
+
+    /// The current process set.
+    pub fn processes(&self) -> &ProcessSet {
+        &self.processes
+    }
+
+    /// Recomputes the XOR parity of all LIBRARY regions (the runtime's
+    /// stand-in for the ABFT checksums maintained by the library call).
+    fn refresh_parity(&mut self) {
+        let mut parity: Vec<u8> = Vec::new();
+        for p in self.processes.iter() {
+            for r in p.regions_of(DatasetKind::Library) {
+                if parity.len() < r.len() {
+                    parity.resize(r.len(), 0);
+                }
+                for (acc, b) in parity.iter_mut().zip(r.data()) {
+                    *acc ^= b;
+                }
+            }
+        }
+        self.library_parity = parity;
+    }
+
+    /// Rebuilds the LIBRARY regions of `rank` from the parity and the
+    /// surviving ranks.
+    fn reconstruct_library(&mut self, rank: usize) -> Result<()> {
+        let mut rebuilt = self.library_parity.clone();
+        for p in self.processes.iter() {
+            if p.rank() == rank {
+                continue;
+            }
+            for r in p.regions_of(DatasetKind::Library) {
+                for (acc, b) in rebuilt.iter_mut().zip(r.data()) {
+                    *acc ^= b;
+                }
+            }
+        }
+        let process = self
+            .processes
+            .process_mut(rank)
+            .map_err(|_| ModelError::OutsideValidityDomain { what: "victim rank" })?;
+        let ids: Vec<(usize, usize)> = process
+            .regions_of(DatasetKind::Library)
+            .map(|r| (r.id, r.len()))
+            .collect();
+        for (id, len) in ids {
+            let data = rebuilt[..len.min(rebuilt.len())].to_vec();
+            process
+                .region_mut(id)
+                .map_err(|_| ModelError::OutsideValidityDomain { what: "library region" })?
+                .write(data);
+        }
+        Ok(())
+    }
+
+    /// Applies the deterministic GENERAL-phase computation of `epoch` to the
+    /// REMAINDER dataset.
+    fn apply_general_op(&mut self, epoch: usize) {
+        for p in self.processes.iter_mut() {
+            let ids: Vec<usize> = p.regions_of(DatasetKind::Remainder).map(|r| r.id).collect();
+            for id in ids {
+                p.region_mut(id)
+                    .expect("region enumerated above")
+                    .update(|d| {
+                        for b in d.iter_mut() {
+                            *b = b.wrapping_add(1 + epoch as u8);
+                        }
+                    });
+            }
+            p.advance(1.0);
+        }
+    }
+
+    /// Applies the deterministic LIBRARY-phase computation of `epoch` to the
+    /// LIBRARY dataset.
+    fn apply_library_op(&mut self, epoch: usize) {
+        for p in self.processes.iter_mut() {
+            let rank = p.rank() as u8;
+            let ids: Vec<usize> = p.regions_of(DatasetKind::Library).map(|r| r.id).collect();
+            for id in ids {
+                p.region_mut(id)
+                    .expect("region enumerated above")
+                    .update(|d| {
+                        for (k, b) in d.iter_mut().enumerate() {
+                            *b = b
+                                .wrapping_mul(3)
+                                .wrapping_add(epoch as u8)
+                                .wrapping_add(rank)
+                                .wrapping_add(k as u8);
+                        }
+                    });
+            }
+            p.advance(1.0);
+        }
+    }
+
+    /// Executes a profile with the given scripted failures and returns the
+    /// run report. Failures targeting a phase that does not exist are ignored.
+    pub fn run(
+        &mut self,
+        profile: &ApplicationProfile,
+        failures: &[PlannedFailure],
+    ) -> Result<RunReport> {
+        let period = paper_optimal_period(
+            self.params.checkpoint_cost,
+            self.params.platform_mtbf,
+            self.params.downtime,
+            self.params.recovery_cost,
+        )?;
+        for (epoch_index, epoch) in profile.epochs().iter().enumerate() {
+            // ---- GENERAL phase -------------------------------------------------
+            if epoch.general > 0.0 {
+                let phase_failures: Vec<&PlannedFailure> = failures
+                    .iter()
+                    .filter(|f| f.epoch == epoch_index && f.phase == PhaseKind::General)
+                    .collect();
+                let mut executed = 0.0;
+                let mut since_checkpoint = 0.0;
+                // Sort scripted failures by position.
+                let mut pending = phase_failures.clone();
+                pending.sort_by(|a, b| a.fraction.total_cmp(&b.fraction));
+                let mut pending = pending.into_iter().peekable();
+                while executed < epoch.general {
+                    let next_failure_at = pending
+                        .peek()
+                        .map(|f| f.fraction.clamp(0.0, 1.0) * epoch.general)
+                        .unwrap_or(f64::INFINITY);
+                    let next_checkpoint_at = executed + (period - since_checkpoint);
+                    let phase_end = epoch.general;
+                    let target = phase_end.min(next_checkpoint_at).min(next_failure_at.max(executed));
+                    let slice = target - executed;
+                    self.clock += slice;
+                    executed = target;
+                    since_checkpoint += slice;
+                    if (next_failure_at - executed).abs() < 1e-9 && pending.peek().is_some() {
+                        let failure = pending.next().expect("peeked");
+                        self.events.push(RuntimeEvent::Failure {
+                            time: self.clock,
+                            rank: failure.rank,
+                            phase: PhaseKind::General,
+                        });
+                        // Crash, then classic rollback recovery.
+                        self.processes
+                            .process_mut(failure.rank)
+                            .map_err(|_| ModelError::OutsideValidityDomain { what: "victim rank" })?
+                            .crash();
+                        restore_full(&self.last_full_checkpoint, &mut self.processes)
+                            .map_err(|_| ModelError::OutsideValidityDomain { what: "rollback" })?;
+                        self.clock += self.params.downtime + self.params.recovery_cost;
+                        // All work since the last checkpoint is lost.
+                        let lost = since_checkpoint;
+                        executed -= lost;
+                        self.clock += 0.0; // the lost work will be re-executed by the loop
+                        since_checkpoint = 0.0;
+                        self.events.push(RuntimeEvent::RollbackRecovery {
+                            time: self.clock,
+                            lost_work: lost,
+                        });
+                        continue;
+                    }
+                    if executed < phase_end && (next_checkpoint_at - executed).abs() < 1e-9 {
+                        // Periodic checkpoint.
+                        self.apply_general_op_partial();
+                        self.last_full_checkpoint =
+                            CoordinatedCheckpoint::capture(&self.processes, self.clock);
+                        self.clock += self.params.checkpoint_cost;
+                        since_checkpoint = 0.0;
+                        self.events
+                            .push(RuntimeEvent::PeriodicCheckpoint { time: self.clock });
+                    }
+                }
+                // The phase's computation lands in the REMAINDER dataset.
+                self.apply_general_op(epoch_index);
+            }
+
+            // ---- LIBRARY phase -------------------------------------------------
+            if epoch.library > 0.0 {
+                // Forced entry checkpoint of the REMAINDER dataset.
+                let entry =
+                    PartialCheckpoint::capture(&self.processes, DatasetKind::Remainder, self.clock);
+                self.clock += self.params.checkpoint_cost_remainder();
+                self.events.push(RuntimeEvent::EntryCheckpoint {
+                    time: self.clock,
+                    epoch: epoch_index,
+                });
+                self.refresh_parity();
+
+                let abft_duration = self.params.phi * epoch.library;
+                let mut phase_failures: Vec<&PlannedFailure> = failures
+                    .iter()
+                    .filter(|f| f.epoch == epoch_index && f.phase == PhaseKind::Library)
+                    .collect();
+                phase_failures.sort_by(|a, b| a.fraction.total_cmp(&b.fraction));
+                let mut executed = 0.0;
+                for failure in phase_failures {
+                    let at = failure.fraction.clamp(0.0, 1.0) * abft_duration;
+                    if at > executed {
+                        self.clock += at - executed;
+                        executed = at;
+                    }
+                    self.events.push(RuntimeEvent::Failure {
+                        time: self.clock,
+                        rank: failure.rank,
+                        phase: PhaseKind::Library,
+                    });
+                    self.processes
+                        .process_mut(failure.rank)
+                        .map_err(|_| ModelError::OutsideValidityDomain { what: "victim rank" })?
+                        .crash();
+                    // ABFT recovery: REMAINDER from the entry checkpoint,
+                    // LIBRARY from the parity redundancy. No rollback.
+                    restore_partial(&entry, &mut self.processes, Some(&[failure.rank]))
+                        .map_err(|_| ModelError::OutsideValidityDomain { what: "entry restore" })?;
+                    self.reconstruct_library(failure.rank)?;
+                    // Restore the process stack (progress) to the value the
+                    // entry checkpoint recorded — the library call resumes
+                    // where the surviving processes are.
+                    if let Some(snap) = entry.snapshots.iter().find(|s| s.rank == failure.rank) {
+                        self.processes
+                            .process_mut(failure.rank)
+                            .map_err(|_| ModelError::OutsideValidityDomain { what: "victim rank" })?
+                            .set_progress(snap.progress);
+                    }
+                    self.clock += self.params.downtime
+                        + self.params.recovery_cost_remainder()
+                        + self.params.abft_reconstruction;
+                    self.events.push(RuntimeEvent::AbftRecovery {
+                        time: self.clock,
+                        rank: failure.rank,
+                    });
+                }
+                if executed < abft_duration {
+                    self.clock += abft_duration - executed;
+                }
+                // The library call's results land in the LIBRARY dataset.
+                self.apply_library_op(epoch_index);
+                self.refresh_parity();
+
+                // Forced exit checkpoint of the LIBRARY dataset; combined with
+                // the entry checkpoint it forms the split coordinated
+                // checkpoint the next phase can roll back to.
+                let exit =
+                    PartialCheckpoint::capture(&self.processes, DatasetKind::Library, self.clock);
+                self.clock += self.params.checkpoint_cost_library();
+                self.events.push(RuntimeEvent::ExitCheckpoint {
+                    time: self.clock,
+                    epoch: epoch_index,
+                });
+                let split = ft_ckpt::partial::SplitCheckpoint::new(entry, exit)
+                    .map_err(|_| ModelError::OutsideValidityDomain { what: "split checkpoint" })?;
+                self.last_full_checkpoint = split.into_coordinated();
+            }
+
+            self.events.push(RuntimeEvent::EpochComplete {
+                time: self.clock,
+                epoch: epoch_index,
+            });
+        }
+
+        Ok(RunReport {
+            total_time: self.clock,
+            useful_work: profile.total_duration(),
+            events: self.events.clone(),
+            final_fingerprint: self.processes.fingerprint(),
+        })
+    }
+
+    /// Progress marker applied when a periodic checkpoint is taken mid-phase
+    /// (keeps successive checkpoints distinguishable without changing the
+    /// deterministic end-of-phase state).
+    fn apply_general_op_partial(&mut self) {
+        for p in self.processes.iter_mut() {
+            p.advance(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::units::{hours, minutes};
+
+    fn params(alpha: f64) -> ModelParams {
+        ModelParams::builder()
+            .epoch_duration(hours(4.0))
+            .alpha(alpha)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(hours(6.0))
+            .build()
+            .unwrap()
+    }
+
+    fn processes() -> ProcessSet {
+        ProcessSet::uniform(4, 256, 64)
+    }
+
+    #[test]
+    fn failure_free_run_takes_forced_checkpoints_per_epoch() {
+        let params = params(0.5);
+        let profile = ApplicationProfile::from_params_repeated(&params, 3);
+        let mut rt = CompositeRuntime::new(processes(), params);
+        let report = rt.run(&profile, &[]).unwrap();
+        assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::EntryCheckpoint { .. })), 3);
+        assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::ExitCheckpoint { .. })), 3);
+        assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::EpochComplete { .. })), 3);
+        assert!(report.total_time > report.useful_work);
+        assert!(report.waste() > 0.0 && report.waste() < 0.5);
+    }
+
+    #[test]
+    fn library_failure_is_recovered_without_rollback_and_state_matches() {
+        let params = params(0.5);
+        let profile = ApplicationProfile::from_params_repeated(&params, 2);
+
+        let mut clean = CompositeRuntime::new(processes(), params);
+        let clean_report = clean.run(&profile, &[]).unwrap();
+
+        let failure = PlannedFailure {
+            epoch: 1,
+            phase: PhaseKind::Library,
+            fraction: 0.5,
+            rank: 2,
+        };
+        let mut faulty = CompositeRuntime::new(processes(), params);
+        let faulty_report = faulty.run(&profile, &[failure]).unwrap();
+
+        // Same final application state, longer execution, ABFT recovery (and
+        // no rollback) in the trace.
+        assert_eq!(clean_report.final_fingerprint, faulty_report.final_fingerprint);
+        assert!(faulty_report.total_time > clean_report.total_time);
+        assert_eq!(
+            faulty_report.count_events(|e| matches!(e, RuntimeEvent::AbftRecovery { .. })),
+            1
+        );
+        assert_eq!(
+            faulty_report.count_events(|e| matches!(e, RuntimeEvent::RollbackRecovery { .. })),
+            0
+        );
+        // The ABFT recovery is much cheaper than a rollback: the overhead is
+        // bounded by D + R_L̄ + Recons plus scheduling noise.
+        let overhead = faulty_report.total_time - clean_report.total_time;
+        let bound = params.downtime + params.recovery_cost_remainder() + params.abft_reconstruction;
+        assert!(overhead <= bound + 1.0, "overhead {overhead} > bound {bound}");
+    }
+
+    #[test]
+    fn general_failure_rolls_back_and_state_matches() {
+        let params = params(0.3);
+        let profile = ApplicationProfile::from_params_repeated(&params, 2);
+
+        let mut clean = CompositeRuntime::new(processes(), params);
+        let clean_report = clean.run(&profile, &[]).unwrap();
+
+        let failure = PlannedFailure {
+            epoch: 0,
+            phase: PhaseKind::General,
+            fraction: 0.6,
+            rank: 1,
+        };
+        let mut faulty = CompositeRuntime::new(processes(), params);
+        let faulty_report = faulty.run(&profile, &[failure]).unwrap();
+
+        assert_eq!(clean_report.final_fingerprint, faulty_report.final_fingerprint);
+        assert!(faulty_report.total_time > clean_report.total_time);
+        assert_eq!(
+            faulty_report.count_events(|e| matches!(e, RuntimeEvent::RollbackRecovery { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn long_general_phase_takes_periodic_checkpoints() {
+        // A 4-hour GENERAL-only epoch with a ~49-minute period: several
+        // periodic checkpoints must appear.
+        let params = params(0.0);
+        let profile = ApplicationProfile::from_params(&params);
+        let mut rt = CompositeRuntime::new(processes(), params);
+        let report = rt.run(&profile, &[]).unwrap();
+        let periodic = report.count_events(|e| matches!(e, RuntimeEvent::PeriodicCheckpoint { .. }));
+        assert!(periodic >= 2, "only {periodic} periodic checkpoints");
+        // And no forced entry/exit checkpoints since there is no library phase.
+        assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::EntryCheckpoint { .. })), 0);
+    }
+
+    #[test]
+    fn multiple_failures_in_the_same_library_phase_are_survived() {
+        let params = params(0.8);
+        let profile = ApplicationProfile::from_params(&params);
+        let failures = vec![
+            PlannedFailure { epoch: 0, phase: PhaseKind::Library, fraction: 0.2, rank: 0 },
+            PlannedFailure { epoch: 0, phase: PhaseKind::Library, fraction: 0.7, rank: 3 },
+        ];
+        let mut clean = CompositeRuntime::new(processes(), params);
+        let clean_report = clean.run(&profile, &[]).unwrap();
+        let mut faulty = CompositeRuntime::new(processes(), params);
+        let report = faulty.run(&profile, &failures).unwrap();
+        assert_eq!(report.final_fingerprint, clean_report.final_fingerprint);
+        assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::AbftRecovery { .. })), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the model and the composite runtime.
+
+use std::fmt;
+
+/// Errors produced while building model parameters or evaluating the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A fraction-valued parameter fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The ABFT overhead factor `φ` must be at least 1.
+    PhiBelowOne {
+        /// Offending value.
+        value: f64,
+    },
+    /// A required parameter was not supplied to the builder.
+    MissingParameter {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// The MTBF is too small compared with the per-failure overheads: the
+    /// first-order model (and any rollback protocol) cannot make progress.
+    MtbfTooSmall {
+        /// Platform MTBF supplied.
+        mtbf: f64,
+        /// The sum of overheads it must dominate (`D + R`).
+        overheads: f64,
+    },
+    /// The model produced a non-finite or non-positive execution time, which
+    /// means the parameters are outside its validity domain (waste ≥ 1).
+    OutsideValidityDomain {
+        /// Human-readable description of the quantity that diverged.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be > 0 (got {value})")
+            }
+            ModelError::FractionOutOfRange { name, value } => {
+                write!(f, "parameter `{name}` must lie in [0, 1] (got {value})")
+            }
+            ModelError::PhiBelowOne { value } => {
+                write!(f, "ABFT overhead factor phi must be >= 1 (got {value})")
+            }
+            ModelError::MissingParameter { name } => {
+                write!(f, "required parameter `{name}` was not provided")
+            }
+            ModelError::MtbfTooSmall { mtbf, overheads } => write!(
+                f,
+                "platform MTBF ({mtbf} s) must exceed the per-failure overheads D + R ({overheads} s)"
+            ),
+            ModelError::OutsideValidityDomain { what } => write!(
+                f,
+                "model outside its validity domain: {what} diverged (waste would reach 1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositiveParameter { name, value })
+    }
+}
+
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<f64> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NonPositiveParameter { name, value })
+    }
+}
+
+pub(crate) fn ensure_fraction(name: &'static str, value: f64) -> Result<f64> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::FractionOutOfRange { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(ensure_positive("x", 1.0).is_ok());
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_non_negative("x", 0.0).is_ok());
+        assert!(ensure_non_negative("x", -1.0).is_err());
+        assert!(ensure_fraction("x", 0.5).is_ok());
+        assert!(ensure_fraction("x", 1.5).is_err());
+    }
+
+    #[test]
+    fn display_names_parameters() {
+        assert!(ensure_positive("mtbf", -1.0).unwrap_err().to_string().contains("mtbf"));
+        let e = ModelError::MissingParameter { name: "alpha" };
+        assert!(e.to_string().contains("alpha"));
+    }
+}

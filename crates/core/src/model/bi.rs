@@ -1,0 +1,135 @@
+//! BiPeriodicCkpt: phase-aware periodic checkpointing with incremental
+//! checkpoints during LIBRARY phases (Section IV-C, Equations (13)–(14)).
+//!
+//! The GENERAL phase is protected exactly like PurePeriodicCkpt; during the
+//! LIBRARY phase only the LIBRARY dataset is modified, so incremental
+//! checkpoints of cost `C_L = ρC` are taken, at their own optimal period
+//! `P_opt = √(2 C_L (µ − D − R))`.  The *recovery* cost after a failure stays
+//! `R` (a rollback must recombine the incremental checkpoints into the full
+//! image).
+
+use crate::error::Result;
+use crate::model::phase::{checkpointed_phase, PhaseParams};
+use crate::model::waste::{Prediction, Waste};
+use crate::params::ModelParams;
+
+/// Full prediction for one epoch under BiPeriodicCkpt.
+pub fn prediction(params: &ModelParams) -> Result<Prediction> {
+    let general = checkpointed_phase(&PhaseParams {
+        work: params.general_duration(),
+        periodic_checkpoint: params.checkpoint_cost,
+        trailing_checkpoint: params.checkpoint_cost,
+        recovery: params.recovery_cost,
+        downtime: params.downtime,
+        mtbf: params.platform_mtbf,
+    })?;
+    let library = checkpointed_phase(&PhaseParams {
+        work: params.library_duration(),
+        periodic_checkpoint: params.checkpoint_cost_library(),
+        trailing_checkpoint: params.checkpoint_cost_library(),
+        // Rollback still reloads the whole dataset (incremental checkpoints
+        // are combined at restore time).
+        recovery: params.recovery_cost,
+        downtime: params.downtime,
+        mtbf: params.platform_mtbf,
+    })?;
+    let final_time = general.final_time + library.final_time;
+    Ok(Prediction {
+        general_final_time: general.final_time,
+        library_final_time: library.final_time,
+        waste: Waste::from_times(params.epoch_duration, final_time),
+        general_period: general.period,
+        library_period: library.period,
+        expected_failures: final_time / params.platform_mtbf,
+    })
+}
+
+/// Expected execution time of one epoch under BiPeriodicCkpt.
+pub fn final_time(params: &ModelParams) -> Result<f64> {
+    Ok(prediction(params)?.final_time())
+}
+
+/// Waste of BiPeriodicCkpt on one epoch.
+pub fn waste(params: &ModelParams) -> Result<Waste> {
+    Ok(prediction(params)?.waste)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pure;
+    use ft_platform::units::minutes;
+
+    #[test]
+    fn degenerates_to_pure_when_alpha_is_zero() {
+        // α → 0: the epoch is one big GENERAL phase; BiPeriodicCkpt and
+        // PurePeriodicCkpt coincide (Section V-B).
+        let params = ModelParams::paper_figure7(0.0, minutes(120.0)).unwrap();
+        let bi = waste(&params).unwrap().value();
+        let pure = pure::waste(&params).unwrap().value();
+        assert!((bi - pure).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_worse_than_pure() {
+        for alpha in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            for mtbf in [60.0, 120.0, 240.0] {
+                let params = ModelParams::paper_figure7(alpha, minutes(mtbf)).unwrap();
+                let bi = waste(&params).unwrap().value();
+                let pure = pure::waste(&params).unwrap().value();
+                assert!(
+                    bi <= pure + 1e-9,
+                    "alpha={alpha} mtbf={mtbf}: bi {bi} > pure {pure}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benefit_grows_with_alpha() {
+        // The more time is spent in the LIBRARY phase, the more the cheaper
+        // incremental checkpoints pay off (Figure 7c).
+        let mtbf = minutes(90.0);
+        let mut previous_gain = -1.0;
+        for alpha in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let params = ModelParams::paper_figure7(alpha, mtbf).unwrap();
+            let gain = pure::waste(&params).unwrap().value() - waste(&params).unwrap().value();
+            assert!(gain >= previous_gain - 1e-12, "alpha={alpha}");
+            previous_gain = gain;
+        }
+        assert!(previous_gain > 0.0);
+    }
+
+    #[test]
+    fn library_period_is_shorter_than_general_period() {
+        // C_L = 0.8 C < C, so the optimal period during the LIBRARY phase is
+        // shorter.
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let p = prediction(&params).unwrap();
+        let pg = p.general_period.unwrap();
+        let pl = p.library_period.unwrap();
+        assert!(pl < pg);
+        assert!((pl / pg - 0.8_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rho_one_means_no_gain_over_pure() {
+        // If the LIBRARY phase touches all the memory (ρ = 1), incremental
+        // checkpoints are as expensive as full ones.
+        let params = ModelParams::builder()
+            .epoch_duration(ft_platform::units::weeks(1.0))
+            .alpha(0.8)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(1.0)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(minutes(120.0))
+            .build()
+            .unwrap();
+        let bi = waste(&params).unwrap().value();
+        let pure = pure::waste(&params).unwrap().value();
+        assert!((bi - pure).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! Closed-form performance models (Section IV of the paper).
+//!
+//! Each protocol module exposes two functions:
+//!
+//! * `final_time(params)` — the expected execution time of one epoch under
+//!   the protocol (Equations (1)–(14));
+//! * `waste(params)` — the corresponding waste `1 − T_0 / T_final`
+//!   (Equation (12)).
+//!
+//! The shared machinery (the periodic-checkpointing phase formula and the
+//! [`waste::Waste`] / [`waste::Prediction`] types) lives in [`phase`] and
+//! [`waste`].
+
+pub mod bi;
+pub mod composite;
+pub mod phase;
+pub mod pure;
+pub mod waste;
+
+pub use waste::{Prediction, Waste};

@@ -1,0 +1,91 @@
+//! PurePeriodicCkpt: the fully conservative baseline (Section IV-C).
+//!
+//! The protocol is oblivious to phases: the whole epoch is protected by
+//! coordinated periodic checkpoints of the full memory footprint, at the
+//! optimal period `P_opt = √(2C(µ − D − R))`.
+
+use crate::error::Result;
+use crate::model::phase::{checkpointed_phase, PhaseParams};
+use crate::model::waste::{Prediction, Waste};
+use crate::params::ModelParams;
+
+/// Expected execution time of one epoch under PurePeriodicCkpt.
+pub fn prediction(params: &ModelParams) -> Result<Prediction> {
+    let outcome = checkpointed_phase(&PhaseParams {
+        work: params.epoch_duration,
+        periodic_checkpoint: params.checkpoint_cost,
+        trailing_checkpoint: params.checkpoint_cost,
+        recovery: params.recovery_cost,
+        downtime: params.downtime,
+        mtbf: params.platform_mtbf,
+    })?;
+    Ok(Prediction {
+        general_final_time: outcome.final_time,
+        library_final_time: 0.0,
+        waste: Waste::from_times(params.epoch_duration, outcome.final_time),
+        general_period: outcome.period,
+        library_period: None,
+        expected_failures: outcome.final_time / params.platform_mtbf,
+    })
+}
+
+/// Expected execution time of one epoch under PurePeriodicCkpt.
+pub fn final_time(params: &ModelParams) -> Result<f64> {
+    Ok(prediction(params)?.final_time())
+}
+
+/// Waste of PurePeriodicCkpt on one epoch.
+pub fn waste(params: &ModelParams) -> Result<Waste> {
+    Ok(prediction(params)?.waste)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::units::minutes;
+
+    #[test]
+    fn waste_is_independent_of_alpha() {
+        // Figure 7a: the PurePeriodicCkpt waste only depends on the MTBF.
+        let w_low = waste(&ModelParams::paper_figure7(0.1, minutes(120.0)).unwrap()).unwrap();
+        let w_high = waste(&ModelParams::paper_figure7(0.9, minutes(120.0)).unwrap()).unwrap();
+        assert!((w_low.value() - w_high.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_decreases_with_mtbf() {
+        let mut previous = 1.0;
+        for mtbf in [60.0, 90.0, 120.0, 180.0, 240.0] {
+            let w = waste(&ModelParams::paper_figure7(0.5, minutes(mtbf)).unwrap())
+                .unwrap()
+                .value();
+            assert!(w < previous, "waste {w} at MTBF {mtbf} min");
+            assert!(w > 0.0 && w < 1.0);
+            previous = w;
+        }
+    }
+
+    #[test]
+    fn paper_magnitudes_are_reproduced() {
+        // With C = R = 10 min, D = 1 min: at a 1-hour MTBF the periodic
+        // checkpointing waste is severe (> 45%), at 4 hours it drops well
+        // below 40% (Figure 7a's colour gradient).
+        let severe = waste(&ModelParams::paper_figure7(0.5, minutes(60.0)).unwrap())
+            .unwrap()
+            .value();
+        let mild = waste(&ModelParams::paper_figure7(0.5, minutes(240.0)).unwrap())
+            .unwrap()
+            .value();
+        assert!(severe > 0.45, "severe = {severe}");
+        assert!(mild < 0.40, "mild = {mild}");
+        assert!(severe > mild);
+    }
+
+    #[test]
+    fn expected_failures_match_final_time() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let p = prediction(&params).unwrap();
+        assert!((p.expected_failures - p.final_time() / params.platform_mtbf).abs() < 1e-9);
+        assert!(p.expected_failures > 1.0);
+    }
+}

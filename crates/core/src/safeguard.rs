@@ -1,0 +1,142 @@
+//! The ABFT-activation safeguard (Section III-B).
+//!
+//! Forcing partial checkpoints at library entry and exit only pays off when
+//! the library call is long enough; for a very short call the composite
+//! protocol would introduce *more* checkpoints than plain periodic
+//! checkpointing.  The paper's safeguard computes the projected duration of
+//! the ABFT-protected call from the call parameters (problem size, resource
+//! count, algorithm complexity) and keeps ABFT off when that projection is
+//! below the optimal checkpoint period.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_non_negative, ensure_positive, Result};
+use crate::params::ModelParams;
+use crate::young_daly::paper_optimal_period;
+
+/// Projection of a library call's duration from its algorithmic complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedCall {
+    /// Number of floating-point operations of the call (e.g. `2n³/3` for LU).
+    pub flops: f64,
+    /// Aggregate sustained flop rate of the platform (flop/s).
+    pub flop_rate: f64,
+    /// ABFT overhead factor `φ`.
+    pub phi: f64,
+    /// Cost of the forced exit checkpoint (`C_L`), in seconds.
+    pub exit_checkpoint: f64,
+}
+
+impl ProjectedCall {
+    /// Creates a projection, validating the inputs.
+    pub fn new(flops: f64, flop_rate: f64, phi: f64, exit_checkpoint: f64) -> Result<Self> {
+        ensure_positive("flops", flops)?;
+        ensure_positive("flop_rate", flop_rate)?;
+        ensure_positive("phi", phi)?;
+        ensure_non_negative("exit_checkpoint", exit_checkpoint)?;
+        Ok(Self {
+            flops,
+            flop_rate,
+            phi,
+            exit_checkpoint,
+        })
+    }
+
+    /// Projection for a dense LU factorization of order `n` (`2n³/3` flops).
+    pub fn lu(n: f64, flop_rate: f64, phi: f64, exit_checkpoint: f64) -> Result<Self> {
+        Self::new(2.0 * n * n * n / 3.0, flop_rate, phi, exit_checkpoint)
+    }
+
+    /// Projected wall-clock duration of the ABFT-protected call, including
+    /// the forced exit checkpoint.
+    pub fn duration(&self) -> f64 {
+        self.phi * self.flops / self.flop_rate + self.exit_checkpoint
+    }
+}
+
+/// The safeguard rule itself: activate ABFT only when the projected
+/// ABFT-protected duration is at least the optimal checkpoint period.
+pub fn should_activate_abft(projected_duration: f64, optimal_period: f64) -> bool {
+    projected_duration >= optimal_period
+}
+
+/// Applies the safeguard using a full parameter set: projects the LIBRARY
+/// phase of `params` and compares it with the optimal checkpoint period.
+pub fn activate_for_params(params: &ModelParams) -> Result<bool> {
+    let period = paper_optimal_period(
+        params.checkpoint_cost,
+        params.platform_mtbf,
+        params.downtime,
+        params.recovery_cost,
+    )?;
+    let projected = params.phi * params.library_duration() + params.checkpoint_cost_library();
+    Ok(should_activate_abft(projected, period))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::units::{hours, minutes, weeks};
+
+    #[test]
+    fn projection_from_complexity() {
+        // 10^4-order LU at 1 Tflop/s: 2/3 × 10^12 flops ≈ 0.67 s of work.
+        let call = ProjectedCall::lu(1.0e4, 1.0e12, 1.03, 5.0).unwrap();
+        let expected = 1.03 * (2.0 / 3.0 * 1.0e12) / 1.0e12 + 5.0;
+        assert!((call.duration() - expected).abs() < 1e-9);
+        assert!(ProjectedCall::new(0.0, 1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rule_compares_against_period() {
+        assert!(should_activate_abft(100.0, 50.0));
+        assert!(!should_activate_abft(10.0, 50.0));
+        assert!(should_activate_abft(50.0, 50.0));
+    }
+
+    #[test]
+    fn paper_scenario_activates_abft() {
+        // A multi-day library phase dwarfs the ~49-minute optimal period.
+        let params = ModelParams::paper_figure7(0.8, minutes(120.0)).unwrap();
+        assert!(activate_for_params(&params).unwrap());
+    }
+
+    #[test]
+    fn short_library_call_keeps_abft_off() {
+        let params = ModelParams::builder()
+            .epoch_duration(minutes(30.0))
+            .alpha(0.3)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(hours(4.0))
+            .build()
+            .unwrap();
+        assert!(!activate_for_params(&params).unwrap());
+    }
+
+    #[test]
+    fn rarer_failures_raise_the_bar() {
+        // Larger MTBF → longer optimal period → ABFT needs a longer call to
+        // be worth it. Construct a call right at the boundary for a 2-hour
+        // MTBF and check it is rejected at a 50-week MTBF.
+        let at_2h = ModelParams::builder()
+            .epoch_duration(hours(2.0))
+            .alpha(0.5)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(hours(2.0))
+            .build()
+            .unwrap();
+        assert!(activate_for_params(&at_2h).unwrap());
+        let at_50w = at_2h.with_mtbf(weeks(50.0)).unwrap();
+        assert!(!activate_for_params(&at_50w).unwrap());
+    }
+}

@@ -1,0 +1,192 @@
+//! Description of a cluster (a set of nodes) and its aggregate reliability.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_positive, PlatformError, Result};
+use crate::node::Node;
+use crate::units;
+
+/// A homogeneous-or-not collection of nodes, with the derived quantities the
+/// fault-tolerance analysis needs: aggregate MTBF and total memory.
+///
+/// The central relation is the one the paper uses throughout (Section IV-B2):
+/// if the platform comprises `N` identical resources of individual MTBF
+/// `µ_ind`, the platform MTBF is `µ = µ_ind / N`.  For heterogeneous nodes we
+/// use the general form `1/µ = Σ 1/µ_i` (failure rates add).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Builds a cluster from an explicit list of nodes.
+    pub fn new(nodes: Vec<Node>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(PlatformError::EmptyCluster);
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Builds a homogeneous cluster of `count` nodes, each with the given
+    /// individual MTBF (seconds) and memory (bytes).
+    pub fn homogeneous(count: usize, node_mtbf: f64, node_memory: f64) -> Result<Self> {
+        if count == 0 {
+            return Err(PlatformError::EmptyCluster);
+        }
+        ensure_positive("node_mtbf", node_mtbf)?;
+        ensure_positive("node_memory", node_memory)?;
+        let nodes = (0..count)
+            .map(|id| Node {
+                id,
+                mtbf: node_mtbf,
+                memory: node_memory,
+                speed: 1.0,
+            })
+            .collect();
+        Ok(Self { nodes })
+    }
+
+    /// Builds the platform used in the paper's weak-scaling study
+    /// (Section V-C): the *platform* MTBF is given at a reference node count
+    /// and scales as `1/N`, memory per node is fixed.
+    ///
+    /// `platform_mtbf_at_ref` is the platform-level MTBF observed with
+    /// `reference_nodes` nodes (e.g. 1 day at 10,000 nodes); the individual
+    /// node MTBF is recovered as `platform_mtbf_at_ref * reference_nodes`.
+    pub fn weak_scaling(
+        count: usize,
+        reference_nodes: usize,
+        platform_mtbf_at_ref: f64,
+        node_memory: f64,
+    ) -> Result<Self> {
+        ensure_positive("reference_nodes", reference_nodes as f64)?;
+        ensure_positive("platform_mtbf_at_ref", platform_mtbf_at_ref)?;
+        let node_mtbf = platform_mtbf_at_ref * reference_nodes as f64;
+        Self::homogeneous(count, node_mtbf, node_memory)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true for a constructed cluster).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable view of the nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Returns a node by id.
+    pub fn node(&self, id: usize) -> Result<&Node> {
+        self.nodes.get(id).ok_or(PlatformError::RankOutOfRange {
+            rank: id,
+            size: self.nodes.len(),
+        })
+    }
+
+    /// Aggregate platform MTBF in seconds: `1/µ = Σ 1/µ_i`.
+    pub fn platform_mtbf(&self) -> f64 {
+        let total_rate: f64 = self.nodes.iter().map(Node::failure_rate).sum();
+        1.0 / total_rate
+    }
+
+    /// Total memory of the platform in bytes.
+    pub fn total_memory(&self) -> f64 {
+        self.nodes.iter().map(|n| n.memory).sum()
+    }
+
+    /// Aggregate compute speed (sum of node speeds, nominal node = 1.0).
+    pub fn total_speed(&self) -> f64 {
+        self.nodes.iter().map(|n| n.speed).sum()
+    }
+
+    /// Expected number of failures over a duration `t` (seconds), i.e.
+    /// `t / µ` — the first-order quantity the model multiplies by the time
+    /// lost per failure.
+    pub fn expected_failures(&self, t: f64) -> f64 {
+        t / self.platform_mtbf()
+    }
+
+    /// A convenient "petascale-like" test platform: `n` nodes of 45-year
+    /// individual MTBF and 64 GiB each.
+    pub fn typical(n: usize) -> Self {
+        Self::homogeneous(n, units::days(45.0 * 365.25), units::gib(64.0))
+            .expect("typical cluster parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert_eq!(Cluster::new(vec![]).unwrap_err(), PlatformError::EmptyCluster);
+        assert!(Cluster::homogeneous(0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn homogeneous_mtbf_divides_by_node_count() {
+        // µ = µ_ind / N, the paper's relation.
+        let mu_ind = units::days(365.0);
+        let c = Cluster::homogeneous(1000, mu_ind, units::gib(1.0)).unwrap();
+        let expected = mu_ind / 1000.0;
+        assert!((c.platform_mtbf() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_rates_add() {
+        let nodes = vec![
+            Node::new(0, 100.0, 1.0).unwrap(),
+            Node::new(1, 200.0, 1.0).unwrap(),
+        ];
+        let c = Cluster::new(nodes).unwrap();
+        // 1/µ = 1/100 + 1/200 = 3/200 → µ = 200/3
+        assert!((c.platform_mtbf() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_scaling_recovers_reference_platform_mtbf() {
+        let ref_nodes = 10_000;
+        let mtbf_at_ref = units::days(1.0);
+        let c = Cluster::weak_scaling(ref_nodes, ref_nodes, mtbf_at_ref, units::gib(16.0)).unwrap();
+        assert!((c.platform_mtbf() - mtbf_at_ref).abs() / mtbf_at_ref < 1e-12);
+
+        // Scaling to 10x more nodes divides the platform MTBF by 10.
+        let c10 = Cluster::weak_scaling(ref_nodes * 10, ref_nodes, mtbf_at_ref, units::gib(16.0))
+            .unwrap();
+        assert!((c10.platform_mtbf() - mtbf_at_ref / 10.0).abs() / mtbf_at_ref < 1e-12);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let c = Cluster::homogeneous(4, 100.0, units::gib(2.0)).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total_memory(), units::gib(8.0));
+        assert_eq!(c.total_speed(), 4.0);
+    }
+
+    #[test]
+    fn expected_failures_is_duration_over_mtbf() {
+        let c = Cluster::homogeneous(100, 1000.0, 1.0).unwrap();
+        // platform MTBF = 10 s, so 50 s of execution sees 5 failures on average.
+        assert!((c.expected_failures(50.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_lookup_checks_bounds() {
+        let c = Cluster::typical(3);
+        assert!(c.node(2).is_ok());
+        assert!(matches!(
+            c.node(3),
+            Err(PlatformError::RankOutOfRange { rank: 3, size: 3 })
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure inter-arrival models.
+//!
+//! The simulator of the paper draws platform-level failures from an
+//! exponential distribution whose mean is the platform MTBF (Section V-A).
+//! We provide that model ([`ExponentialFailures`]) plus a Weibull model
+//! ([`WeibullFailures`]) commonly used to fit real failure logs (infant
+//! mortality / wear-out), which the extended experiments use to probe the
+//! robustness of the first-order model to its exponential assumption.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_positive, Result};
+use crate::rng::{DeterministicRng, Xoshiro256};
+
+/// A source of failure inter-arrival times (seconds).
+pub trait FailureModel {
+    /// Samples the next inter-arrival time using the provided RNG.
+    fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64;
+
+    /// The mean inter-arrival time (platform MTBF) of the model.
+    fn mean(&self) -> f64;
+
+    /// Human-readable name of the model (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Exponential (memoryless) failures with a fixed platform MTBF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialFailures {
+    mtbf: f64,
+}
+
+impl ExponentialFailures {
+    /// Creates the model with the given platform MTBF in seconds.
+    pub fn new(mtbf: f64) -> Result<Self> {
+        ensure_positive("mtbf", mtbf)?;
+        Ok(Self { mtbf })
+    }
+
+    /// Platform MTBF in seconds.
+    #[inline]
+    pub fn mtbf(&self) -> f64 {
+        self.mtbf
+    }
+}
+
+impl FailureModel for ExponentialFailures {
+    #[inline]
+    fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+        rng.exponential(self.mtbf)
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        self.mtbf
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Weibull-distributed failure inter-arrival times.
+///
+/// Parameterised by its *mean* (so it is directly comparable to an
+/// exponential model of the same MTBF) and its shape `k`:
+/// `k < 1` models infant mortality (bursty failures), `k = 1` degenerates to
+/// the exponential, `k > 1` models wear-out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullFailures {
+    mean: f64,
+    shape: f64,
+    scale: f64,
+}
+
+impl WeibullFailures {
+    /// Creates a Weibull model with the given mean inter-arrival time
+    /// (seconds) and shape parameter.
+    pub fn new(mean: f64, shape: f64) -> Result<Self> {
+        ensure_positive("mean", mean)?;
+        ensure_positive("shape", shape)?;
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        Ok(Self { mean, shape, scale })
+    }
+
+    /// The shape parameter `k`.
+    #[inline]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter λ derived from the requested mean.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl FailureModel for WeibullFailures {
+    #[inline]
+    fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+        rng.weibull(self.scale, self.shape)
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+}
+
+/// Lanczos approximation of the Gamma function, needed to convert a requested
+/// Weibull mean into the scale parameter (`mean = λ Γ(1 + 1/k)`).
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Numerical Recipes style Lanczos).
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Stateful failure-time generator: turns an inter-arrival model into an
+/// absolute-time stream of failures starting at `t = 0`.
+#[derive(Debug, Clone)]
+pub struct FailureStream<M: FailureModel> {
+    model: M,
+    rng: Xoshiro256,
+    now: f64,
+}
+
+impl<M: FailureModel> FailureStream<M> {
+    /// Creates a stream seeded deterministically.
+    pub fn new(model: M, seed: u64) -> Self {
+        Self {
+            model,
+            rng: Xoshiro256::seed_from_u64(seed),
+            now: 0.0,
+        }
+    }
+
+    /// Absolute time of the next failure (advances the stream).
+    pub fn next_failure(&mut self) -> f64 {
+        self.now += self.model.next_interarrival(&mut self.rng);
+        self.now
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+impl<M: FailureModel> Iterator for FailureStream<M> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        Some(self.next_failure())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_requires_positive_mtbf() {
+        assert!(ExponentialFailures::new(0.0).is_err());
+        assert!(ExponentialFailures::new(-5.0).is_err());
+        assert!(ExponentialFailures::new(3600.0).is_ok());
+    }
+
+    #[test]
+    fn exponential_empirical_mean_matches() {
+        let model = ExponentialFailures::new(1234.0).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| model.next_interarrival(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1234.0).abs() / 1234.0 < 0.02);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-10);
+        assert!((gamma(4.0) - 6.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mean_is_calibrated() {
+        for shape in [0.7, 1.0, 1.5, 2.0] {
+            let model = WeibullFailures::new(500.0, shape).unwrap();
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| model.next_interarrival(&mut rng)).sum();
+            let mean = sum / n as f64;
+            assert!(
+                (mean - 500.0).abs() / 500.0 < 0.03,
+                "shape {shape}: empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_scale() {
+        let model = WeibullFailures::new(500.0, 1.0).unwrap();
+        assert!((model.scale() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_stream_is_increasing_and_deterministic() {
+        let model = ExponentialFailures::new(100.0).unwrap();
+        let a: Vec<f64> = FailureStream::new(model, 11).take(50).collect();
+        let b: Vec<f64> = FailureStream::new(model, 11).take(50).collect();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(a[0] > 0.0);
+    }
+}

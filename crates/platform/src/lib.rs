@@ -1,0 +1,47 @@
+//! # ft-platform — platform substrate for fault-tolerance studies
+//!
+//! This crate models the *execution platform* that the composite
+//! ABFT + checkpointing study of Bosilca et al. (APDCM 2014) reasons about:
+//!
+//! * [`node`] / [`cluster`] — compute nodes, their individual MTBF and the
+//!   aggregate platform MTBF `µ = µ_ind / N`;
+//! * [`failure`] — failure inter-arrival distributions (exponential, Weibull)
+//!   with deterministic seeding;
+//! * [`trace`] — concrete failure traces that can be generated, replayed,
+//!   merged and summarised;
+//! * [`storage`] — checkpoint-storage cost models (bandwidth-bound remote
+//!   storage, constant-cost buddy/NVRAM storage, hierarchical storage);
+//! * [`memory`] — the LIBRARY / REMAINDER dataset split (the paper's `ρ`);
+//! * [`grid`] — the virtual 2-D process grid used by the ABFT substrate;
+//! * [`rng`] — small, fully deterministic random number generators so that
+//!   every simulation in the workspace is reproducible from a `u64` seed;
+//! * [`units`] — readable constructors for durations and memory sizes.
+//!
+//! Everything here is a *model* of a platform: no MPI, no real I/O.  The
+//! higher-level crates (`ft-ckpt`, `ft-abft`, `ft-sim`, `ft-composite`)
+//! consume these descriptions to compute costs and to drive discrete-event
+//! simulations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod error;
+pub mod failure;
+pub mod grid;
+pub mod memory;
+pub mod node;
+pub mod rng;
+pub mod storage;
+pub mod trace;
+pub mod units;
+
+pub use cluster::Cluster;
+pub use error::PlatformError;
+pub use failure::{ExponentialFailures, FailureModel, WeibullFailures};
+pub use grid::ProcessGrid;
+pub use memory::DatasetLayout;
+pub use node::Node;
+pub use rng::{DeterministicRng, SplitMix64, Xoshiro256};
+pub use storage::{BandwidthBound, ConstantCost, Hierarchical, StorageModel};
+pub use trace::{FailureEvent, FailureTrace};

@@ -1,0 +1,144 @@
+//! The LIBRARY / REMAINDER dataset split.
+//!
+//! During a LIBRARY phase only a subset of the application memory — the
+//! *LIBRARY dataset* `M_L` — is accessed and modified; the rest is the
+//! *REMAINDER dataset* `M_L̄` (Section III of the paper).  The fraction
+//! `ρ = M_L / M` drives the cost of partial and incremental checkpoints:
+//! `C_L = ρ C` and `C_L̄ = (1 − ρ) C`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_fraction, ensure_positive, Result};
+
+/// The memory footprint of an application, split between the LIBRARY dataset
+/// (accessed during ABFT-protected library calls) and the REMAINDER dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetLayout {
+    total: f64,
+    rho: f64,
+}
+
+impl DatasetLayout {
+    /// Creates a layout from the total footprint (bytes) and the fraction
+    /// `ρ` of memory touched by LIBRARY phases.
+    pub fn new(total: f64, rho: f64) -> Result<Self> {
+        ensure_positive("total_memory", total)?;
+        ensure_fraction("rho", rho)?;
+        Ok(Self { total, rho })
+    }
+
+    /// Creates a layout from explicit LIBRARY and REMAINDER sizes.
+    pub fn from_parts(library: f64, remainder: f64) -> Result<Self> {
+        if library < 0.0 {
+            return Err(crate::error::PlatformError::NonPositiveParameter {
+                name: "library",
+                value: library,
+            });
+        }
+        if remainder < 0.0 {
+            return Err(crate::error::PlatformError::NonPositiveParameter {
+                name: "remainder",
+                value: remainder,
+            });
+        }
+        let total = library + remainder;
+        ensure_positive("total_memory", total)?;
+        Ok(Self {
+            total,
+            rho: library / total,
+        })
+    }
+
+    /// Total footprint `M` in bytes.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The fraction `ρ` of the footprint that belongs to the LIBRARY dataset.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// LIBRARY dataset size `M_L = ρ M` in bytes.
+    #[inline]
+    pub fn library(&self) -> f64 {
+        self.rho * self.total
+    }
+
+    /// REMAINDER dataset size `M_L̄ = (1 − ρ) M` in bytes.
+    #[inline]
+    pub fn remainder(&self) -> f64 {
+        (1.0 - self.rho) * self.total
+    }
+
+    /// Returns the layout scaled to a different total footprint, keeping ρ.
+    pub fn scaled_to(&self, new_total: f64) -> Result<Self> {
+        Self::new(new_total, self.rho)
+    }
+
+    /// Splits a checkpoint cost `C` (for the full footprint) into
+    /// `(C_L, C_L̄)` proportionally to the dataset sizes.
+    pub fn split_cost(&self, full_cost: f64) -> (f64, f64) {
+        (full_cost * self.rho, full_cost * (1.0 - self.rho))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    #[test]
+    fn parts_sum_to_total() {
+        let d = DatasetLayout::new(units::tib(1.0), 0.8).unwrap();
+        assert!((d.library() + d.remainder() - d.total()).abs() < 1e-6);
+        assert!((d.library() - 0.8 * units::tib(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_parts_recovers_rho() {
+        let d = DatasetLayout::from_parts(80.0, 20.0).unwrap();
+        assert!((d.rho() - 0.8).abs() < 1e-12);
+        assert_eq!(d.total(), 100.0);
+    }
+
+    #[test]
+    fn degenerate_fractions_are_allowed() {
+        // ρ = 0 (no ABFT-able data) and ρ = 1 (everything is library data)
+        // are both legitimate corner cases of the model.
+        let d0 = DatasetLayout::new(100.0, 0.0).unwrap();
+        assert_eq!(d0.library(), 0.0);
+        assert_eq!(d0.remainder(), 100.0);
+        let d1 = DatasetLayout::new(100.0, 1.0).unwrap();
+        assert_eq!(d1.library(), 100.0);
+        assert_eq!(d1.remainder(), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(DatasetLayout::new(0.0, 0.5).is_err());
+        assert!(DatasetLayout::new(10.0, 1.5).is_err());
+        assert!(DatasetLayout::new(10.0, -0.1).is_err());
+        assert!(DatasetLayout::from_parts(-1.0, 5.0).is_err());
+        assert!(DatasetLayout::from_parts(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn split_cost_follows_rho() {
+        // The paper's headline setting: ρ = 0.8, C = 10 min → C_L = 8 min.
+        let d = DatasetLayout::new(units::gib(100.0), 0.8).unwrap();
+        let (cl, clbar) = d.split_cost(units::minutes(10.0));
+        assert!((cl - units::minutes(8.0)).abs() < 1e-9);
+        assert!((clbar - units::minutes(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_rho() {
+        let d = DatasetLayout::new(100.0, 0.3).unwrap();
+        let s = d.scaled_to(1_000.0).unwrap();
+        assert_eq!(s.rho(), 0.3);
+        assert_eq!(s.total(), 1_000.0);
+    }
+}

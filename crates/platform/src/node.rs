@@ -1,0 +1,100 @@
+//! Description of a single compute node.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_positive, Result};
+use crate::units;
+
+/// A single compute node of the platform.
+///
+/// The paper is agnostic of the granularity of a "resource" (Section IV-B2:
+/// the MTBF relation `µ = µ_ind / N` holds whether a resource is a core, a
+/// socket or a fat node); [`Node`] mirrors that by only carrying the fields
+/// the fault-tolerance analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier of the node within its cluster.
+    pub id: usize,
+    /// Mean time between failures of this individual node, in seconds.
+    pub mtbf: f64,
+    /// Memory footprint available for application data, in bytes.
+    pub memory: f64,
+    /// Relative compute speed (1.0 = nominal). Used by weak-scaling
+    /// scenarios that model heterogeneous platforms.
+    pub speed: f64,
+}
+
+impl Node {
+    /// Creates a node with the given individual MTBF (seconds) and memory
+    /// (bytes), at nominal speed.
+    pub fn new(id: usize, mtbf: f64, memory: f64) -> Result<Self> {
+        ensure_positive("node.mtbf", mtbf)?;
+        ensure_positive("node.memory", memory)?;
+        Ok(Self {
+            id,
+            mtbf,
+            memory,
+            speed: 1.0,
+        })
+    }
+
+    /// Sets the relative speed of the node.
+    pub fn with_speed(mut self, speed: f64) -> Result<Self> {
+        ensure_positive("node.speed", speed)?;
+        self.speed = speed;
+        Ok(self)
+    }
+
+    /// Failure rate of the node (failures per second), i.e. `1 / mtbf`.
+    #[inline]
+    pub fn failure_rate(&self) -> f64 {
+        1.0 / self.mtbf
+    }
+
+    /// A "typical" node used as a default in examples and tests: 45-year
+    /// individual MTBF (a common projection for exascale components) and
+    /// 64 GiB of memory.
+    pub fn typical(id: usize) -> Self {
+        Self {
+            id,
+            mtbf: units::days(45.0 * 365.25),
+            memory: units::gib(64.0),
+            speed: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_construction_validates() {
+        assert!(Node::new(0, 0.0, 1.0).is_err());
+        assert!(Node::new(0, 1.0, -1.0).is_err());
+        let n = Node::new(3, 1000.0, units::gib(32.0)).unwrap();
+        assert_eq!(n.id, 3);
+        assert_eq!(n.speed, 1.0);
+    }
+
+    #[test]
+    fn failure_rate_is_reciprocal_of_mtbf() {
+        let n = Node::new(0, 500.0, 1.0).unwrap();
+        assert!((n.failure_rate() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_must_be_positive() {
+        let n = Node::new(0, 1.0, 1.0).unwrap();
+        assert!(n.with_speed(0.0).is_err());
+        assert_eq!(n.with_speed(2.0).unwrap().speed, 2.0);
+    }
+
+    #[test]
+    fn typical_node_is_sane() {
+        let n = Node::typical(7);
+        assert_eq!(n.id, 7);
+        assert!(n.mtbf > units::days(10_000.0));
+        assert!(n.memory > units::gib(1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Checkpoint-storage cost models.
+//!
+//! The paper's weak-scaling study (Section V-C) contrasts two hypotheses
+//! about how the time to take (and reload) a checkpoint evolves with the
+//! number of nodes:
+//!
+//! * **bandwidth-bound** storage (Figures 8 and 9): the checkpoint traffic
+//!   funnels through a shared medium (parallel file system, interconnect), so
+//!   the cost is proportional to the total amount of memory written — it
+//!   grows linearly with the node count under weak scaling;
+//! * **constant-cost** storage (Figure 10): buddy/in-memory or NVRAM
+//!   checkpointing, whose aggregate bandwidth scales with the platform, so
+//!   the cost stays constant when nodes are added.
+//!
+//! [`StorageModel`] abstracts over both (plus a hierarchical two-level
+//! combination) so the model, the simulator and the benchmarks can swap the
+//! storage hypothesis without touching protocol code.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_positive, Result};
+
+/// A model of how long writing/reading checkpoint data takes.
+pub trait StorageModel {
+    /// Time (seconds) to write `bytes` of checkpoint data produced
+    /// collectively by `nodes` nodes.
+    fn write_cost(&self, bytes: f64, nodes: usize) -> f64;
+
+    /// Time (seconds) to read back `bytes` of checkpoint data onto `nodes`
+    /// nodes. Defaults to the write cost (the paper's `R = C` assumption).
+    fn read_cost(&self, bytes: f64, nodes: usize) -> f64 {
+        self.write_cost(bytes, nodes)
+    }
+
+    /// Human-readable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bandwidth-bound storage: cost = `bytes / aggregate_bandwidth`, with the
+/// aggregate bandwidth *fixed* (a shared parallel file system).
+///
+/// Under weak scaling (memory per node fixed), the checkpointed volume grows
+/// linearly with the node count, and so does the checkpoint time — this is
+/// the pessimistic-but-realistic hypothesis of Figures 8 and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthBound {
+    /// Aggregate bandwidth of the storage system, in bytes per second.
+    bandwidth: f64,
+    /// Fixed per-operation latency in seconds (coordination, metadata).
+    latency: f64,
+}
+
+impl BandwidthBound {
+    /// Creates a bandwidth-bound model.
+    pub fn new(bandwidth: f64, latency: f64) -> Result<Self> {
+        ensure_positive("bandwidth", bandwidth)?;
+        if latency < 0.0 {
+            return Err(crate::error::PlatformError::NonPositiveParameter {
+                name: "latency",
+                value: latency,
+            });
+        }
+        Ok(Self { bandwidth, latency })
+    }
+
+    /// Calibrates the model so that checkpointing `bytes_at_ref` takes
+    /// `cost_at_ref` seconds (no latency term).  This mirrors how the paper
+    /// pins "C = 1 minute at 10,000 nodes" and scales linearly from there.
+    pub fn calibrated(bytes_at_ref: f64, cost_at_ref: f64) -> Result<Self> {
+        ensure_positive("bytes_at_ref", bytes_at_ref)?;
+        ensure_positive("cost_at_ref", cost_at_ref)?;
+        Self::new(bytes_at_ref / cost_at_ref, 0.0)
+    }
+
+    /// Aggregate bandwidth in bytes per second.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+impl StorageModel for BandwidthBound {
+    #[inline]
+    fn write_cost(&self, bytes: f64, _nodes: usize) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+
+    fn name(&self) -> &'static str {
+        "bandwidth-bound"
+    }
+}
+
+/// Constant-cost storage: the checkpoint time does not depend on how many
+/// nodes participate nor on the total volume (buddy checkpointing, node-local
+/// NVRAM).  This is the optimistic hypothesis of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantCost {
+    write: f64,
+    read: f64,
+}
+
+impl ConstantCost {
+    /// Creates a constant-cost model with identical write and read costs.
+    pub fn symmetric(cost: f64) -> Result<Self> {
+        ensure_positive("cost", cost)?;
+        Ok(Self { write: cost, read: cost })
+    }
+
+    /// Creates a constant-cost model with distinct write and read costs.
+    pub fn new(write: f64, read: f64) -> Result<Self> {
+        ensure_positive("write", write)?;
+        ensure_positive("read", read)?;
+        Ok(Self { write, read })
+    }
+}
+
+impl StorageModel for ConstantCost {
+    #[inline]
+    fn write_cost(&self, _bytes: f64, _nodes: usize) -> f64 {
+        self.write
+    }
+
+    #[inline]
+    fn read_cost(&self, _bytes: f64, _nodes: usize) -> f64 {
+        self.read
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-cost"
+    }
+}
+
+/// Two-level hierarchical storage: a fast local level absorbs a fraction of
+/// the volume at high bandwidth, the remainder goes to a slower shared level.
+/// Models burst-buffer / SCR-style multi-level checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchical {
+    /// Fraction of the volume absorbed by the fast (node-local) level.
+    local_fraction: f64,
+    /// Per-node bandwidth of the fast level (bytes/s); aggregate scales with nodes.
+    local_bandwidth_per_node: f64,
+    /// Aggregate bandwidth of the slow shared level (bytes/s).
+    shared_bandwidth: f64,
+}
+
+impl Hierarchical {
+    /// Creates a hierarchical model.
+    pub fn new(
+        local_fraction: f64,
+        local_bandwidth_per_node: f64,
+        shared_bandwidth: f64,
+    ) -> Result<Self> {
+        crate::error::ensure_fraction("local_fraction", local_fraction)?;
+        ensure_positive("local_bandwidth_per_node", local_bandwidth_per_node)?;
+        ensure_positive("shared_bandwidth", shared_bandwidth)?;
+        Ok(Self {
+            local_fraction,
+            local_bandwidth_per_node,
+            shared_bandwidth,
+        })
+    }
+}
+
+impl StorageModel for Hierarchical {
+    fn write_cost(&self, bytes: f64, nodes: usize) -> f64 {
+        let nodes = nodes.max(1) as f64;
+        let local_bytes = bytes * self.local_fraction;
+        let shared_bytes = bytes - local_bytes;
+        // The two levels proceed concurrently; the checkpoint completes when
+        // the slower of the two finishes.
+        let local_time = local_bytes / (self.local_bandwidth_per_node * nodes);
+        let shared_time = shared_bytes / self.shared_bandwidth;
+        local_time.max(shared_time)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+/// A boxed storage model, convenient for configuration-driven scenarios.
+pub type DynStorage = Box<dyn StorageModel + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    #[test]
+    fn bandwidth_bound_scales_linearly_with_volume() {
+        let s = BandwidthBound::new(units::gib(100.0), 0.0).unwrap();
+        let c1 = s.write_cost(units::tib(1.0), 1_000);
+        let c2 = s.write_cost(units::tib(2.0), 1_000);
+        assert!((c2 / c1 - 2.0).abs() < 1e-12);
+        // Node count is irrelevant: the medium is shared.
+        assert_eq!(s.write_cost(units::tib(1.0), 10), c1);
+    }
+
+    #[test]
+    fn bandwidth_bound_calibration_hits_reference_point() {
+        // "Checkpointing the full footprint takes 1 minute at the reference scale."
+        let footprint = units::tib(160.0);
+        let s = BandwidthBound::calibrated(footprint, units::minutes(1.0)).unwrap();
+        assert!((s.write_cost(footprint, 10_000) - 60.0).abs() < 1e-9);
+        // Doubling the footprint (weak-scaling to 2x nodes) doubles the cost.
+        assert!((s.write_cost(2.0 * footprint, 20_000) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_defaults_to_write_for_bandwidth_bound() {
+        let s = BandwidthBound::new(units::gib(10.0), 1.0).unwrap();
+        assert_eq!(s.read_cost(units::gib(50.0), 8), s.write_cost(units::gib(50.0), 8));
+    }
+
+    #[test]
+    fn constant_cost_ignores_everything() {
+        let s = ConstantCost::symmetric(60.0).unwrap();
+        assert_eq!(s.write_cost(units::tib(1.0), 1_000), 60.0);
+        assert_eq!(s.write_cost(units::PIB, 1_000_000), 60.0);
+        let asym = ConstantCost::new(60.0, 30.0).unwrap();
+        assert_eq!(asym.read_cost(1.0, 1), 30.0);
+    }
+
+    #[test]
+    fn hierarchical_is_bounded_by_slowest_level() {
+        // All local → time shrinks as nodes grow.
+        let s = Hierarchical::new(1.0, units::gib(1.0), units::gib(10.0)).unwrap();
+        let t1 = s.write_cost(units::tib(1.0), 100);
+        let t2 = s.write_cost(units::tib(1.0), 200);
+        assert!(t2 < t1);
+        // All shared → constant in nodes, linear in volume.
+        let s = Hierarchical::new(0.0, units::gib(1.0), units::gib(10.0)).unwrap();
+        assert_eq!(s.write_cost(units::tib(1.0), 100), s.write_cost(units::tib(1.0), 1_000));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(BandwidthBound::new(0.0, 0.0).is_err());
+        assert!(BandwidthBound::new(1.0, -1.0).is_err());
+        assert!(ConstantCost::symmetric(0.0).is_err());
+        assert!(Hierarchical::new(1.5, 1.0, 1.0).is_err());
+        assert!(Hierarchical::new(0.5, 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! The simulation clock: failure arrivals and interruptible activities.
+
+use ft_platform::rng::{DeterministicRng, Xoshiro256};
+
+/// Outcome of attempting an activity on the clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivityResult {
+    /// The activity ran to completion without a failure.
+    Completed,
+    /// A failure struck after `progress` seconds of the activity.
+    Interrupted {
+        /// How much of the activity had been performed when the failure hit.
+        progress: f64,
+    },
+}
+
+impl ActivityResult {
+    /// Whether the activity completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ActivityResult::Completed)
+    }
+}
+
+/// Simulation clock with exponential failure inter-arrival times.
+///
+/// Failures keep arriving during *any* activity — work, checkpoints,
+/// recoveries, downtime — which is precisely what the closed-form model
+/// neglects and the simulator must capture.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: f64,
+    next_failure: f64,
+    mtbf: f64,
+    rng: Xoshiro256,
+    failures: usize,
+}
+
+impl SimClock {
+    /// Creates a clock with the given platform MTBF (seconds), seeded
+    /// deterministically.
+    pub fn new(mtbf: f64, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let first = rng.exponential(mtbf);
+        Self {
+            now: 0.0,
+            next_failure: first,
+            mtbf,
+            rng,
+            failures: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of failures that struck so far.
+    #[inline]
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// The platform MTBF.
+    #[inline]
+    pub fn mtbf(&self) -> f64 {
+        self.mtbf
+    }
+
+    /// Attempts to run an activity of the given duration.  Advances the clock
+    /// either to the end of the activity or to the failure that interrupts
+    /// it (in which case the next failure is drawn).
+    pub fn try_run(&mut self, duration: f64) -> ActivityResult {
+        if duration <= 0.0 {
+            return ActivityResult::Completed;
+        }
+        if self.now + duration < self.next_failure {
+            self.now += duration;
+            ActivityResult::Completed
+        } else {
+            let progress = (self.next_failure - self.now).max(0.0);
+            self.now = self.next_failure;
+            self.failures += 1;
+            self.next_failure = self.now + self.rng.exponential(self.mtbf);
+            ActivityResult::Interrupted { progress }
+        }
+    }
+
+    /// Runs an activity that is *restarted from scratch* every time a failure
+    /// interrupts it (e.g. downtime + reload): loops until one full attempt
+    /// completes, accumulating all the wasted attempts on the clock.
+    pub fn run_restartable(&mut self, duration: f64) {
+        while !self.try_run(duration).is_completed() {}
+    }
+
+    /// Performs a classic rollback recovery: downtime `d` followed by a
+    /// reload of cost `r`.  A failure during either part restarts the whole
+    /// recovery (the freshly restarted process is hit again).
+    pub fn recover(&mut self, d: f64, r: f64) {
+        loop {
+            if self.try_run(d).is_completed() && self.try_run(r).is_completed() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_when_mtbf_is_huge() {
+        let mut clock = SimClock::new(1e15, 1);
+        for _ in 0..100 {
+            assert!(clock.try_run(1000.0).is_completed());
+        }
+        assert_eq!(clock.failures(), 0);
+        assert!((clock.now() - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failures_interrupt_and_advance_to_failure_time() {
+        let mut clock = SimClock::new(50.0, 7);
+        let mut interrupted = 0;
+        let mut completed = 0;
+        for _ in 0..1_000 {
+            match clock.try_run(25.0) {
+                ActivityResult::Completed => completed += 1,
+                ActivityResult::Interrupted { progress } => {
+                    assert!(progress >= 0.0 && progress <= 25.0);
+                    interrupted += 1;
+                }
+            }
+        }
+        assert!(interrupted > 0);
+        assert!(completed > 0);
+        assert_eq!(clock.failures(), interrupted);
+    }
+
+    #[test]
+    fn zero_duration_always_completes() {
+        let mut clock = SimClock::new(1.0, 3);
+        for _ in 0..100 {
+            assert!(clock.try_run(0.0).is_completed());
+        }
+        assert_eq!(clock.failures(), 0);
+    }
+
+    #[test]
+    fn clock_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = SimClock::new(100.0, seed);
+            for _ in 0..200 {
+                c.try_run(30.0);
+            }
+            (c.now(), c.failures())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_mtbf() {
+        let mtbf = 200.0;
+        let mut clock = SimClock::new(mtbf, 11);
+        let horizon = 2_000_000.0;
+        let mut elapsed = 0.0;
+        while elapsed < horizon {
+            clock.try_run(horizon - elapsed);
+            elapsed = clock.now();
+        }
+        let empirical = clock.now() / clock.failures() as f64;
+        assert!(
+            (empirical - mtbf).abs() / mtbf < 0.05,
+            "empirical MTBF {empirical}"
+        );
+    }
+
+    #[test]
+    fn recovery_restarts_until_clean() {
+        // With an MTBF comparable to the recovery length, recovery often has
+        // to restart; it must still terminate and consume more time than a
+        // single clean attempt.
+        let mut clock = SimClock::new(300.0, 13);
+        clock.recover(60.0, 120.0);
+        assert!(clock.now() >= 180.0);
+
+        // With a huge MTBF, recovery takes exactly D + R.
+        let mut clock = SimClock::new(1e15, 13);
+        clock.recover(60.0, 120.0);
+        assert!((clock.now() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restartable_activity_completes_exactly_once_cleanly() {
+        let mut clock = SimClock::new(1e15, 1);
+        clock.run_restartable(500.0);
+        assert!((clock.now() - 500.0).abs() < 1e-9);
+
+        let mut clock = SimClock::new(400.0, 21);
+        clock.run_restartable(500.0);
+        // The last attempt is clean, so at least 500 s elapsed.
+        assert!(clock.now() >= 500.0);
+    }
+}

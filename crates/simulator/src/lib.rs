@@ -1,0 +1,33 @@
+//! # ft-sim — discrete-event simulator for the composite study
+//!
+//! The validation arm of the paper (Section V-A): a simulator that unfolds an
+//! application and a fault-tolerance protocol over a stream of random
+//! failures, "accurately reproducing the corresponding costs" including the
+//! corner cases the closed-form model neglects (failures during checkpoints,
+//! during recoveries, during downtime, several failures per period, …).
+//!
+//! * [`clock`] — the simulation clock: exponential failure arrivals, the
+//!   `try_run` primitive (run an activity until it completes or a failure
+//!   interrupts it) and the interruptible recovery helper;
+//! * [`protocols`] — trace-driven executors for the three protocols
+//!   (PurePeriodicCkpt, BiPeriodicCkpt, ABFT&PeriodicCkpt);
+//! * [`stats`] — Welford accumulation, confidence intervals;
+//! * [`replicate`] — Rayon-parallel Monte-Carlo replication (the paper
+//!   averages one thousand executions per point);
+//! * [`validate`] — model-versus-simulation comparison grids (the right-hand
+//!   column of Figure 7).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod protocols;
+pub mod replicate;
+pub mod stats;
+pub mod validate;
+
+pub use clock::{ActivityResult, SimClock};
+pub use protocols::{simulate, Protocol, SimOutcome};
+pub use replicate::{replicate, SimStats};
+pub use stats::Welford;
+pub use validate::{validation_grid, ValidationCell};

@@ -1,0 +1,389 @@
+//! Trace-driven protocol executors.
+//!
+//! Each executor unfolds one epoch (a GENERAL phase followed by a LIBRARY
+//! phase, per the [`ModelParams`] description) over the failure stream of a
+//! [`SimClock`], faithfully charging every protocol-specific overhead:
+//! periodic/forced checkpoints, downtime, rollback reloads, re-executed work,
+//! ABFT reconstructions — including in the corner cases the closed-form
+//! model neglects (failures during checkpoints, recoveries or downtime, and
+//! several failures within one period).
+
+use ft_composite::params::ModelParams;
+use ft_composite::young_daly::paper_optimal_period;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{ActivityResult, SimClock};
+
+/// The three fault-tolerance protocols compared by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Phase-oblivious coordinated periodic checkpointing.
+    PurePeriodicCkpt,
+    /// Phase-aware periodic checkpointing with incremental checkpoints during
+    /// LIBRARY phases.
+    BiPeriodicCkpt,
+    /// The composite protocol: ABFT inside LIBRARY phases, periodic
+    /// checkpointing elsewhere.
+    AbftPeriodicCkpt,
+}
+
+impl Protocol {
+    /// All three protocols, in the order the paper presents them.
+    pub fn all() -> [Protocol; 3] {
+        [
+            Protocol::PurePeriodicCkpt,
+            Protocol::BiPeriodicCkpt,
+            Protocol::AbftPeriodicCkpt,
+        ]
+    }
+
+    /// Human-readable protocol name (as used in the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::PurePeriodicCkpt => "PurePeriodicCkpt",
+            Protocol::BiPeriodicCkpt => "BiPeriodicCkpt",
+            Protocol::AbftPeriodicCkpt => "ABFT&PeriodicCkpt",
+        }
+    }
+}
+
+/// Result of simulating one epoch under one protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Total execution time of the epoch, failures included.
+    pub final_time: f64,
+    /// Failure-free duration of the epoch (the useful work).
+    pub base_time: f64,
+    /// Number of failures that struck during the execution.
+    pub failures: usize,
+}
+
+impl SimOutcome {
+    /// The observed waste `1 − T_0 / T_final`.
+    pub fn waste(&self) -> f64 {
+        (1.0 - self.base_time / self.final_time).max(0.0)
+    }
+}
+
+/// Simulates one epoch under the given protocol and seed.
+pub fn simulate(protocol: Protocol, params: &ModelParams, seed: u64) -> SimOutcome {
+    let mut clock = SimClock::new(params.platform_mtbf, seed);
+    match protocol {
+        Protocol::PurePeriodicCkpt => {
+            // The whole epoch is one checkpointed stream with full checkpoints.
+            run_checkpointed_stream(
+                &mut clock,
+                params.epoch_duration,
+                params.checkpoint_cost,
+                params,
+            );
+        }
+        Protocol::BiPeriodicCkpt => {
+            // GENERAL stream with full checkpoints, then LIBRARY stream with
+            // incremental checkpoints (recovery still reloads everything).
+            run_checkpointed_stream(
+                &mut clock,
+                params.general_duration(),
+                params.checkpoint_cost,
+                params,
+            );
+            run_checkpointed_stream(
+                &mut clock,
+                params.library_duration(),
+                params.checkpoint_cost_library(),
+                params,
+            );
+        }
+        Protocol::AbftPeriodicCkpt => {
+            run_composite_general(&mut clock, params);
+            run_composite_library(&mut clock, params);
+        }
+    }
+    SimOutcome {
+        final_time: clock.now(),
+        base_time: params.epoch_duration,
+        failures: clock.failures(),
+    }
+}
+
+/// Runs `work` seconds of useful work protected by periodic checkpoints of
+/// cost `ckpt`, at the optimal period for that cost.  Work performed since
+/// the last completed checkpoint is lost when a failure strikes (wherever it
+/// strikes: during work or during the checkpoint itself).
+fn run_checkpointed_stream(clock: &mut SimClock, work: f64, ckpt: f64, params: &ModelParams) {
+    if work <= 0.0 {
+        return;
+    }
+    let period = paper_optimal_period(
+        ckpt,
+        params.platform_mtbf,
+        params.downtime,
+        params.recovery_cost,
+    )
+    .unwrap_or(f64::INFINITY);
+    // Work executed per period (the period includes the checkpoint).
+    let work_per_period = if period.is_finite() && period > ckpt {
+        period - ckpt
+    } else {
+        work
+    };
+    let mut saved = 0.0;
+    while saved < work {
+        let target = work_per_period.min(work - saved);
+        // One attempt = the period's work followed by its checkpoint; any
+        // failure before the checkpoint completes discards the attempt.
+        'attempt: loop {
+            // Execute the work of this period.
+            let mut done = 0.0;
+            while done < target {
+                match clock.try_run(target - done) {
+                    ActivityResult::Completed => done = target,
+                    ActivityResult::Interrupted { .. } => {
+                        clock.recover(params.downtime, params.recovery_cost);
+                        done = 0.0;
+                    }
+                }
+            }
+            // Take the checkpoint that makes this period's work durable.
+            match clock.try_run(ckpt) {
+                ActivityResult::Completed => break 'attempt,
+                ActivityResult::Interrupted { .. } => {
+                    clock.recover(params.downtime, params.recovery_cost);
+                    // The checkpoint did not complete: the period's work is
+                    // lost and the attempt restarts.
+                }
+            }
+        }
+        saved += target;
+    }
+}
+
+/// GENERAL phase of the composite protocol: periodic checkpointing when the
+/// phase is long, otherwise only the forced entry checkpoint of the
+/// REMAINDER dataset.
+fn run_composite_general(clock: &mut SimClock, params: &ModelParams) {
+    let work = params.general_duration();
+    if work <= 0.0 {
+        // Even with no GENERAL work, entering the library requires the forced
+        // partial checkpoint of the REMAINDER dataset.
+        if params.library_duration() > 0.0 {
+            run_forced_checkpoint(clock, params.checkpoint_cost_remainder(), params);
+        }
+        return;
+    }
+    let period = paper_optimal_period(
+        params.checkpoint_cost,
+        params.platform_mtbf,
+        params.downtime,
+        params.recovery_cost,
+    )
+    .unwrap_or(f64::INFINITY);
+    if work < period {
+        // Short phase: no periodic checkpoint, a failure rolls back to the
+        // start of the phase; the phase ends with the forced partial
+        // checkpoint of the REMAINDER dataset.
+        'attempt: loop {
+            let mut done = 0.0;
+            while done < work {
+                match clock.try_run(work - done) {
+                    ActivityResult::Completed => done = work,
+                    ActivityResult::Interrupted { .. } => {
+                        clock.recover(params.downtime, params.recovery_cost);
+                        done = 0.0;
+                    }
+                }
+            }
+            match clock.try_run(params.checkpoint_cost_remainder()) {
+                ActivityResult::Completed => break 'attempt,
+                ActivityResult::Interrupted { .. } => {
+                    clock.recover(params.downtime, params.recovery_cost);
+                }
+            }
+        }
+    } else {
+        // Long phase: regular periodic checkpointing; the last checkpoint
+        // doubles as the forced entry checkpoint (the paper's "the last
+        // periodic checkpoint replaces that of size C_L̄").
+        run_checkpointed_stream(clock, work, params.checkpoint_cost, params);
+    }
+}
+
+/// The forced partial checkpoint taken when entering the library call with no
+/// GENERAL work before it.
+fn run_forced_checkpoint(clock: &mut SimClock, cost: f64, params: &ModelParams) {
+    loop {
+        match clock.try_run(cost) {
+            ActivityResult::Completed => return,
+            ActivityResult::Interrupted { .. } => {
+                clock.recover(params.downtime, params.recovery_cost);
+            }
+        }
+    }
+}
+
+/// LIBRARY phase of the composite protocol: ABFT-protected execution.  Work
+/// is inflated by φ; a failure costs downtime + reload of the REMAINDER
+/// dataset + ABFT reconstruction, and **no work is lost**; the phase ends
+/// with the forced exit checkpoint of the LIBRARY dataset.
+fn run_composite_library(clock: &mut SimClock, params: &ModelParams) {
+    let work = params.library_duration();
+    if work <= 0.0 {
+        return;
+    }
+    let abft_work = params.phi * work;
+    let mut done = 0.0;
+    while done < abft_work {
+        match clock.try_run(abft_work - done) {
+            ActivityResult::Completed => done = abft_work,
+            ActivityResult::Interrupted { progress } => {
+                // ABFT recovery: the work performed so far is NOT lost.
+                done += progress;
+                abft_recover(clock, params);
+            }
+        }
+    }
+    // Forced exit checkpoint of the LIBRARY dataset. A failure during the
+    // checkpoint is recovered with ABFT (the library data is still encoded)
+    // and the checkpoint is retried.
+    loop {
+        match clock.try_run(params.checkpoint_cost_library()) {
+            ActivityResult::Completed => return,
+            ActivityResult::Interrupted { .. } => {
+                abft_recover(clock, params);
+            }
+        }
+    }
+}
+
+/// ABFT recovery: downtime, reload of the REMAINDER dataset from the entry
+/// checkpoint, reconstruction of the LIBRARY dataset from the checksums.
+/// Failures during the recovery restart it.
+fn abft_recover(clock: &mut SimClock, params: &ModelParams) {
+    loop {
+        if clock.try_run(params.downtime).is_completed()
+            && clock
+                .try_run(params.recovery_cost_remainder())
+                .is_completed()
+            && clock.try_run(params.abft_reconstruction).is_completed()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::units::{minutes, weeks};
+
+    fn paper_params(alpha: f64, mtbf_minutes: f64) -> ModelParams {
+        ModelParams::paper_figure7(alpha, minutes(mtbf_minutes)).unwrap()
+    }
+
+    #[test]
+    fn failure_free_simulation_matches_fault_free_model_time() {
+        // With an (almost) infinite MTBF the simulated time must equal the
+        // fault-free time of the model: work + checkpoints.
+        let params = ModelParams::builder()
+            .epoch_duration(weeks(1.0))
+            .alpha(0.5)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(weeks(20_000.0))
+            .build()
+            .unwrap();
+        // Composite: general work + C_L̄ + φ·library + C_L (general phase is
+        // 3.5 days >> the optimal period, so periodic checkpoints appear too;
+        // use the model's own fault-free expressions for the comparison).
+        let sim = simulate(Protocol::AbftPeriodicCkpt, &params, 42);
+        let model = ft_composite::model::composite::final_time(&params).unwrap();
+        assert!(
+            (sim.final_time - model).abs() / model < 0.02,
+            "sim {} vs model {model}",
+            sim.final_time
+        );
+        assert_eq!(sim.failures, 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let params = paper_params(0.5, 120.0);
+        for proto in Protocol::all() {
+            let a = simulate(proto, &params, 9);
+            let b = simulate(proto, &params, 9);
+            assert_eq!(a, b);
+            let c = simulate(proto, &params, 10);
+            assert_ne!(a.final_time, c.final_time);
+        }
+    }
+
+    #[test]
+    fn waste_is_positive_and_bounded() {
+        let params = paper_params(0.8, 90.0);
+        for proto in Protocol::all() {
+            for seed in 0..20 {
+                let out = simulate(proto, &params, seed);
+                assert!(out.final_time >= out.base_time);
+                let w = out.waste();
+                assert!((0.0..1.0).contains(&w), "{proto:?} seed {seed}: waste {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_observed_at_paper_scale_mtbf() {
+        // One week of work with a 2-hour MTBF: dozens of failures.
+        let params = paper_params(0.5, 120.0);
+        let out = simulate(Protocol::PurePeriodicCkpt, &params, 3);
+        assert!(out.failures > 20, "only {} failures", out.failures);
+    }
+
+    #[test]
+    fn composite_beats_pure_at_high_alpha_and_low_mtbf() {
+        // Average a few replications to smooth the randomness; at α = 0.8 and
+        // a 1-hour MTBF the composite protocol must clearly win.
+        let params = paper_params(0.8, 60.0);
+        let avg = |proto: Protocol| -> f64 {
+            (0..30)
+                .map(|s| simulate(proto, &params, s).waste())
+                .sum::<f64>()
+                / 30.0
+        };
+        let pure = avg(Protocol::PurePeriodicCkpt);
+        let composite = avg(Protocol::AbftPeriodicCkpt);
+        assert!(
+            composite < pure - 0.05,
+            "composite {composite} not clearly below pure {pure}"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_makes_all_protocols_equivalent_in_expectation() {
+        // With no library phase the three protocols are the same algorithm;
+        // averaged over seeds their waste must be close.
+        let params = paper_params(0.0, 120.0);
+        let avg = |proto: Protocol| -> f64 {
+            (0..40)
+                .map(|s| simulate(proto, &params, s).waste())
+                .sum::<f64>()
+                / 40.0
+        };
+        let pure = avg(Protocol::PurePeriodicCkpt);
+        let bi = avg(Protocol::BiPeriodicCkpt);
+        let composite = avg(Protocol::AbftPeriodicCkpt);
+        assert!((pure - bi).abs() < 0.02, "pure {pure} vs bi {bi}");
+        assert!((pure - composite).abs() < 0.02, "pure {pure} vs composite {composite}");
+    }
+
+    #[test]
+    fn protocol_names_are_stable() {
+        assert_eq!(Protocol::PurePeriodicCkpt.name(), "PurePeriodicCkpt");
+        assert_eq!(Protocol::BiPeriodicCkpt.name(), "BiPeriodicCkpt");
+        assert_eq!(Protocol::AbftPeriodicCkpt.name(), "ABFT&PeriodicCkpt");
+        assert_eq!(Protocol::all().len(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Monte-Carlo replication.
+//!
+//! The paper's evaluation averages "the termination time over a thousand
+//! executions" per parameter point.  Replications are independent, so they
+//! are spread over the available cores with Rayon; each replication derives
+//! its own seed from the master seed, keeping the whole sweep reproducible.
+
+use ft_composite::params::ModelParams;
+use ft_platform::rng::derive_seeds;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::protocols::{simulate, Protocol};
+use crate::stats::Welford;
+
+/// Aggregated statistics of a batch of replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Protocol that was simulated.
+    pub protocol: Protocol,
+    /// Number of replications.
+    pub replications: usize,
+    /// Mean waste across replications.
+    pub mean_waste: f64,
+    /// Standard deviation of the waste.
+    pub std_waste: f64,
+    /// Half-width of the 95 % confidence interval of the mean waste.
+    pub ci95_waste: f64,
+    /// Mean execution time across replications.
+    pub mean_final_time: f64,
+    /// Mean number of failures per execution.
+    pub mean_failures: f64,
+}
+
+/// Runs `replications` independent simulations of `protocol` and aggregates
+/// the results. Replications run in parallel.
+pub fn replicate(
+    protocol: Protocol,
+    params: &ModelParams,
+    replications: usize,
+    master_seed: u64,
+) -> SimStats {
+    let replications = replications.max(1);
+    let seeds = derive_seeds(master_seed, replications);
+    let (waste, time, failures) = seeds
+        .par_iter()
+        .map(|&seed| {
+            let out = simulate(protocol, params, seed);
+            let mut w = Welford::new();
+            let mut t = Welford::new();
+            let mut f = Welford::new();
+            w.push(out.waste());
+            t.push(out.final_time);
+            f.push(out.failures as f64);
+            (w, t, f)
+        })
+        .reduce(
+            || (Welford::new(), Welford::new(), Welford::new()),
+            |mut a, b| {
+                a.0.merge(&b.0);
+                a.1.merge(&b.1);
+                a.2.merge(&b.2);
+                a
+            },
+        );
+    SimStats {
+        protocol,
+        replications,
+        mean_waste: waste.mean(),
+        std_waste: waste.std_dev(),
+        ci95_waste: waste.ci95_half_width(),
+        mean_final_time: time.mean(),
+        mean_failures: failures.mean(),
+    }
+}
+
+/// Convenience: replicates all three protocols on the same parameters.
+pub fn replicate_all(params: &ModelParams, replications: usize, master_seed: u64) -> [SimStats; 3] {
+    [
+        replicate(Protocol::PurePeriodicCkpt, params, replications, master_seed),
+        replicate(Protocol::BiPeriodicCkpt, params, replications, master_seed),
+        replicate(Protocol::AbftPeriodicCkpt, params, replications, master_seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::units::minutes;
+
+    #[test]
+    fn replication_is_reproducible() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let a = replicate(Protocol::PurePeriodicCkpt, &params, 50, 7);
+        let b = replicate(Protocol::PurePeriodicCkpt, &params, 50, 7);
+        assert_eq!(a, b);
+        let c = replicate(Protocol::PurePeriodicCkpt, &params, 50, 8);
+        assert_ne!(a.mean_waste, c.mean_waste);
+    }
+
+    #[test]
+    fn statistics_are_sane() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let stats = replicate(Protocol::AbftPeriodicCkpt, &params, 100, 1);
+        assert_eq!(stats.replications, 100);
+        assert!(stats.mean_waste > 0.0 && stats.mean_waste < 1.0);
+        assert!(stats.std_waste >= 0.0);
+        assert!(stats.ci95_waste < stats.mean_waste, "CI should be tight after 100 reps");
+        assert!(stats.mean_final_time > params.epoch_duration);
+        assert!(stats.mean_failures > 1.0);
+    }
+
+    #[test]
+    fn replicate_all_orders_protocols() {
+        let params = ModelParams::paper_figure7(0.5, minutes(150.0)).unwrap();
+        let all = replicate_all(&params, 20, 3);
+        assert_eq!(all[0].protocol, Protocol::PurePeriodicCkpt);
+        assert_eq!(all[1].protocol, Protocol::BiPeriodicCkpt);
+        assert_eq!(all[2].protocol, Protocol::AbftPeriodicCkpt);
+    }
+
+    #[test]
+    fn more_replications_tighten_the_confidence_interval() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let small = replicate(Protocol::BiPeriodicCkpt, &params, 20, 11);
+        let large = replicate(Protocol::BiPeriodicCkpt, &params, 400, 11);
+        assert!(large.ci95_waste < small.ci95_waste);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure-8-style weak-scaling study from the public API: how the waste of
+//! the three protocols evolves from 10^3 to 10^6 nodes when the checkpoint
+//! cost grows with the machine and the MTBF shrinks.
+//!
+//! ```text
+//! cargo run --release --example weak_scaling
+//! ```
+
+use abft_ckpt_composite::composite::scaling::{paper_node_counts, WeakScalingScenario};
+
+fn bar(value: f64) -> String {
+    let filled = (value * 50.0).round() as usize;
+    format!("{:<50}", "#".repeat(filled.min(50)))
+}
+
+fn main() {
+    let scenario = WeakScalingScenario::figure8();
+    println!("Weak scaling, fixed alpha = 0.8, bandwidth-bound checkpoints (Figure 8 scenario)\n");
+    println!("{:>10}  {:<9} {:<52} waste", "nodes", "protocol", "");
+    for point in scenario.sweep(&paper_node_counts()).expect("valid axis") {
+        println!(
+            "{:>10}  {:<9} {} {:>6.1} %   (~{:.0} failures)",
+            point.nodes,
+            "pure",
+            bar(point.pure.waste.value()),
+            point.pure.waste.percent(),
+            point.pure.expected_failures
+        );
+        println!(
+            "{:>10}  {:<9} {} {:>6.1} %   (~{:.0} failures)",
+            "",
+            "bi",
+            bar(point.bi.waste.value()),
+            point.bi.waste.percent(),
+            point.bi.expected_failures
+        );
+        println!(
+            "{:>10}  {:<9} {} {:>6.1} %   (~{:.0} failures)",
+            "",
+            "abft",
+            bar(point.composite.waste.value()),
+            point.composite.waste.percent(),
+            point.composite.expected_failures
+        );
+        println!();
+    }
+    println!("The composite protocol pays its ABFT overhead at small scale and wins");
+    println!("decisively once failures and checkpoint costs dominate (>= ~10^5 nodes).");
+}

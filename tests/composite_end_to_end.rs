@@ -1,0 +1,122 @@
+//! End-to-end integration across every substrate: the composite runtime
+//! drives real process state through checkpoints and failures, and the ABFT
+//! substrate factorizes a real matrix while losing a process — the two
+//! halves of the protocol the paper composes.
+
+use abft_ckpt_composite::abft::cholesky::AbftCholesky;
+use abft_ckpt_composite::abft::lu::{plain_lu, AbftLu};
+use abft_ckpt_composite::abft::matrix::Matrix;
+use abft_ckpt_composite::abft::recovery::ProtectedDataset;
+use abft_ckpt_composite::abft::blockcyclic::{BlockCyclicLayout, DistributedMatrix};
+use abft_ckpt_composite::composite::composite_runtime::{CompositeRuntime, PlannedFailure, RuntimeEvent};
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::scenario::{ApplicationProfile, PhaseKind};
+use ft_ckpt::state::ProcessSet;
+use ft_platform::grid::ProcessGrid;
+use ft_platform::units::{hours, minutes};
+
+fn params() -> ModelParams {
+    ModelParams::builder()
+        .epoch_duration(hours(3.0))
+        .alpha(0.6)
+        .checkpoint_cost(minutes(10.0))
+        .recovery_cost(minutes(10.0))
+        .downtime(minutes(1.0))
+        .rho(0.8)
+        .phi(1.03)
+        .abft_reconstruction(2.0)
+        .platform_mtbf(hours(8.0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn composite_runtime_survives_failures_in_both_phases_with_identical_final_state() {
+    let params = params();
+    let profile = ApplicationProfile::from_params_repeated(&params, 3);
+    let failures = vec![
+        PlannedFailure { epoch: 0, phase: PhaseKind::Library, fraction: 0.3, rank: 2 },
+        PlannedFailure { epoch: 1, phase: PhaseKind::General, fraction: 0.5, rank: 0 },
+        PlannedFailure { epoch: 2, phase: PhaseKind::Library, fraction: 0.9, rank: 3 },
+    ];
+
+    let mk = || ProcessSet::uniform(4, 32 * 1024, 8 * 1024);
+    let clean = CompositeRuntime::new(mk(), params).run(&profile, &[]).unwrap();
+    let faulty = CompositeRuntime::new(mk(), params).run(&profile, &failures).unwrap();
+
+    assert_eq!(clean.final_fingerprint, faulty.final_fingerprint);
+    assert!(faulty.total_time > clean.total_time);
+    assert_eq!(faulty.count_events(|e| matches!(e, RuntimeEvent::AbftRecovery { .. })), 2);
+    assert_eq!(faulty.count_events(|e| matches!(e, RuntimeEvent::RollbackRecovery { .. })), 1);
+    // Forced split checkpoints appear once per epoch.
+    assert_eq!(faulty.count_events(|e| matches!(e, RuntimeEvent::EntryCheckpoint { .. })), 3);
+    assert_eq!(faulty.count_events(|e| matches!(e, RuntimeEvent::ExitCheckpoint { .. })), 3);
+}
+
+#[test]
+fn abft_lu_survives_one_failure_per_phase_of_the_factorization() {
+    let n = 36;
+    let grid = ProcessGrid::new(2, 3).unwrap();
+    let a = Matrix::random_diagonally_dominant(n, 7);
+    let mut f = AbftLu::new(&a, &grid, 3).unwrap();
+
+    // Failure before any factorization step.
+    let lost = f.inject_failure(0).unwrap();
+    f.recover(&lost).unwrap();
+    // Failure after one third of the steps.
+    f.factor_steps(n / 3).unwrap();
+    let lost = f.inject_failure(3).unwrap();
+    f.recover(&lost).unwrap();
+    // Failure after two thirds.
+    f.factor_steps(n / 3).unwrap();
+    let lost = f.inject_failure(5).unwrap();
+    f.recover(&lost).unwrap();
+
+    f.factor_to_completion().unwrap();
+    let residual = f.residual(&a).unwrap();
+    assert!(residual < 1e-8, "residual {residual}");
+
+    // The plain factorization of the same matrix agrees.
+    let plain = plain_lu(&a).unwrap();
+    let (l, u) = f.extract_factors();
+    assert!(l.approx_eq(&plain.extract_unit_lower(n), 1e-7));
+    assert!(u.approx_eq(&plain.extract_upper(n), 1e-7));
+}
+
+#[test]
+fn abft_cholesky_and_protected_dataset_cover_the_library_dataset_lifecycle() {
+    // The LIBRARY dataset at rest is protected by checksums between calls…
+    let grid = ProcessGrid::new(2, 2).unwrap();
+    let data = Matrix::random(16, 16, 3);
+    let layout = BlockCyclicLayout::new(grid, 4);
+    let mut dataset = ProtectedDataset::encode(DistributedMatrix::new(data.clone(), layout));
+    let outcome = dataset.fail_and_reconstruct(2).unwrap();
+    assert!(outcome.entries > 0);
+    assert!(dataset.matrix().global().approx_eq(&data, 1e-9));
+
+    // …and during the call by the protected factorization.
+    let spd = Matrix::random_spd(24, 11);
+    let mut chol = AbftCholesky::new(&spd, &grid, 4).unwrap();
+    chol.factor_steps(10).unwrap();
+    let lost = chol.inject_failure(1).unwrap();
+    chol.recover(&lost).unwrap();
+    chol.factor_to_completion().unwrap();
+    assert!(chol.residual(&spd).unwrap() < 1e-8);
+}
+
+#[test]
+fn checkpoint_store_and_runtime_costs_are_consistent_with_the_storage_model() {
+    use ft_ckpt::coordinated::CoordinatedCheckpoint;
+    use ft_ckpt::store::CheckpointStore;
+    use ft_platform::storage::{BandwidthBound, StorageModel};
+
+    let set = ProcessSet::uniform(8, 64 * 1024, 16 * 1024);
+    let storage = BandwidthBound::new(1024.0 * 1024.0, 0.5).unwrap();
+    let mut store = CheckpointStore::new(storage, 8, 4);
+    for t in [0.0, 100.0, 200.0] {
+        store.push(CoordinatedCheckpoint::capture(&set, t)).unwrap();
+    }
+    let expected_each = storage.write_cost(set.total_footprint() as f64, 8);
+    assert!((store.total_write_cost() - 3.0 * expected_each).abs() < 1e-9);
+    assert_eq!(store.latest_before(150.0).unwrap().time, 100.0);
+}

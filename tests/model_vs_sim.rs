@@ -1,0 +1,69 @@
+//! Cross-crate validation of the analytical model against the discrete-event
+//! simulator on (a coarse version of) the Figure-7 grid — the reproduction of
+//! the paper's §V-A validation claim: "an excellent correspondence between
+//! predicted and actual values", with the gap largest at the smallest MTBF
+//! and quickly dropping below 5 %.
+
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::sim::validate::{validate_point, validation_grid};
+use abft_ckpt_composite::sim::Protocol;
+use ft_platform::units::minutes;
+
+fn base() -> ModelParams {
+    ModelParams::paper_figure7(0.5, minutes(120.0)).expect("paper parameters")
+}
+
+#[test]
+fn every_protocol_agrees_with_its_model_on_a_coarse_figure7_grid() {
+    let mtbfs = [minutes(90.0), minutes(150.0), minutes(240.0)];
+    let alphas = [0.0, 0.5, 1.0];
+    for protocol in Protocol::all() {
+        let cells = validation_grid(protocol, &base(), &mtbfs, &alphas, 150, 2024);
+        assert_eq!(cells.len(), 9);
+        for cell in cells {
+            assert!(
+                cell.difference().abs() < 0.06,
+                "{protocol:?}: MTBF {:.0} min, alpha {:.1}: model {:.4} vs sim {:.4}",
+                cell.mtbf / 60.0,
+                cell.alpha,
+                cell.model_waste,
+                cell.simulated_waste
+            );
+        }
+    }
+}
+
+#[test]
+fn the_gap_is_worst_at_the_smallest_mtbf_and_stays_within_the_papers_envelope() {
+    // Paper: worst-case underestimation ~12 % at MTBF 60 min, < 5 % elsewhere.
+    for protocol in Protocol::all() {
+        let harsh = validate_point(protocol, &base(), minutes(60.0), 0.5, 300, 7);
+        let calm = validate_point(protocol, &base(), minutes(240.0), 0.5, 300, 7);
+        assert!(
+            harsh.difference().abs() <= 0.13,
+            "{protocol:?}: harsh gap {:.4}",
+            harsh.difference()
+        );
+        assert!(
+            calm.difference().abs() <= 0.05,
+            "{protocol:?}: calm gap {:.4}",
+            calm.difference()
+        );
+        assert!(calm.difference().abs() <= harsh.difference().abs() + 0.02);
+    }
+}
+
+#[test]
+fn simulated_failure_counts_track_the_expected_value() {
+    // E[#failures] = T_final / mu; the simulation must agree within a few
+    // percent once averaged.
+    let params = base();
+    let cell = validate_point(Protocol::PurePeriodicCkpt, &params, minutes(120.0), 0.5, 400, 3);
+    let model_final_time = abft_ckpt_composite::composite::model::pure::final_time(&params).unwrap();
+    let expected = model_final_time / params.platform_mtbf;
+    assert!(
+        (cell.mean_failures - expected).abs() / expected < 0.15,
+        "simulated {:.1} failures vs {expected:.1} expected",
+        cell.mean_failures
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold for
+//! *any* parameter combination, not just the paper's.
+
+use abft_ckpt_composite::abft::lu::AbftLu;
+use abft_ckpt_composite::abft::matrix::Matrix;
+use abft_ckpt_composite::composite::model;
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::young_daly::{paper_optimal_period, waste_at_period};
+use abft_ckpt_composite::sim::{simulate, Protocol};
+use ft_ckpt::coordinated::CoordinatedCheckpoint;
+use ft_ckpt::restore::restore_full;
+use ft_ckpt::state::ProcessSet;
+use ft_platform::grid::ProcessGrid;
+use ft_platform::units::{hours, minutes};
+use proptest::prelude::*;
+
+/// A strategy for model parameters inside the model's validity domain.
+fn arb_params() -> impl Strategy<Value = ModelParams> {
+    (
+        1.0f64..200.0,      // epoch duration, hours
+        0.0f64..=1.0,       // alpha
+        1.0f64..20.0,       // checkpoint cost, minutes
+        0.0f64..5.0,        // downtime, minutes
+        0.0f64..=1.0,       // rho
+        1.0f64..1.2,        // phi
+        0.0f64..30.0,       // reconstruction, seconds
+        2.0f64..50.0,       // mtbf, hours
+    )
+        .prop_filter_map("MTBF must dominate D + R", |(t0, alpha, c, d, rho, phi, recons, mtbf)| {
+            ModelParams::builder()
+                .epoch_duration(hours(t0))
+                .alpha(alpha)
+                .checkpoint_cost(minutes(c))
+                .recovery_cost(minutes(c))
+                .downtime(minutes(d))
+                .rho(rho)
+                .phi(phi)
+                .abft_reconstruction(recons)
+                .platform_mtbf(hours(mtbf))
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_waste_is_always_a_valid_fraction(params in arb_params()) {
+        for waste in [
+            model::pure::waste(&params),
+            model::bi::waste(&params),
+            model::composite::waste(&params),
+        ] {
+            if let Ok(w) = waste {
+                prop_assert!(w.value() >= 0.0 && w.value() < 1.0, "waste {}", w.value());
+            }
+        }
+    }
+
+    #[test]
+    fn bi_periodic_never_loses_to_pure_periodic_in_the_periodic_regime(params in arb_params()) {
+        // The claim of §IV-C holds when both phases are long enough to be in
+        // the periodic-checkpointing regime.  (For very short phases the
+        // phase-split costs an extra trailing checkpoint and BiPeriodicCkpt
+        // can lose by that margin — an edge case outside the paper's setup.)
+        let period = paper_optimal_period(
+            params.checkpoint_cost,
+            params.platform_mtbf,
+            params.downtime,
+            params.recovery_cost,
+        ).unwrap();
+        prop_assume!(params.general_duration() >= period);
+        prop_assume!(params.library_duration() >= period);
+        if let (Ok(pure), Ok(bi)) = (model::pure::waste(&params), model::bi::waste(&params)) {
+            prop_assert!(bi.value() <= pure.value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_period_is_the_argmin_of_the_waste_function(params in arb_params()) {
+        let p_opt = paper_optimal_period(
+            params.checkpoint_cost,
+            params.platform_mtbf,
+            params.downtime,
+            params.recovery_cost,
+        ).unwrap();
+        let w_opt = waste_at_period(p_opt, params.checkpoint_cost, params.platform_mtbf, params.downtime, params.recovery_cost).unwrap();
+        for factor in [0.6, 0.9, 1.1, 1.7] {
+            let w = waste_at_period(p_opt * factor, params.checkpoint_cost, params.platform_mtbf, params.downtime, params.recovery_cost).unwrap();
+            prop_assert!(w + 1e-12 >= w_opt);
+        }
+    }
+
+    #[test]
+    fn simulated_waste_is_bounded_and_deterministic(params in arb_params(), seed in 0u64..1000) {
+        for protocol in Protocol::all() {
+            let a = simulate(protocol, &params, seed);
+            let b = simulate(protocol, &params, seed);
+            prop_assert_eq!(a, b);
+            prop_assert!(a.final_time >= params.epoch_duration);
+            prop_assert!(a.waste() >= 0.0 && a.waste() < 1.0);
+        }
+    }
+
+    #[test]
+    fn coordinated_checkpoint_round_trips_any_process_set(
+        ranks in 1usize..6,
+        lib_bytes in 1usize..512,
+        rem_bytes in 0usize..512,
+        victim_seed in 0usize..100,
+    ) {
+        let mut set = ProcessSet::uniform(ranks, lib_bytes, rem_bytes.max(1));
+        let image = CoordinatedCheckpoint::capture(&set, 1.0);
+        let fingerprint = set.fingerprint();
+        let victim = victim_seed % ranks;
+        set.process_mut(victim).unwrap().crash();
+        restore_full(&image, &mut set).unwrap();
+        prop_assert_eq!(set.fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn abft_lu_recovers_any_single_failure_at_any_step(
+        seed in 0u64..50,
+        rank in 0usize..4,
+        steps_fraction in 0.0f64..1.0,
+    ) {
+        let n = 20;
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let a = Matrix::random_diagonally_dominant(n, seed);
+        let mut f = AbftLu::new(&a, &grid, 3).unwrap();
+        let steps = (steps_fraction * n as f64) as usize;
+        f.factor_steps(steps).unwrap();
+        let lost = f.inject_failure(rank).unwrap();
+        f.recover(&lost).unwrap();
+        f.factor_to_completion().unwrap();
+        prop_assert!(f.residual(&a).unwrap() < 1e-7);
+    }
+}
