@@ -12,7 +12,7 @@
 //! * [`protocols`] — trace-driven executors for the three protocols
 //!   (PurePeriodicCkpt, BiPeriodicCkpt, ABFT&PeriodicCkpt);
 //! * [`stats`] — Welford accumulation, confidence intervals;
-//! * [`replicate`] — Rayon-parallel Monte-Carlo replication (the paper
+//! * [`replicate`](mod@replicate) — Rayon-parallel Monte-Carlo replication (the paper
 //!   averages one thousand executions per point);
 //! * [`validate`] — model-versus-simulation comparison grids (the right-hand
 //!   column of Figure 7).

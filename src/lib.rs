@@ -20,7 +20,7 @@
 //! ```
 //! use abft_ckpt_composite::composite::params::ModelParams;
 //! use abft_ckpt_composite::composite::model;
-//! use ft_platform::units::{minutes, weeks};
+//! use abft_ckpt_composite::platform::units::{minutes, weeks};
 //!
 //! // The paper's headline scenario: one week of work, C = R = 10 min,
 //! // D = 1 min, rho = 0.8, phi = 1.03, MTBF = 2 h, half the time in the library.
@@ -39,8 +39,20 @@
 //!
 //! let pure = model::pure::waste(&params).unwrap();
 //! let composite = model::composite::waste(&params).unwrap();
-//! assert!(composite.value() < pure.value());
+//! // Waste is a fraction of platform time; the composite protocol beats the
+//! // pure-checkpointing baseline on the paper's headline scenario.
+//! assert!(pure.value() > 0.0 && pure.value() < 1.0);
+//! assert!(composite.value() > 0.0 && composite.value() < pure.value());
 //! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Compile-checks the code blocks in the top-level `README.md` as doc-tests,
+/// so the quickstart shown there can never drift out of sync with the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 pub use ft_abft as abft;
 pub use ft_ckpt as ckpt;

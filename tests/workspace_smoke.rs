@@ -1,0 +1,46 @@
+//! Workspace-wiring smoke test: touches every module re-exported by the
+//! umbrella crate so that a broken manifest, feature gate or re-export
+//! fails this suite immediately rather than surfacing deep inside an
+//! integration test.
+
+use abft_ckpt_composite::{abft, ckpt, composite, platform, sim};
+
+#[test]
+fn every_reexported_module_is_reachable() {
+    // platform
+    let cluster = platform::cluster::Cluster::homogeneous(
+        16,
+        platform::units::hours(24.0 * 365.0),
+        platform::units::gib(4.0),
+    )
+    .unwrap();
+    assert!(cluster.platform_mtbf() > 0.0);
+    let grid = platform::grid::ProcessGrid::new(2, 2).unwrap();
+    assert_eq!(grid.size(), 4);
+    let _ = platform::units::format_duration(platform::units::minutes(90.0));
+
+    // ckpt
+    let set = ckpt::state::ProcessSet::uniform(2, 64, 64);
+    let image = ckpt::coordinated::CoordinatedCheckpoint::capture(&set, 0.0);
+    assert_eq!(image.ranks(), 2);
+
+    // abft
+    let a = abft::matrix::Matrix::random_diagonally_dominant(8, 7);
+    assert_eq!(a.rows(), 8);
+
+    // composite
+    let params = composite::params::ModelParams::paper_figure7(
+        0.5,
+        platform::units::minutes(120.0),
+    )
+    .unwrap();
+    let waste = composite::model::pure::waste(&params).unwrap();
+    assert!(waste.value() > 0.0 && waste.value() < 1.0);
+
+    // sim
+    let outcome = sim::simulate(sim::Protocol::PurePeriodicCkpt, &params, 42);
+    assert!(outcome.final_time >= params.epoch_duration);
+
+    // umbrella constant
+    assert!(!abft_ckpt_composite::VERSION.is_empty());
+}

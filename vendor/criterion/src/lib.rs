@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds in environments without network access, so the real
+//! `criterion` cannot be fetched.  This stand-in keeps the benches compiling
+//! and runnable (`cargo bench`): it runs each benchmark for a small, fixed
+//! number of wall-clock-timed iterations and prints a `name ... ns/iter`
+//! line.  It performs no statistical analysis.  Swapping this path
+//! dependency for the real crate restores full Criterion reports with no
+//! source change.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`, the benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// Stand-in for `criterion::Bencher`: times the closure passed to
+/// [`Bencher::iter`].
+pub struct Bencher {
+    iterations: usize,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: sample_size,
+        total_nanos: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.total_nanos / bencher.iterations.max(1) as u128;
+    println!("bench: {name:<60} {per_iter:>12} ns/iter ({} iters)", bencher.iterations);
+}
+
+/// Stand-in for `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`: generates `main` from groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace builds in environments without network access, so the real
+//! `rayon` cannot be fetched.  This stand-in keeps the rayon-shaped call
+//! sites (`par_iter`, `par_chunks_mut`, rayon-style `reduce`) compiling by
+//! executing them **sequentially**.  Swapping this path dependency for the
+//! real crate restores parallelism with no source change.
+
+/// Sequential adapter that mimics the subset of rayon's parallel-iterator
+/// API used by the workspace.
+pub struct SeqIter<I>(I);
+
+impl<I: Iterator> SeqIter<I> {
+    /// Maps each item, like `ParallelIterator::map`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    /// Enumerates items, like `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
+        SeqIter(self.0.enumerate())
+    }
+
+    /// Filters items, like `ParallelIterator::filter`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+
+    /// Consumes every item, like `ParallelIterator::for_each`.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style reduce: folds from `identity()` with `op`.
+    ///
+    /// Note the signature difference from `Iterator::reduce` — rayon takes an
+    /// identity constructor so partial results can be combined per thread.
+    pub fn reduce<F, G>(self, identity: G, op: F) -> I::Item
+    where
+        F: Fn(I::Item, I::Item) -> I::Item,
+        G: Fn() -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collects into a container, like `ParallelIterator::collect`.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items, like `ParallelIterator::sum`.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Hint accepted for compatibility; a no-op sequentially.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// The rayon prelude: extension traits providing `par_*` methods.
+pub mod prelude {
+    use super::SeqIter;
+
+    /// `par_iter` / `par_chunks` over anything viewable as a slice.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over anything viewable as a mutable
+    /// slice.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
+            SeqIter(self.as_ref().iter())
+        }
+        fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
+            SeqIter(self.as_ref().chunks(chunk_size))
+        }
+    }
+
+    impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+        fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
+            SeqIter(self.as_mut().iter_mut())
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
+            SeqIter(self.as_mut().chunks_mut(chunk_size))
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize` / `Deserialize` names (both the traits and the
+//! derive macros) that the workspace sources import, without requiring
+//! network access to a crates registry.  No code in the workspace bounds on
+//! these traits or calls serializer methods, so marker traits and no-op
+//! derives are sufficient.  Replacing the `vendor/serde*` path dependencies
+//! with the real crates requires no source change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
