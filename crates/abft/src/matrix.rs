@@ -372,8 +372,8 @@ mod tests {
         let mv = a.matvec(&v).unwrap();
         let vm = Matrix::from_vec(4, 1, v).unwrap();
         let prod = a.matmul(&vm).unwrap();
-        for i in 0..6 {
-            assert!((mv[i] - prod.get(i, 0)).abs() < 1e-12);
+        for (i, &mvi) in mv.iter().enumerate() {
+            assert!((mvi - prod.get(i, 0)).abs() < 1e-12);
         }
         assert!(a.matvec(&[1.0]).is_err());
     }

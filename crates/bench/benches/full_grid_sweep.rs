@@ -1,0 +1,74 @@
+//! Criterion bench for the sweep subsystem: whole-grid parallel execution
+//! versus the serial grid baseline on a reduced Figure-7 grid, reported as
+//! tasks per second.  This is the knob the ISSUE's acceptance criterion
+//! watches: grid-level parallelism must beat per-point replication
+//! (speedup > 1.5x on >= 4 cores; on a single-core host the two paths
+//! collapse to the same execution).
+//!
+//! Run with `cargo bench -p ft-bench --bench full_grid_sweep`; the final
+//! lines print a JSON summary suitable for `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::{figure7_base, Axis, Parameter, SweepSpec};
+use ft_platform::units::minutes;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A reduced Figure-7 grid: 4 MTBF x 3 alpha points, 3 protocols, 25
+/// replications per task = 36 tasks, 900 simulated executions.
+fn reduced_fig7() -> SweepSpec {
+    SweepSpec::new("reduced fig7 grid", figure7_base())
+        .axis(Axis::linspace(Parameter::Mtbf, minutes(60.0), minutes(240.0), 4))
+        .axis(Axis::linspace(Parameter::Alpha, 0.0, 1.0, 3))
+        .replications(25)
+}
+
+fn bench_grid_execution(c: &mut Criterion) {
+    let spec = reduced_fig7();
+    let mut group = c.benchmark_group("sweep/fig7_4x3x25reps");
+    group.sample_size(10);
+    group.bench_function("serial_grid", |b| {
+        b.iter(|| black_box(spec.run_serial().unwrap()))
+    });
+    group.bench_function("parallel_grid", |b| b.iter(|| black_box(spec.run().unwrap())));
+    group.finish();
+}
+
+/// Times one run of each path directly and prints the JSON summary recorded
+/// in `BENCH_sweep.json`.
+fn report_json(c: &mut Criterion) {
+    let spec = reduced_fig7();
+    let time = |f: &dyn Fn() -> ft_bench::SweepResults| {
+        // Median of five runs.
+        let mut secs: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        secs[secs.len() / 2]
+    };
+    let serial = time(&|| spec.run_serial().unwrap());
+    let parallel = time(&|| spec.run().unwrap());
+    let tasks = (spec.axes.iter().map(|a| a.values.len()).product::<usize>()
+        * spec.protocols.len()) as f64;
+    println!(
+        "{{\"bench\": \"full_grid_sweep\", \"grid\": \"fig7 4x3, 3 protocols, 25 replications\", \
+         \"tasks\": {tasks}, \"threads\": {}, \
+         \"serial_seconds\": {serial:.4}, \"parallel_seconds\": {parallel:.4}, \
+         \"serial_tasks_per_s\": {:.1}, \"parallel_tasks_per_s\": {:.1}, \
+         \"speedup\": {:.2}}}",
+        rayon::current_num_threads(),
+        tasks / serial,
+        tasks / parallel,
+        serial / parallel,
+    );
+    // Keep criterion's API shape: register a trivial timed closure so the
+    // harness owns this function too.
+    c.bench_function("sweep/json_report_overhead", |b| b.iter(|| black_box(tasks)));
+}
+
+criterion_group!(benches, bench_grid_execution, report_json);
+criterion_main!(benches);

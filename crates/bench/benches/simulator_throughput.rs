@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ft_bench::figure7_base;
 use ft_platform::units::minutes;
 use ft_sim::replicate::replicate;
-use ft_sim::{simulate, Protocol};
+use ft_sim::{simulate, OutcomeAccumulator, Protocol};
 use std::hint::black_box;
 
 fn bench_sequential_vs_parallel(c: &mut Criterion) {
@@ -17,11 +17,13 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let mut acc = 0.0;
+            // Same Welford aggregation as the parallel path, so the two
+            // arms time identical statistical work.
+            let mut acc = OutcomeAccumulator::new();
             for seed in 0..reps as u64 {
-                acc += simulate(Protocol::AbftPeriodicCkpt, &params, seed).waste();
+                acc.push(&simulate(Protocol::AbftPeriodicCkpt, &params, seed));
             }
-            black_box(acc)
+            black_box(acc.waste.mean())
         })
     });
     group.bench_function("rayon_parallel", |b| {

@@ -1,62 +1,59 @@
 //! Regenerates Figure 10: weak scaling with a variable α and a *constant*
 //! checkpoint/recovery cost (buddy / NVRAM storage hypothesis).  With
-//! `--break-even` it also sweeps the constant checkpoint cost downwards to
-//! find the value at which PurePeriodicCkpt matches the composite protocol at
-//! 10⁶ nodes (the paper's "C = R = 6 s" remark).
+//! `--break-even` it adds a C = R axis at 10⁶ nodes to find the value at
+//! which PurePeriodicCkpt matches the composite protocol (the paper's
+//! "C = R = 6 s" remark).
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin fig10 -- [--points-per-decade 3] [--csv] [--break-even]
+//! cargo run -p ft-bench --release --bin fig10 -- \
+//!     [--points-per-decade 3] [--break-even] [--format table|csv|json]
 //! ```
 
-use ft_bench::scaling_report::{crossover, report};
-use ft_bench::{Args, Table};
+use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};
 use ft_composite::scaling::WeakScalingScenario;
-
-fn break_even(args: &Args) {
-    let mut table = Table::new(&["ckpt_seconds", "waste_pure_1M", "waste_abft_1M"]);
-    let mut found: Option<f64> = None;
-    for ckpt in [60.0, 30.0, 20.0, 15.0, 10.0, 8.0, 6.0, 4.0, 2.0, 1.0] {
-        let scenario = WeakScalingScenario {
-            checkpoint_at_reference: ckpt,
-            ..WeakScalingScenario::figure10()
-        };
-        let point = scenario.point(1_000_000.0).expect("valid node count");
-        let pure = point.pure.waste.value();
-        let composite = point.composite.waste.value();
-        if pure <= composite && found.is_none() {
-            found = Some(ckpt);
-        }
-        table.push_row(vec![
-            format!("{ckpt:.0}"),
-            format!("{pure:.4}"),
-            format!("{composite:.4}"),
-        ]);
-    }
-    println!("\n# Break-even sweep: constant checkpoint cost needed for PurePeriodicCkpt to match the composite protocol at 1M nodes");
-    if args.flag("--csv") {
-        print!("{}", table.to_csv());
-    } else {
-        print!("{}", table.render());
-    }
-    match found {
-        Some(c) => println!("# PurePeriodicCkpt matches the composite protocol at 1M nodes once C = R <= {c:.0} s"),
-        None => println!("# PurePeriodicCkpt never matches the composite protocol in the swept range"),
-    }
-}
+use ft_sim::Protocol;
 
 fn main() {
     let args = Args::capture();
-    let (points, text) = report(
+    let spec = SweepSpec::scaling(
         "Figure 10 — weak scaling, variable alpha, constant checkpoint cost (perfectly scalable checkpoint storage)",
-        &WeakScalingScenario::figure10(),
-        &args,
-    );
-    print!("{text}");
-    match crossover(&points) {
+        WeakScalingScenario::figure10(),
+    )
+    .axis(Axis::decades(
+        Parameter::Nodes,
+        3,
+        6,
+        args.value("--points-per-decade", 1),
+    ));
+    let results = run_cli(spec, &args);
+    match results.crossover(Parameter::Nodes) {
         Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
         None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
     }
+
     if args.flag("--break-even") {
-        break_even(&args);
+        let spec = SweepSpec::scaling(
+            "Break-even sweep: constant checkpoint cost needed for PurePeriodicCkpt to match the composite protocol at 1M nodes",
+            WeakScalingScenario::figure10(),
+        )
+        .axis(Axis::values(
+            Parameter::Checkpoint,
+            vec![60.0, 30.0, 20.0, 15.0, 10.0, 8.0, 6.0, 4.0, 2.0, 1.0],
+        ))
+        .axis(Axis::values(Parameter::Nodes, vec![1_000_000.0]))
+        .protocols(vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt]);
+        let results = run_cli(spec, &args);
+        let found = (0..results.grid_points).find(|&i| {
+            results.waste_at(i, Protocol::PurePeriodicCkpt)
+                <= results.waste_at(i, Protocol::AbftPeriodicCkpt)
+        });
+        match found.and_then(|i| results.coordinate(i, Parameter::Checkpoint)) {
+            Some(c) => println!(
+                "# PurePeriodicCkpt matches the composite protocol at 1M nodes once C = R <= {c:.0} s"
+            ),
+            None => println!(
+                "# PurePeriodicCkpt never matches the composite protocol in the swept range"
+            ),
+        }
     }
 }

@@ -1,83 +1,45 @@
-//! Regenerates Figure 7 of the paper: the waste of PurePeriodicCkpt,
-//! BiPeriodicCkpt and ABFT&PeriodicCkpt as a function of the platform MTBF
-//! (60–240 min) and of the LIBRARY-phase fraction α (0–1), as predicted by
-//! the model (Figures 7a/7c/7e) and as measured by the simulator, plus the
-//! difference between the two (Figures 7b/7d/7f).
+//! Regenerates Figure 7 of the paper: the waste of the three protocols as a
+//! function of the platform MTBF (60–240 min) and of the LIBRARY-phase
+//! fraction α (0–1), as predicted by the model (Figures 7a/7c/7e) and as
+//! measured by the simulator, plus the difference between the two
+//! (Figures 7b/7d/7f).
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin fig7 -- \
 //!     [--protocol pure|bi|abft|all] [--mtbf-points 7] [--alpha-points 6] \
-//!     [--replications 200] [--seed 42] [--csv]
+//!     [--replications 200] [--seed 42] [--threads N] [--format table|csv|json]
 //! ```
 
-use ft_bench::{figure7_base, Args, Table};
-use ft_sim::validate::{figure7_alpha_axis, figure7_mtbf_axis, validation_grid};
+use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
+use ft_platform::units::minutes;
 use ft_sim::Protocol;
-
-fn protocols_from(arg: &str) -> Vec<Protocol> {
-    match arg {
-        "pure" => vec![Protocol::PurePeriodicCkpt],
-        "bi" => vec![Protocol::BiPeriodicCkpt],
-        "abft" => vec![Protocol::AbftPeriodicCkpt],
-        _ => Protocol::all().to_vec(),
-    }
-}
 
 fn main() {
     let args = Args::capture();
-    let protocols = protocols_from(&args.string("--protocol", "all"));
-    let mtbf_points: usize = args.value("--mtbf-points", 7);
-    let alpha_points: usize = args.value("--alpha-points", 6);
-    let replications: usize = args.value("--replications", 200);
-    let seed: u64 = args.value("--seed", 42);
-    let csv = args.flag("--csv");
-
-    let base = figure7_base();
-    let mtbfs = figure7_mtbf_axis(mtbf_points);
-    let alphas = figure7_alpha_axis(alpha_points);
-
-    println!(
-        "# Figure 7 — T0 = 1 week, C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, Recons = 2 s"
-    );
-    println!(
-        "# grid: {} MTBF points x {} alpha points, {} replications per cell",
-        mtbfs.len(),
-        alphas.len(),
-        replications
-    );
-
-    for protocol in protocols {
-        println!("\n## {} (model = Fig 7a/c/e, diff = Fig 7b/d/f)", protocol.name());
-        let cells = validation_grid(protocol, &base, &mtbfs, &alphas, replications, seed);
-        let mut table = Table::new(&[
-            "mtbf_min",
-            "alpha",
-            "model_waste",
-            "sim_waste",
-            "diff",
-            "ci95",
-            "mean_failures",
-        ]);
-        for cell in &cells {
-            table.push_row(vec![
-                format!("{:.0}", cell.mtbf / 60.0),
-                format!("{:.2}", cell.alpha),
-                format!("{:.4}", cell.model_waste),
-                format!("{:.4}", cell.simulated_waste),
-                format!("{:+.4}", cell.difference()),
-                format!("{:.4}", cell.ci95),
-                format!("{:.1}", cell.mean_failures),
-            ]);
-        }
-        if csv {
-            print!("{}", table.to_csv());
-        } else {
-            print!("{}", table.render());
-        }
-        let worst = cells
-            .iter()
-            .map(|c| c.difference().abs())
-            .fold(0.0_f64, f64::max);
-        println!("# worst |sim - model| for {}: {:.4}", protocol.name(), worst);
+    let protocols = match Protocol::parse(&args.string("--protocol", "all")) {
+        Some(p) => vec![p],
+        None => Protocol::all().to_vec(),
+    };
+    let spec = SweepSpec::new(
+        "Figure 7 — T0 = 1 week, C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, Recons = 2 s",
+        figure7_base(),
+    )
+    .axis(Axis::linspace(
+        Parameter::Mtbf,
+        minutes(60.0),
+        minutes(240.0),
+        args.value("--mtbf-points", 7),
+    ))
+    .axis(Axis::linspace(
+        Parameter::Alpha,
+        0.0,
+        1.0,
+        args.value("--alpha-points", 6),
+    ))
+    .protocols(protocols)
+    .replications(200);
+    let results = run_cli(spec, &args);
+    if let Some(worst) = results.worst_model_sim_gap() {
+        println!("# worst |sim - model| across the grid: {worst:.4}");
     }
 }

@@ -3,11 +3,11 @@
 //! failure counts for the three protocols from 10³ to 10⁶ nodes.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin fig8 -- [--points-per-decade 3] [--csv] [--literal]
+//! cargo run -p ft-bench --release --bin fig8 -- \
+//!     [--points-per-decade 3] [--literal] [--format table|csv|json]
 //! ```
 
-use ft_bench::scaling_report::{crossover, report};
-use ft_bench::Args;
+use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};
 use ft_composite::scaling::WeakScalingScenario;
 
 fn main() {
@@ -17,13 +17,18 @@ fn main() {
     } else {
         WeakScalingScenario::figure8()
     };
-    let (points, text) = report(
+    let spec = SweepSpec::scaling(
         "Figure 8 — weak scaling, fixed alpha = 0.8, checkpoint cost grows with the node count",
-        &scenario,
-        &args,
-    );
-    print!("{text}");
-    match crossover(&points) {
+        scenario,
+    )
+    .axis(Axis::decades(
+        Parameter::Nodes,
+        3,
+        6,
+        args.value("--points-per-decade", 1),
+    ));
+    let results = run_cli(spec, &args);
+    match results.crossover(Parameter::Nodes) {
         Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
         None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
     }

@@ -2,22 +2,27 @@
 //! GENERAL `O(n²)`), bandwidth-bound checkpoint storage.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin fig9 -- [--points-per-decade 3] [--csv]
+//! cargo run -p ft-bench --release --bin fig9 -- \
+//!     [--points-per-decade 3] [--format table|csv|json]
 //! ```
 
-use ft_bench::scaling_report::{crossover, report};
-use ft_bench::Args;
+use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};
 use ft_composite::scaling::WeakScalingScenario;
 
 fn main() {
     let args = Args::capture();
-    let (points, text) = report(
+    let spec = SweepSpec::scaling(
         "Figure 9 — weak scaling, variable alpha (LIBRARY O(n^3), GENERAL O(n^2)), checkpoint cost grows with the node count",
-        &WeakScalingScenario::figure9(),
-        &args,
-    );
-    print!("{text}");
-    match crossover(&points) {
+        WeakScalingScenario::figure9(),
+    )
+    .axis(Axis::decades(
+        Parameter::Nodes,
+        3,
+        6,
+        args.value("--points-per-decade", 1),
+    ));
+    let results = run_cli(spec, &args);
+    match results.crossover(Parameter::Nodes) {
         Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
         None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
     }

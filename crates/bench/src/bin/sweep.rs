@@ -1,102 +1,35 @@
 //! Generic one-dimensional sweep driver: varies one model parameter around
-//! the paper's headline scenario and prints model and simulated waste for the
-//! three protocols.  Useful for exploring the sensitivity of the comparison
-//! to parameters the figures keep fixed (ρ, φ, C, D, Recons).
+//! the paper's headline scenario and prints model and simulated waste for
+//! the three protocols.  Useful for exploring the sensitivity of the
+//! comparison to parameters the figures keep fixed (ρ, φ, C, D, Recons).
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin sweep -- \
 //!     --parameter rho|phi|checkpoint|downtime|recons|alpha|mtbf \
-//!     [--from 0.1] [--to 1.0] [--steps 10] [--replications 100] [--csv]
+//!     [--from 0.1] [--to 1.0] [--steps 10] [--replications 100] \
+//!     [--epochs 1] [--threads N] [--format table|csv|json]
 //! ```
 
-use ft_bench::{figure7_base, Args, Table};
-use ft_composite::params::ModelParams;
-use ft_platform::units::minutes;
-use ft_sim::replicate::replicate_all;
-use ft_sim::validate::model_waste;
-use ft_sim::Protocol;
-
-fn with_parameter(base: &ModelParams, name: &str, value: f64) -> ModelParams {
-    let mut builder = ModelParams::builder()
-        .epoch_duration(base.epoch_duration)
-        .alpha(base.alpha)
-        .checkpoint_cost(base.checkpoint_cost)
-        .recovery_cost(base.recovery_cost)
-        .downtime(base.downtime)
-        .rho(base.rho)
-        .phi(base.phi)
-        .abft_reconstruction(base.abft_reconstruction)
-        .platform_mtbf(base.platform_mtbf);
-    builder = match name {
-        "rho" => builder.rho(value),
-        "phi" => builder.phi(value),
-        "checkpoint" => builder.checkpoint_cost(value).recovery_cost(value),
-        "downtime" => builder.downtime(value),
-        "recons" => builder.abft_reconstruction(value),
-        "alpha" => builder.alpha(value),
-        "mtbf" => builder.platform_mtbf(value),
-        other => {
-            eprintln!("unknown parameter `{other}`; use rho|phi|checkpoint|downtime|recons|alpha|mtbf");
-            std::process::exit(2);
-        }
-    };
-    builder.build().unwrap_or_else(|e| {
-        eprintln!("invalid value {value} for {name}: {e}");
-        std::process::exit(2);
-    })
-}
-
-fn default_range(name: &str) -> (f64, f64) {
-    match name {
-        "rho" => (0.1, 1.0),
-        "phi" => (1.0, 1.3),
-        "checkpoint" => (minutes(1.0), minutes(30.0)),
-        "downtime" => (0.0, minutes(10.0)),
-        "recons" => (0.0, 60.0),
-        "alpha" => (0.0, 1.0),
-        "mtbf" => (minutes(60.0), minutes(240.0)),
-        _ => (0.0, 1.0),
-    }
-}
+use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
 
 fn main() {
     let args = Args::capture();
-    let parameter = args.string("--parameter", "rho");
-    let (default_from, default_to) = default_range(&parameter);
-    let from: f64 = args.value("--from", default_from);
-    let to: f64 = args.value("--to", default_to);
-    let steps: usize = args.value("--steps", 10).max(2);
-    let replications: usize = args.value("--replications", 100);
-    let seed: u64 = args.value("--seed", 42);
-
-    let base = figure7_base();
-    println!("# Sweep of `{parameter}` from {from} to {to} ({steps} steps), {replications} replications per point");
-    let mut table = Table::new(&[
-        parameter.as_str(),
-        "model_pure",
-        "model_bi",
-        "model_abft",
-        "sim_pure",
-        "sim_bi",
-        "sim_abft",
-    ]);
-    for i in 0..steps {
-        let value = from + (to - from) * i as f64 / (steps - 1) as f64;
-        let params = with_parameter(&base, &parameter, value);
-        let sims = replicate_all(&params, replications, seed.wrapping_add(i as u64));
-        table.push_row(vec![
-            format!("{value:.4}"),
-            format!("{:.4}", model_waste(Protocol::PurePeriodicCkpt, &params)),
-            format!("{:.4}", model_waste(Protocol::BiPeriodicCkpt, &params)),
-            format!("{:.4}", model_waste(Protocol::AbftPeriodicCkpt, &params)),
-            format!("{:.4}", sims[0].mean_waste),
-            format!("{:.4}", sims[1].mean_waste),
-            format!("{:.4}", sims[2].mean_waste),
-        ]);
-    }
-    if args.flag("--csv") {
-        print!("{}", table.to_csv());
-    } else {
-        print!("{}", table.render());
-    }
+    let name = args.string("--parameter", "rho");
+    let parameter = Parameter::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown parameter `{name}`; use rho|phi|checkpoint|downtime|recons|alpha|mtbf");
+        std::process::exit(2);
+    });
+    let (default_from, default_to) = parameter.default_range();
+    let spec = SweepSpec::new(
+        format!("Sweep of `{name}` around the paper's headline scenario"),
+        figure7_base(),
+    )
+    .axis(Axis::linspace(
+        parameter,
+        args.value("--from", default_from),
+        args.value("--to", default_to),
+        args.value("--steps", 10),
+    ))
+    .replications(100);
+    run_cli(spec, &args);
 }

@@ -1,0 +1,846 @@
+//! Declarative parameter sweeps — the unified experiment subsystem.
+//!
+//! The paper's evaluation is a large grid of `(protocol × α × ρ × µ × N)`
+//! points, each averaged over many Monte-Carlo replications.  Instead of
+//! hand-rolling nested loops in every figure binary, a [`SweepSpec`]
+//! *declares* the experiment — a base parameter point (or a weak-scaling
+//! scenario), a list of [`Axis`] values to sweep, the protocols, the
+//! replication count — and [`SweepSpec::run`] executes the **whole expanded
+//! grid in parallel** (every `(point, protocol)` task is independent), not
+//! just the replications inside one point:
+//!
+//! * expansion is a cartesian product of the axes, resolved to validated
+//!   [`ModelParams`] per point (or to a scenario evaluation when a
+//!   [`Parameter::Nodes`] axis is present);
+//! * each task derives its seed deterministically from the master seed and
+//!   the `(point, protocol)` identity, so results are independent of
+//!   execution order and thread count;
+//! * outcomes stream through the single Welford implementation
+//!   (`ft_sim::stats`) and render through the shared writer in
+//!   [`crate::output`] as an aligned table, CSV or JSON.
+//!
+//! The figure binaries (`fig7`–`fig10`, `sweep`) are thin `SweepSpec`
+//! definitions over this module.
+
+use std::time::Instant;
+
+use ft_composite::params::ModelParams;
+use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
+use ft_composite::scenario::ApplicationProfile;
+use ft_platform::rng::SplitMix64;
+use ft_sim::replicate::{accumulate_profile, SimStats};
+use ft_sim::validate::model_waste;
+use ft_sim::Protocol;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::output::{OutputFormat, Table};
+use crate::Args;
+
+/// A sweepable quantity: one dimension of the experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parameter {
+    /// LIBRARY-phase fraction `α`.
+    Alpha,
+    /// Platform MTBF `µ` (seconds).
+    Mtbf,
+    /// LIBRARY-dataset memory fraction `ρ`.
+    Rho,
+    /// ABFT slowdown factor `φ`.
+    Phi,
+    /// Checkpoint *and* recovery cost `C = R` (seconds).
+    Checkpoint,
+    /// Downtime `D` (seconds).
+    Downtime,
+    /// ABFT reconstruction time (seconds).
+    Reconstruction,
+    /// Node count `N` of a weak-scaling scenario (requires
+    /// [`SweepSpec::scaling`]).
+    Nodes,
+}
+
+impl Parameter {
+    /// Column header / CLI spelling of the parameter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Parameter::Alpha => "alpha",
+            Parameter::Mtbf => "mtbf",
+            Parameter::Rho => "rho",
+            Parameter::Phi => "phi",
+            Parameter::Checkpoint => "checkpoint",
+            Parameter::Downtime => "downtime",
+            Parameter::Reconstruction => "recons",
+            Parameter::Nodes => "nodes",
+        }
+    }
+
+    /// Parses the CLI spelling used by the `sweep` binary.
+    pub fn parse(name: &str) -> Option<Parameter> {
+        match name {
+            "alpha" => Some(Parameter::Alpha),
+            "mtbf" => Some(Parameter::Mtbf),
+            "rho" => Some(Parameter::Rho),
+            "phi" => Some(Parameter::Phi),
+            "checkpoint" => Some(Parameter::Checkpoint),
+            "downtime" => Some(Parameter::Downtime),
+            "recons" => Some(Parameter::Reconstruction),
+            "nodes" => Some(Parameter::Nodes),
+            _ => None,
+        }
+    }
+
+    /// A sensible sweep range around the paper's headline scenario.
+    pub fn default_range(&self) -> (f64, f64) {
+        use ft_platform::units::minutes;
+        match self {
+            Parameter::Rho => (0.1, 1.0),
+            Parameter::Phi => (1.0, 1.3),
+            Parameter::Checkpoint => (minutes(1.0), minutes(30.0)),
+            Parameter::Downtime => (0.0, minutes(10.0)),
+            Parameter::Reconstruction => (0.0, 60.0),
+            Parameter::Alpha => (0.0, 1.0),
+            Parameter::Mtbf => (minutes(60.0), minutes(240.0)),
+            Parameter::Nodes => (1e3, 1e6),
+        }
+    }
+}
+
+/// One dimension of the sweep grid: a parameter and its values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// The swept parameter.
+    pub parameter: Parameter,
+    /// The values it takes, in grid order.
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// An axis over explicit values.
+    pub fn values(parameter: Parameter, values: Vec<f64>) -> Self {
+        Self { parameter, values }
+    }
+
+    /// A linearly spaced axis with `steps ≥ 2` points from `from` to `to`
+    /// inclusive.
+    pub fn linspace(parameter: Parameter, from: f64, to: f64, steps: usize) -> Self {
+        let steps = steps.max(2);
+        let values = (0..steps)
+            .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
+            .collect();
+        Self { parameter, values }
+    }
+
+    /// A logarithmic node axis over `10^lo .. 10^hi`; with one point per
+    /// decade this is exactly the paper's `10³, 10⁴, 10⁵, 10⁶` x-axis.
+    pub fn decades(parameter: Parameter, lo: u32, hi: u32, per_decade: usize) -> Self {
+        if per_decade <= 1 && (lo, hi) == (3, 6) {
+            return Self::values(parameter, paper_node_counts());
+        }
+        let per_decade = per_decade.max(1);
+        let steps = (hi.saturating_sub(lo)) as usize * per_decade;
+        let values = (0..=steps)
+            .map(|i| 10f64.powf(lo as f64 + i as f64 / per_decade as f64))
+            .collect();
+        Self { parameter, values }
+    }
+}
+
+/// An error raised while expanding a sweep grid (invalid parameter value,
+/// missing scaling scenario for a `Nodes` axis, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError(String);
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep expansion failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A declarative sweep: everything needed to expand and execute one
+/// experiment grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable experiment title (printed as the output header).
+    pub name: String,
+    /// Base parameter point the axes perturb.
+    pub base: ModelParams,
+    /// Weak-scaling rules, required by a [`Parameter::Nodes`] axis; other
+    /// axes then perturb the scenario's reference values instead of `base`.
+    pub scaling: Option<WeakScalingScenario>,
+    /// The grid dimensions (empty = evaluate `base` alone).
+    pub axes: Vec<Axis>,
+    /// Protocols to evaluate at every point.
+    pub protocols: Vec<Protocol>,
+    /// Monte-Carlo replications per `(point, protocol)` task (0 = model
+    /// predictions only).
+    pub replications: usize,
+    /// Number of epochs of the simulated application profile.  Ignored in
+    /// scenario mode, where the simulation arm unfolds the scenario's own
+    /// epoch count to stay commensurable with the model arm.
+    pub epochs: usize,
+    /// Master seed; per-task seeds are derived deterministically from it.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Starts a sweep around a base parameter point.
+    pub fn new(name: impl Into<String>, base: ModelParams) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            scaling: None,
+            axes: Vec::new(),
+            protocols: Protocol::all().to_vec(),
+            replications: 0,
+            epochs: 1,
+            seed: 42,
+        }
+    }
+
+    /// Starts a sweep over a weak-scaling scenario (Figures 8–10); the base
+    /// point is the scenario evaluated at its reference node count.
+    pub fn scaling(name: impl Into<String>, scenario: WeakScalingScenario) -> Self {
+        let base = scenario
+            .params_at(scenario.reference_nodes)
+            .expect("scenario reference point must be valid");
+        Self {
+            scaling: Some(scenario),
+            ..Self::new(name, base)
+        }
+    }
+
+    /// Appends a grid axis (the last axis varies fastest).
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Restricts the evaluated protocols.
+    pub fn protocols(mut self, protocols: Vec<Protocol>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Sets the Monte-Carlo replication count (0 = model only).
+    pub fn replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Sets the number of epochs of the simulated profile.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expands the axes into the full point grid (cartesian product, last
+    /// axis fastest).
+    pub fn expand(&self) -> Result<Vec<GridPoint>, SweepError> {
+        let mut combos: Vec<Vec<(Parameter, f64)>> = vec![Vec::new()];
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(SweepError(format!(
+                    "axis `{}` has no values",
+                    axis.parameter.label()
+                )));
+            }
+            combos = combos
+                .into_iter()
+                .flat_map(|combo| {
+                    axis.values.iter().map(move |&v| {
+                        let mut c = combo.clone();
+                        c.push((axis.parameter, v));
+                        c
+                    })
+                })
+                .collect();
+        }
+        combos
+            .into_iter()
+            .enumerate()
+            .map(|(index, coordinates)| self.resolve(index, coordinates))
+            .collect()
+    }
+
+    /// Resolves one coordinate combination into a concrete grid point.
+    fn resolve(
+        &self,
+        index: usize,
+        mut coordinates: Vec<(Parameter, f64)>,
+    ) -> Result<GridPoint, SweepError> {
+        let nodes = coordinates
+            .iter()
+            .find(|(p, _)| *p == Parameter::Nodes)
+            .map(|&(_, v)| v);
+        if let Some(nodes) = nodes {
+            // Scenario mode: non-Nodes coordinates perturb the scenario's
+            // reference values, then the scenario is evaluated at `nodes`.
+            let mut scenario = self.scaling.ok_or_else(|| {
+                SweepError("a `nodes` axis requires a weak-scaling scenario".into())
+            })?;
+            for &(parameter, value) in &coordinates {
+                match parameter {
+                    Parameter::Nodes => {}
+                    Parameter::Alpha => scenario.alpha_at_reference = value,
+                    Parameter::Mtbf => scenario.mtbf_at_reference = value,
+                    Parameter::Rho => scenario.rho = value,
+                    Parameter::Phi => scenario.phi = value,
+                    Parameter::Checkpoint => scenario.checkpoint_at_reference = value,
+                    Parameter::Downtime => scenario.downtime = value,
+                    Parameter::Reconstruction => scenario.abft_reconstruction = value,
+                }
+            }
+            // At extreme scales the raw parameters can leave the model's
+            // validity domain (MTBF below D + R); the scenario evaluation
+            // then reports saturation and the simulation arm is skipped.
+            let params = scenario.params_at(nodes).ok();
+            // The α realised at this scale is a derived coordinate worth
+            // reporting (Figures 9 and 10 annotate it on the x-axis).
+            if !coordinates.iter().any(|(p, _)| *p == Parameter::Alpha) {
+                coordinates.push((Parameter::Alpha, scenario.alpha(nodes)));
+            }
+            Ok(GridPoint {
+                index,
+                coordinates,
+                params,
+                scenario: Some((scenario, nodes)),
+            })
+        } else {
+            let mut params = self.base;
+            for &(parameter, value) in &coordinates {
+                params = apply(params, parameter, value).map_err(|e| {
+                    SweepError(format!(
+                        "invalid value {value} for `{}`: {e}",
+                        parameter.label()
+                    ))
+                })?;
+            }
+            Ok(GridPoint {
+                index,
+                coordinates,
+                params: Some(params),
+                scenario: None,
+            })
+        }
+    }
+
+    /// Executes the whole grid in parallel: one task per
+    /// `(point, protocol)`, spread over the available cores.
+    pub fn run(&self) -> Result<SweepResults, SweepError> {
+        self.execute(true)
+    }
+
+    /// Executes the grid sequentially (the baseline the `full_grid_sweep`
+    /// bench compares parallel execution against).
+    pub fn run_serial(&self) -> Result<SweepResults, SweepError> {
+        self.execute(false)
+    }
+
+    fn execute(&self, parallel: bool) -> Result<SweepResults, SweepError> {
+        let grid = self.expand()?;
+        let tasks: Vec<(usize, Protocol)> = grid
+            .iter()
+            .flat_map(|gp| self.protocols.iter().map(move |&p| (gp.index, p)))
+            .collect();
+        let started = Instant::now();
+        let results: Vec<PointResult> = if parallel {
+            tasks
+                .par_iter()
+                .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
+                .collect()
+        } else {
+            tasks
+                .iter()
+                .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
+                .collect()
+        };
+        Ok(SweepResults {
+            name: self.name.clone(),
+            replications: self.replications,
+            grid_points: grid.len(),
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+            results,
+        })
+    }
+
+    /// Evaluates one `(point, protocol)` task: the model prediction plus
+    /// (when `replications > 0`) a Monte-Carlo simulation arm.
+    fn evaluate(&self, point: &GridPoint, protocol: Protocol) -> PointResult {
+        let (model, expected_failures) = match point.scenario {
+            Some((scenario, nodes)) => match scenario.point(nodes) {
+                Ok(sp) => {
+                    let pp = match protocol {
+                        Protocol::PurePeriodicCkpt => sp.pure,
+                        Protocol::BiPeriodicCkpt => sp.bi,
+                        Protocol::AbftPeriodicCkpt => sp.composite,
+                    };
+                    (pp.waste.value(), pp.expected_failures)
+                }
+                Err(_) => (1.0, f64::INFINITY),
+            },
+            None => {
+                let params = point.params.expect("non-scenario points always resolve");
+                let waste = model_waste(protocol, &params);
+                let expected = if waste < 1.0 {
+                    let total_work = params.epoch_duration * self.epochs as f64;
+                    total_work / (1.0 - waste) / params.platform_mtbf
+                } else {
+                    f64::INFINITY
+                };
+                (waste, expected)
+            }
+        };
+        let sim = match point.params {
+            Some(params) if self.replications > 0 => {
+                // The simulated profile must cover the same application the
+                // model arm prices: in scenario mode that is the scenario's
+                // own epoch count (Figures 8-10 amortize checkpoints over
+                // 1000 epochs), otherwise the spec's `epochs` knob.
+                let profile = match point.scenario {
+                    Some((scenario, nodes)) => ApplicationProfile::uniform(
+                        scenario.epochs,
+                        scenario.general_duration(nodes),
+                        scenario.library_duration(nodes),
+                    )
+                    .expect("scenario durations are non-negative"),
+                    None => ApplicationProfile::from_params_repeated(&params, self.epochs),
+                };
+                let acc = accumulate_profile(
+                    protocol,
+                    &params,
+                    &profile,
+                    self.replications,
+                    task_seed(self.seed, point.index as u64, protocol),
+                );
+                Some(SimStats::from_accumulator(protocol, &acc))
+            }
+            _ => None,
+        };
+        PointResult {
+            index: point.index,
+            coordinates: point.coordinates.clone(),
+            protocol,
+            model_waste: model,
+            expected_failures,
+            sim,
+        }
+    }
+}
+
+/// Applies one coordinate to a parameter point through the validated
+/// `with_*` helpers.
+fn apply(
+    params: ModelParams,
+    parameter: Parameter,
+    value: f64,
+) -> ft_composite::error::Result<ModelParams> {
+    match parameter {
+        Parameter::Alpha => params.with_alpha(value),
+        Parameter::Mtbf => params.with_mtbf(value),
+        Parameter::Rho => params.with_rho(value),
+        Parameter::Phi => params.with_phi(value),
+        Parameter::Checkpoint => params.with_checkpoint_cost(value),
+        Parameter::Downtime => params.with_downtime(value),
+        Parameter::Reconstruction => params.with_abft_reconstruction(value),
+        Parameter::Nodes => Ok(params),
+    }
+}
+
+/// Derives the seed of one `(point, protocol)` task from the master seed.
+/// Independent of execution order and thread count.
+fn task_seed(master: u64, point_index: u64, protocol: Protocol) -> u64 {
+    let tag = match protocol {
+        Protocol::PurePeriodicCkpt => 1u64,
+        Protocol::BiPeriodicCkpt => 2,
+        Protocol::AbftPeriodicCkpt => 3,
+    };
+    SplitMix64::new(
+        master
+            .wrapping_add(point_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(tag.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+    )
+    .derive_seed()
+}
+
+/// One resolved point of the expanded grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Position in grid order.
+    pub index: usize,
+    /// The coordinate values (axis coordinates plus derived ones).
+    pub coordinates: Vec<(Parameter, f64)>,
+    /// The resolved parameter point (`None` when the scenario's raw values
+    /// leave the model's validity domain at this scale — the point is then
+    /// reported as saturated and not simulated).
+    pub params: Option<ModelParams>,
+    /// In scenario mode: the perturbed scenario and the node count.
+    pub scenario: Option<(WeakScalingScenario, f64)>,
+}
+
+/// The outcome of one `(point, protocol)` task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Grid-point index the task belongs to.
+    pub index: usize,
+    /// The point's coordinates.
+    pub coordinates: Vec<(Parameter, f64)>,
+    /// Protocol evaluated.
+    pub protocol: Protocol,
+    /// Waste predicted by the closed-form model (or scenario evaluation).
+    pub model_waste: f64,
+    /// Expected failures over the (model-predicted) execution.
+    pub expected_failures: f64,
+    /// Monte-Carlo statistics, when the sweep has a simulation arm.
+    pub sim: Option<SimStats>,
+}
+
+impl PointResult {
+    /// The waste this task measured: simulated when available, else the
+    /// model prediction.
+    pub fn waste(&self) -> f64 {
+        self.sim.map_or(self.model_waste, |s| s.mean_waste)
+    }
+
+    /// `WASTE_simul − WASTE_model` (the quantity of Figures 7b/7d/7f), when
+    /// a simulation arm ran.
+    pub fn model_sim_gap(&self) -> Option<f64> {
+        self.sim.map(|s| s.mean_waste - self.model_waste)
+    }
+}
+
+/// The executed sweep: every task outcome plus timing metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// Experiment title.
+    pub name: String,
+    /// Replications per task (0 = model only).
+    pub replications: usize,
+    /// Number of grid points (tasks = points × protocols).
+    pub grid_points: usize,
+    /// Wall-clock execution time of the grid.
+    pub elapsed_seconds: f64,
+    /// One result per `(point, protocol)` task, in grid order.
+    pub results: Vec<PointResult>,
+}
+
+impl SweepResults {
+    /// Executed tasks per wall-clock second.
+    pub fn tasks_per_second(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.results.len() as f64 / self.elapsed_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The coordinate value of grid point `index` on `parameter`.
+    pub fn coordinate(&self, index: usize, parameter: Parameter) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.index == index)
+            .and_then(|r| {
+                r.coordinates
+                    .iter()
+                    .find(|(p, _)| *p == parameter)
+                    .map(|&(_, v)| v)
+            })
+    }
+
+    /// The waste of `protocol` at grid point `index` (simulated when
+    /// available, else the model's).
+    pub fn waste_at(&self, index: usize, protocol: Protocol) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.index == index && r.protocol == protocol)
+            .map(PointResult::waste)
+    }
+
+    /// First grid point (in grid order) at which the composite protocol's
+    /// waste drops below PurePeriodicCkpt's, reported as that point's value
+    /// on `axis` — the crossover annotation of Figures 8–10.
+    pub fn crossover(&self, axis: Parameter) -> Option<f64> {
+        (0..self.grid_points).find_map(|i| {
+            let pure = self.waste_at(i, Protocol::PurePeriodicCkpt)?;
+            let composite = self.waste_at(i, Protocol::AbftPeriodicCkpt)?;
+            (composite < pure).then(|| self.coordinate(i, axis))?
+        })
+    }
+
+    /// Largest `|WASTE_simul − WASTE_model|` across the grid, when a
+    /// simulation arm ran.
+    pub fn worst_model_sim_gap(&self) -> Option<f64> {
+        self.results
+            .iter()
+            .filter_map(|r| r.model_sim_gap().map(f64::abs))
+            .fold(None, |acc, g| Some(acc.map_or(g, |a: f64| a.max(g))))
+    }
+
+    /// Renders the results as a [`Table`] for the shared output writer.
+    pub fn to_table(&self) -> Table {
+        let mut headers: Vec<&str> = Vec::new();
+        if let Some(first) = self.results.first() {
+            for (p, _) in &first.coordinates {
+                headers.push(p.label());
+            }
+        }
+        headers.extend(["protocol", "model_waste", "expected_failures"]);
+        if self.replications > 0 {
+            headers.extend(["sim_waste", "diff", "ci95", "mean_failures"]);
+        }
+        let mut table = Table::new(&headers);
+        for r in &self.results {
+            let mut row: Vec<String> = r
+                .coordinates
+                .iter()
+                .map(|&(p, v)| format_value(p, v))
+                .collect();
+            row.push(r.protocol.name().to_string());
+            row.push(format!("{:.4}", r.model_waste));
+            row.push(format!("{:.1}", r.expected_failures));
+            if self.replications > 0 {
+                match r.sim {
+                    Some(s) => {
+                        row.push(format!("{:.4}", s.mean_waste));
+                        row.push(format!("{:+.4}", s.mean_waste - r.model_waste));
+                        row.push(format!("{:.4}", s.ci95_waste));
+                        row.push(format!("{:.1}", s.mean_failures));
+                    }
+                    None => row.extend(std::iter::repeat_n(String::new(), 4)),
+                }
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// Renders through the shared writer: aligned text, CSV or JSON.
+    pub fn render(&self, format: OutputFormat) -> String {
+        let table = self.to_table();
+        match format {
+            OutputFormat::Table => table.render(),
+            OutputFormat::Csv => table.to_csv(),
+            OutputFormat::Json => table.to_json(),
+        }
+    }
+}
+
+/// Formats a coordinate for display: integral values (node counts, seconds)
+/// print without a fractional part, fractions keep four digits.
+fn format_value(parameter: Parameter, v: f64) -> String {
+    match parameter {
+        Parameter::Alpha | Parameter::Rho | Parameter::Phi => format!("{v:.4}"),
+        _ if v == v.trunc() && v.abs() < 1e15 => format!("{v:.0}"),
+        _ => format!("{v:.4}"),
+    }
+}
+
+/// Applies the shared CLI knobs (`--replications`, `--seed`, `--epochs`,
+/// `--threads`) to a spec, runs it (serially with `--serial`) and prints the
+/// header, the rendered grid (`--format table|csv|json`, with `--csv` as a
+/// shorthand) and a throughput footer.  Returns the results for
+/// binary-specific footers.
+pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
+    spec.replications = args.value("--replications", spec.replications);
+    spec.seed = args.value("--seed", spec.seed);
+    spec.epochs = args.value("--epochs", spec.epochs).max(1);
+    let threads: usize = args.value("--threads", 0);
+    if threads > 0 {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global();
+    }
+    // Validate the output format *before* spending CPU on the grid.
+    let format = if args.flag("--csv") {
+        OutputFormat::Csv
+    } else {
+        OutputFormat::parse(&args.string("--format", "table")).unwrap_or_else(|| {
+            eprintln!("unknown --format; use table|csv|json");
+            std::process::exit(2);
+        })
+    };
+    let run = if args.flag("--serial") {
+        spec.run_serial()
+    } else {
+        spec.run()
+    };
+    let results = run.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("# {}", results.name);
+    println!(
+        "# {} grid points x {} protocols, {} replications per task, {} epochs",
+        results.grid_points,
+        spec.protocols.len(),
+        spec.replications,
+        spec.epochs,
+    );
+    print!("{}", results.render(format));
+    println!(
+        "# {} tasks in {:.2} s ({:.0} tasks/s) on {} threads",
+        results.results.len(),
+        results.elapsed_seconds,
+        results.tasks_per_second(),
+        rayon::current_num_threads(),
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure7_base;
+    use ft_platform::units::minutes;
+
+    #[test]
+    fn expansion_is_a_cartesian_product_with_the_last_axis_fastest() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Mtbf, vec![minutes(60.0), minutes(120.0)]))
+            .axis(Axis::values(Parameter::Alpha, vec![0.0, 0.5, 1.0]));
+        let grid = spec.expand().unwrap();
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0].coordinates[0].1, minutes(60.0));
+        assert_eq!(grid[0].coordinates[1].1, 0.0);
+        assert_eq!(grid[1].coordinates[1].1, 0.5);
+        assert_eq!(grid[3].coordinates[0].1, minutes(120.0));
+        let resolved = grid[4].params.unwrap();
+        assert!((resolved.alpha - 0.5).abs() < 1e-12);
+        assert!((resolved.platform_mtbf - minutes(120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_values_and_missing_scenarios_are_rejected() {
+        let bad = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Phi, vec![0.5]));
+        assert!(bad.expand().is_err());
+        let orphan_nodes = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Nodes, vec![1e4]));
+        assert!(orphan_nodes.expand().is_err());
+        let empty = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![]));
+        assert!(empty.expand().is_err());
+    }
+
+    #[test]
+    fn model_only_run_covers_every_task() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::linspace(Parameter::Alpha, 0.0, 1.0, 3));
+        let results = spec.run().unwrap();
+        assert_eq!(results.grid_points, 3);
+        assert_eq!(results.results.len(), 9);
+        for r in &results.results {
+            assert!(r.model_waste >= 0.0 && r.model_waste <= 1.0);
+            assert!(r.sim.is_none());
+            assert!(r.expected_failures.is_finite());
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree_exactly() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Mtbf, vec![minutes(90.0), minutes(180.0)]))
+            .axis(Axis::values(Parameter::Alpha, vec![0.2, 0.8]))
+            .replications(20);
+        let par = spec.run().unwrap();
+        let ser = spec.run_serial().unwrap();
+        assert_eq!(par.results, ser.results);
+        // And the whole run is reproducible.
+        let again = spec.run().unwrap();
+        assert_eq!(par.results, again.results);
+    }
+
+    #[test]
+    fn task_seeds_differ_per_point_and_protocol() {
+        let a = task_seed(42, 0, Protocol::PurePeriodicCkpt);
+        let b = task_seed(42, 1, Protocol::PurePeriodicCkpt);
+        let c = task_seed(42, 0, Protocol::AbftPeriodicCkpt);
+        let d = task_seed(43, 0, Protocol::PurePeriodicCkpt);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, task_seed(42, 0, Protocol::PurePeriodicCkpt));
+    }
+
+    #[test]
+    fn scenario_sweeps_reproduce_the_scaling_point_values() {
+        let scenario = ft_composite::scaling::WeakScalingScenario::figure8();
+        let spec = SweepSpec::scaling("fig8", scenario)
+            .axis(Axis::decades(Parameter::Nodes, 3, 6, 1));
+        let results = spec.run().unwrap();
+        assert_eq!(results.grid_points, 4);
+        for (i, &nodes) in paper_node_counts().iter().enumerate() {
+            let sp = scenario.point(nodes).unwrap();
+            let pure = results.waste_at(i, Protocol::PurePeriodicCkpt).unwrap();
+            assert!((pure - sp.pure.waste.value()).abs() < 1e-12);
+            let composite = results.waste_at(i, Protocol::AbftPeriodicCkpt).unwrap();
+            assert!((composite - sp.composite.waste.value()).abs() < 1e-12);
+        }
+        // The crossover matches the direct evaluation (§V-C: near 10⁵).
+        let x = results.crossover(Parameter::Nodes).unwrap();
+        assert!(x >= 1e5, "crossover at {x}");
+    }
+
+    #[test]
+    fn scenario_simulation_arm_is_commensurable_with_the_scenario_model() {
+        // The model arm amortizes checkpoints over the scenario's epoch
+        // count; the simulation arm must unfold the same application, so on
+        // a calm point the two wastes agree closely.
+        let scenario = ft_composite::scaling::WeakScalingScenario {
+            epochs: 4,
+            ..ft_composite::scaling::WeakScalingScenario::figure8()
+        };
+        let spec = SweepSpec::scaling("t", scenario)
+            .axis(Axis::values(Parameter::Nodes, vec![100_000.0]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .replications(20);
+        let results = spec.run().unwrap();
+        let r = &results.results[0];
+        let sim = r.sim.expect("simulation arm ran");
+        assert!(
+            (sim.mean_waste - r.model_waste).abs() < 0.02,
+            "sim {} vs model {}",
+            sim.mean_waste,
+            r.model_waste
+        );
+    }
+
+    #[test]
+    fn simulation_arm_reports_statistics_and_gaps() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .replications(50);
+        let results = spec.run().unwrap();
+        assert_eq!(results.results.len(), 1);
+        let r = &results.results[0];
+        let sim = r.sim.expect("simulation arm ran");
+        assert_eq!(sim.replications, 50);
+        assert!(sim.mean_waste > 0.0 && sim.mean_waste < 1.0);
+        assert!(results.worst_model_sim_gap().unwrap() < 0.06);
+        let table = results.to_table();
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn rendering_covers_all_three_formats() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.0, 1.0]))
+            .protocols(vec![Protocol::PurePeriodicCkpt]);
+        let results = spec.run().unwrap();
+        let text = results.render(OutputFormat::Table);
+        assert!(text.contains("model_waste"));
+        let csv = results.render(OutputFormat::Csv);
+        assert!(csv.lines().next().unwrap().starts_with("alpha,protocol"));
+        let json = results.render(OutputFormat::Json);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.contains("\"model_waste\""));
+    }
+}

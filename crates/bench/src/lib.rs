@@ -1,28 +1,36 @@
-//! # ft-bench — benchmark harness and figure regeneration
+//! # ft-bench — benchmark harness, sweep subsystem and figure regeneration
 //!
-//! The binaries of this crate regenerate every figure of the paper's
+//! The [`experiment`] module is the heart of the crate: a declarative
+//! [`SweepSpec`] expands `(α × ρ × µ × N × C × φ)`
+//! axes into a point grid and executes the **whole grid in parallel** with
+//! deterministic per-task seeds.  The binaries of this crate are thin
+//! `SweepSpec` definitions regenerating every figure of the paper's
 //! evaluation section:
 //!
-//! | Binary | Paper artefact | What it prints |
-//! |--------|----------------|----------------|
-//! | `fig7` | Figures 7a–7f  | CSV grid of (MTBF, α) → model waste, simulated waste and their difference, for each protocol |
-//! | `fig8` | Figure 8       | waste + expected failures vs node count, fixed α = 0.8 |
-//! | `fig9` | Figure 9       | same with variable α (LIBRARY `O(n³)`, GENERAL `O(n²)`) |
-//! | `fig10`| Figure 10      | same with constant checkpoint cost; `--break-even` sweeps C=R |
-//! | `sweep`| generic        | one-dimensional parameter sweeps of the model and simulator |
+//! | Binary | Paper artefact | Sweep definition |
+//! |--------|----------------|------------------|
+//! | `fig7` | Figures 7a–7f  | MTBF × α grid, model + simulation arms, per protocol |
+//! | `fig8` | Figure 8       | node-count axis, fixed α = 0.8, bandwidth-bound checkpoints |
+//! | `fig9` | Figure 9       | node-count axis, variable α (LIBRARY `O(n³)`, GENERAL `O(n²)`) |
+//! | `fig10`| Figure 10      | same with constant checkpoint cost; `--break-even` adds a C = R axis |
+//! | `sweep`| generic        | any one-dimensional parameter axis around the headline scenario |
+//!
+//! Every binary shares the CLI knobs `--replications`, `--seed`,
+//! `--epochs`, `--threads`, `--serial` and `--format table|csv|json`, and
+//! renders through the shared writer in [`output`].
 //!
 //! The Criterion benches (`benches/`) measure the performance of the
-//! reproduction itself (simulator throughput, ABFT factorization overhead,
-//! checkpoint capture/restore costs) and host the ablation studies called
-//! out in DESIGN.md.
+//! reproduction itself (whole-grid sweep throughput, simulator throughput,
+//! ABFT factorization overhead, checkpoint capture/restore costs).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod experiment;
 pub mod output;
-pub mod scaling_report;
 
-pub use output::{csv_line, render_table, Table};
+pub use experiment::{run_cli, Axis, Parameter, SweepResults, SweepSpec};
+pub use output::{csv_line, render_table, OutputFormat, Table};
 
 use ft_composite::params::ModelParams;
 

@@ -1,4 +1,30 @@
-//! Plain-text output helpers shared by the figure binaries.
+//! The shared output writer of the figure binaries and the sweep subsystem:
+//! one [`Table`] representation rendered as aligned text, CSV or JSON.
+
+/// The output format of a sweep or figure binary
+/// (`--format table|csv|json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Column-aligned human-readable text.
+    #[default]
+    Table,
+    /// Comma-separated values with a header line.
+    Csv,
+    /// A JSON array of one object per row.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<OutputFormat> {
+        match name {
+            "table" | "text" => Some(OutputFormat::Table),
+            "csv" => Some(OutputFormat::Csv),
+            "json" => Some(OutputFormat::Json),
+            _ => None,
+        }
+    }
+}
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +74,74 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as a JSON array of objects (one per row, keyed by
+    /// the column headers).  Cells that parse as finite numbers are emitted
+    /// as JSON numbers, non-finite ones as `null`, everything else as
+    /// strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(header));
+                out.push_str(": ");
+                out.push_str(&json_cell(cell));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Renders the table in the requested format.
+    pub fn write(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Table => self.render(),
+            OutputFormat::Csv => self.to_csv(),
+            OutputFormat::Json => self.to_json(),
+        }
+    }
+}
+
+/// Encodes one table cell as a JSON value.
+fn json_cell(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => {
+            // Keep the cell's decimal rendering (it is already a valid JSON
+            // number unless it carries an explicit '+').
+            cell.trim_start_matches('+').to_string()
+        }
+        Ok(_) => "null".to_string(),
+        Err(_) if cell.is_empty() => "null".to_string(),
+        Err(_) => json_string(cell),
+    }
+}
+
+/// Encodes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Renders one CSV line.
@@ -136,5 +230,41 @@ mod tests {
     #[test]
     fn csv_line_joins_cells() {
         assert_eq!(csv_line(&["a", "b", "c"]), "a,b,c");
+    }
+
+    #[test]
+    fn json_rendering_types_cells() {
+        let mut t = Table::new(&["nodes", "protocol", "diff", "gap"]);
+        t.push_row(vec!["1000".into(), "ABFT&PeriodicCkpt".into(), "+0.01".into(), "inf".into()]);
+        t.push_row(vec!["2000".into(), "Pure".into(), "-0.02".into(), "".into()]);
+        let json = t.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"nodes\": 1000"));
+        assert!(json.contains("\"protocol\": \"ABFT&PeriodicCkpt\""));
+        assert!(json.contains("\"diff\": 0.01"), "{json}");
+        assert!(json.contains("\"diff\": -0.02"));
+        assert!(json.contains("\"gap\": null"));
+        // Exactly one comma between the two row objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("x\\y"), "\"x\\\\y\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn format_parsing_and_dispatch() {
+        assert_eq!(OutputFormat::parse("table"), Some(OutputFormat::Table));
+        assert_eq!(OutputFormat::parse("csv"), Some(OutputFormat::Csv));
+        assert_eq!(OutputFormat::parse("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("yaml"), None);
+        let mut t = Table::new(&["a"]);
+        t.push_row(vec!["1".into()]);
+        assert_eq!(t.write(OutputFormat::Csv), t.to_csv());
+        assert_eq!(t.write(OutputFormat::Json), t.to_json());
+        assert_eq!(t.write(OutputFormat::Table), t.render());
     }
 }

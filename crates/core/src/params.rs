@@ -104,6 +104,55 @@ impl ModelParams {
         Ok(self)
     }
 
+    /// Returns a copy with a different LIBRARY-dataset fraction `ρ`.
+    pub fn with_rho(mut self, rho: f64) -> Result<Self> {
+        ensure_fraction("rho", rho)?;
+        self.rho = rho;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different ABFT overhead factor `φ` (must be
+    /// at least 1).
+    pub fn with_phi(mut self, phi: f64) -> Result<Self> {
+        if phi < 1.0 {
+            return Err(ModelError::PhiBelowOne { value: phi });
+        }
+        self.phi = phi;
+        Ok(self)
+    }
+
+    /// Returns a copy with different checkpoint *and* recovery costs
+    /// (`C = R`, the paper's setting for every sweep of `C`).
+    pub fn with_checkpoint_cost(mut self, cost: f64) -> Result<Self> {
+        ensure_positive("checkpoint_cost", cost)?;
+        self.checkpoint_cost = cost;
+        self.recovery_cost = cost;
+        self.validate_mtbf(self.platform_mtbf)?;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different downtime `D`.
+    pub fn with_downtime(mut self, downtime: f64) -> Result<Self> {
+        ensure_non_negative("downtime", downtime)?;
+        self.downtime = downtime;
+        self.validate_mtbf(self.platform_mtbf)?;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different ABFT reconstruction time.
+    pub fn with_abft_reconstruction(mut self, recons: f64) -> Result<Self> {
+        ensure_non_negative("abft_reconstruction", recons)?;
+        self.abft_reconstruction = recons;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different epoch duration `T_0`.
+    pub fn with_epoch_duration(mut self, duration: f64) -> Result<Self> {
+        ensure_positive("epoch_duration", duration)?;
+        self.epoch_duration = duration;
+        Ok(self)
+    }
+
     fn validate_mtbf(&self, mtbf: f64) -> Result<()> {
         let overheads = self.downtime + self.recovery_cost;
         if mtbf <= overheads {
@@ -266,6 +315,28 @@ mod tests {
         assert!(p.with_alpha(1.2).is_err());
         assert!(p.with_mtbf(minutes(60.0)).is_ok());
         assert!(p.with_mtbf(minutes(5.0)).is_err());
+    }
+
+    #[test]
+    fn the_remaining_with_helpers_validate_their_domains() {
+        let p = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        assert_eq!(p.with_rho(0.3).unwrap().rho, 0.3);
+        assert!(p.with_rho(1.5).is_err());
+        assert_eq!(p.with_phi(1.2).unwrap().phi, 1.2);
+        assert!(p.with_phi(0.99).is_err());
+        // C = R is set together, like every sweep of C in the paper.
+        let cheap = p.with_checkpoint_cost(30.0).unwrap();
+        assert_eq!(cheap.checkpoint_cost, 30.0);
+        assert_eq!(cheap.recovery_cost, 30.0);
+        assert!(p.with_checkpoint_cost(0.0).is_err());
+        // A checkpoint cost that pushes D + R past the MTBF is rejected.
+        assert!(p.with_checkpoint_cost(minutes(121.0)).is_err());
+        assert_eq!(p.with_downtime(0.0).unwrap().downtime, 0.0);
+        assert!(p.with_downtime(-1.0).is_err());
+        assert_eq!(p.with_abft_reconstruction(9.0).unwrap().abft_reconstruction, 9.0);
+        assert!(p.with_abft_reconstruction(-1.0).is_err());
+        assert_eq!(p.with_epoch_duration(100.0).unwrap().epoch_duration, 100.0);
+        assert!(p.with_epoch_duration(0.0).is_err());
     }
 
     #[test]

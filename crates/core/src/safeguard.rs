@@ -11,6 +11,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_non_negative, ensure_positive, Result};
+use crate::model;
+use crate::model::waste::Waste;
 use crate::params::ModelParams;
 use crate::young_daly::paper_optimal_period;
 
@@ -73,6 +75,46 @@ pub fn activate_for_params(params: &ModelParams) -> Result<bool> {
     Ok(should_activate_abft(projected, period))
 }
 
+/// The model-level safeguard: whether activating ABFT is projected to pay
+/// off at all.
+///
+/// Two hazards can make the composite protocol lose to plain periodic
+/// checkpointing, and the safeguard must catch both:
+///
+/// 1. **short calls** (the paper's §III-B rule): the forced entry/exit
+///    checkpoints dominate when the projected ABFT-protected duration is
+///    below the optimal checkpoint period — [`activate_for_params`];
+/// 2. **reliable platforms**: ABFT pays its flat `φ − 1` slowdown on every
+///    LIBRARY second, while checkpointing waste vanishes as `√(C/µ)`; on a
+///    sufficiently reliable platform (or with sufficiently cheap
+///    checkpoints) the flat overhead loses.  The closed-form model makes
+///    this projection free, so the safeguard simply compares the two
+///    predicted wastes.
+pub fn activate_with_model(params: &ModelParams) -> Result<bool> {
+    if !activate_for_params(params)? {
+        return Ok(false);
+    }
+    let composite = model::composite::waste(params)?;
+    let pure = model::pure::waste(params)?;
+    Ok(composite.value() <= pure.value())
+}
+
+/// Model-level waste of the composite protocol *with the safeguard applied*:
+/// when [`activate_with_model`] rejects ABFT the protocol keeps it off and
+/// degenerates to plain periodic checkpointing.
+///
+/// This is the quantity behind the paper's §III-B "never worse" claim — the
+/// safeguarded composite protocol's waste never exceeds PurePeriodicCkpt's
+/// (up to float roundoff); the property test in `tests/properties.rs`
+/// checks it across the whole parameter domain.
+pub fn safeguarded_composite_waste(params: &ModelParams) -> Result<Waste> {
+    if activate_with_model(params)? {
+        model::composite::waste(params)
+    } else {
+        model::pure::waste(params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +158,36 @@ mod tests {
             .build()
             .unwrap();
         assert!(!activate_for_params(&params).unwrap());
+    }
+
+    #[test]
+    fn model_safeguard_keeps_abft_on_in_the_paper_scenario_and_never_hurts() {
+        let params = ModelParams::paper_figure7(0.8, minutes(120.0)).unwrap();
+        assert!(activate_with_model(&params).unwrap());
+        let effective = safeguarded_composite_waste(&params).unwrap();
+        let composite = crate::model::composite::waste(&params).unwrap();
+        assert_eq!(effective.value(), composite.value());
+
+        // A very reliable platform with cheap checkpoints: the flat ABFT
+        // overhead loses, the model-level safeguard turns ABFT off and the
+        // effective waste falls back to the pure protocol's.
+        let reliable = ModelParams::builder()
+            .epoch_duration(weeks(1.0))
+            .alpha(1.0)
+            .checkpoint_cost(30.0)
+            .recovery_cost(30.0)
+            .downtime(1.0)
+            .rho(0.8)
+            .phi(1.10)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(weeks(2.0))
+            .build()
+            .unwrap();
+        assert!(activate_for_params(&reliable).unwrap(), "duration rule alone passes");
+        assert!(!activate_with_model(&reliable).unwrap(), "model comparison rejects");
+        let effective = safeguarded_composite_waste(&reliable).unwrap();
+        let pure = crate::model::pure::waste(&reliable).unwrap();
+        assert_eq!(effective.value(), pure.value());
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl ProcessGrid {
             return Err(PlatformError::EmptyGrid);
         }
         let mut rows = (n as f64).sqrt().floor() as usize;
-        while rows > 1 && n % rows != 0 {
+        while rows > 1 && !n.is_multiple_of(rows) {
             rows -= 1;
         }
         let rows = rows.max(1);

@@ -1,6 +1,12 @@
 //! The simulation clock: failure arrivals and interruptible activities.
+//!
+//! Failure times come from an [`ft_platform::failure::FailureStream`] — the
+//! allocation-free absolute-time iterator over a pluggable
+//! [`FailureModel`] — so the clock works identically for exponential
+//! (the paper's assumption) and Weibull (robustness studies) arrivals, and
+//! simulating an execution allocates nothing on the failure path.
 
-use ft_platform::rng::{DeterministicRng, Xoshiro256};
+use ft_platform::failure::{ExponentialFailures, FailureModel, FailureStream};
 
 /// Outcome of attempting an activity on the clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,31 +27,39 @@ impl ActivityResult {
     }
 }
 
-/// Simulation clock with exponential failure inter-arrival times.
+/// Simulation clock drawing failure arrivals from a [`FailureModel`]
+/// (exponential by default).
 ///
 /// Failures keep arriving during *any* activity — work, checkpoints,
 /// recoveries, downtime — which is precisely what the closed-form model
 /// neglects and the simulator must capture.
 #[derive(Debug, Clone)]
-pub struct SimClock {
+pub struct SimClock<M: FailureModel = ExponentialFailures> {
     now: f64,
     next_failure: f64,
-    mtbf: f64,
-    rng: Xoshiro256,
+    stream: FailureStream<M>,
     failures: usize,
 }
 
-impl SimClock {
-    /// Creates a clock with the given platform MTBF (seconds), seeded
-    /// deterministically.
+impl SimClock<ExponentialFailures> {
+    /// Creates a clock with exponential failures of the given platform MTBF
+    /// (seconds), seeded deterministically.
     pub fn new(mtbf: f64, seed: u64) -> Self {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
-        let first = rng.exponential(mtbf);
+        let model = ExponentialFailures::new(mtbf).expect("positive MTBF");
+        Self::with_model(model, seed)
+    }
+}
+
+impl<M: FailureModel> SimClock<M> {
+    /// Creates a clock over an arbitrary failure inter-arrival model, seeded
+    /// deterministically.
+    pub fn with_model(model: M, seed: u64) -> Self {
+        let mut stream = FailureStream::new(model, seed);
+        let first = stream.next_failure();
         Self {
             now: 0.0,
             next_failure: first,
-            mtbf,
-            rng,
+            stream,
             failures: 0,
         }
     }
@@ -62,10 +76,10 @@ impl SimClock {
         self.failures
     }
 
-    /// The platform MTBF.
+    /// The mean inter-arrival time of the failure model (the platform MTBF).
     #[inline]
     pub fn mtbf(&self) -> f64 {
-        self.mtbf
+        self.stream.model().mean()
     }
 
     /// Attempts to run an activity of the given duration.  Advances the clock
@@ -82,7 +96,7 @@ impl SimClock {
             let progress = (self.next_failure - self.now).max(0.0);
             self.now = self.next_failure;
             self.failures += 1;
-            self.next_failure = self.now + self.rng.exponential(self.mtbf);
+            self.next_failure = self.stream.next_failure();
             ActivityResult::Interrupted { progress }
         }
     }
@@ -109,6 +123,7 @@ impl SimClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_platform::failure::WeibullFailures;
 
     #[test]
     fn failure_free_when_mtbf_is_huge() {
@@ -129,7 +144,7 @@ mod tests {
             match clock.try_run(25.0) {
                 ActivityResult::Completed => completed += 1,
                 ActivityResult::Interrupted { progress } => {
-                    assert!(progress >= 0.0 && progress <= 25.0);
+                    assert!((0.0..=25.0).contains(&progress));
                     interrupted += 1;
                 }
             }
@@ -203,5 +218,21 @@ mod tests {
         clock.run_restartable(500.0);
         // The last attempt is clean, so at least 500 s elapsed.
         assert!(clock.now() >= 500.0);
+    }
+
+    #[test]
+    fn weibull_clock_is_deterministic_and_reports_its_mean() {
+        let model = WeibullFailures::new(150.0, 0.7).unwrap();
+        let run = |seed| {
+            let mut c = SimClock::with_model(model, seed);
+            for _ in 0..200 {
+                c.try_run(40.0);
+            }
+            (c.now(), c.failures())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+        let c = SimClock::with_model(model, 3);
+        assert!((c.mtbf() - 150.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,592 @@
+//! The protocol engine: a shared event loop driving pluggable executors.
+//!
+//! Where the original simulator hard-coded one epoch unfolding per protocol,
+//! this module factors the machinery into three layers:
+//!
+//! * [`PeriodPlan`] — everything a protocol needs that can be computed
+//!   *once per parameter point* instead of once per phase: the optimal
+//!   periods `P_opt` for full and LIBRARY-only checkpoints, the split
+//!   checkpoint costs, the recovery costs.  Replications of the same point
+//!   share the plan, keeping `sqrt`s and parameter validation off the
+//!   simulation hot path;
+//! * the shared event loop — [`checkpointed_stream`], [`forced_checkpoint`]
+//!   and [`abft_protected_stream`], the failure-interruptible building
+//!   blocks every protocol composes;
+//! * [`ProtocolExecutor`] — the pluggable strategy: given a clock, a
+//!   multi-epoch [`ApplicationProfile`] and the plan, unfold the whole
+//!   application.  [`PureExecutor`], [`BiExecutor`] and
+//!   [`CompositeExecutor`] implement the paper's three protocols; new
+//!   protocols (e.g. forward/backward composite recovery schemes) plug in
+//!   without touching the engine or the sweep subsystem.
+//!
+//! The executors are generic over the clock's [`FailureModel`], so the same
+//! protocol code runs under exponential (the paper) and Weibull (robustness
+//! studies) failures.
+//!
+//! For a single-epoch profile the engine reproduces the pre-refactor
+//! `simulate()` results on the same seed (see the pinned-seed regression
+//! test in `tests/engine_regression.rs`).
+
+use ft_composite::params::ModelParams;
+use ft_composite::scenario::{ApplicationProfile, Epoch};
+use ft_composite::young_daly::paper_optimal_period;
+use ft_platform::failure::{ExponentialFailures, FailureModel};
+
+use crate::clock::{ActivityResult, SimClock};
+use crate::protocols::{Protocol, SimOutcome};
+
+/// Per-parameter-point precomputation shared by every replication: optimal
+/// checkpoint periods and the split checkpoint/recovery costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodPlan {
+    /// Optimal period for full checkpoints of cost `C`
+    /// (`+∞` when no finite period is viable).
+    pub full_period: f64,
+    /// Optimal period for LIBRARY-only checkpoints of cost `ρC`.
+    pub library_period: f64,
+    /// Full checkpoint cost `C`.
+    pub ckpt_full: f64,
+    /// LIBRARY-dataset checkpoint cost `C_L = ρC`.
+    pub ckpt_library: f64,
+    /// REMAINDER-dataset checkpoint cost `C_L̄ = (1 − ρ)C`.
+    pub ckpt_remainder: f64,
+    /// Full rollback reload cost `R`.
+    pub recovery: f64,
+    /// REMAINDER-dataset reload cost `(1 − ρ)R`.
+    pub recovery_remainder: f64,
+    /// Downtime `D` after a failure.
+    pub downtime: f64,
+    /// ABFT slowdown factor `φ`.
+    pub phi: f64,
+    /// ABFT reconstruction time.
+    pub abft_reconstruction: f64,
+}
+
+impl PeriodPlan {
+    /// Precomputes the plan for one parameter point.
+    pub fn new(params: &ModelParams) -> Self {
+        let period_for = |ckpt: f64| {
+            paper_optimal_period(
+                ckpt,
+                params.platform_mtbf,
+                params.downtime,
+                params.recovery_cost,
+            )
+            .unwrap_or(f64::INFINITY)
+        };
+        Self {
+            full_period: period_for(params.checkpoint_cost),
+            library_period: period_for(params.checkpoint_cost_library()),
+            ckpt_full: params.checkpoint_cost,
+            ckpt_library: params.checkpoint_cost_library(),
+            ckpt_remainder: params.checkpoint_cost_remainder(),
+            recovery: params.recovery_cost,
+            recovery_remainder: params.recovery_cost_remainder(),
+            downtime: params.downtime,
+            phi: params.phi,
+            abft_reconstruction: params.abft_reconstruction,
+        }
+    }
+}
+
+/// Runs `work` seconds of useful work protected by periodic checkpoints of
+/// cost `ckpt` at period `period` (pass `+∞` to disable periodic
+/// checkpointing and save the phase in one attempt).  Work performed since
+/// the last completed checkpoint is lost when a failure strikes — wherever
+/// it strikes, during the work or during the checkpoint itself.
+pub fn checkpointed_stream<M: FailureModel>(
+    clock: &mut SimClock<M>,
+    work: f64,
+    ckpt: f64,
+    period: f64,
+    plan: &PeriodPlan,
+) {
+    if work <= 0.0 {
+        return;
+    }
+    // Work executed per period (the period includes the checkpoint).
+    let work_per_period = if period.is_finite() && period > ckpt {
+        period - ckpt
+    } else {
+        work
+    };
+    let mut saved = 0.0;
+    while saved < work {
+        let target = work_per_period.min(work - saved);
+        // One attempt = the period's work followed by its checkpoint; any
+        // failure before the checkpoint completes discards the attempt.
+        'attempt: loop {
+            // Execute the work of this period.
+            let mut done = 0.0;
+            while done < target {
+                match clock.try_run(target - done) {
+                    ActivityResult::Completed => done = target,
+                    ActivityResult::Interrupted { .. } => {
+                        clock.recover(plan.downtime, plan.recovery);
+                        done = 0.0;
+                    }
+                }
+            }
+            // Take the checkpoint that makes this period's work durable.
+            match clock.try_run(ckpt) {
+                ActivityResult::Completed => break 'attempt,
+                ActivityResult::Interrupted { .. } => {
+                    clock.recover(plan.downtime, plan.recovery);
+                    // The checkpoint did not complete: the period's work is
+                    // lost and the attempt restarts.
+                }
+            }
+        }
+        saved += target;
+    }
+}
+
+/// Takes a forced checkpoint of the given cost, retrying (after a rollback
+/// recovery) until it completes.
+pub fn forced_checkpoint<M: FailureModel>(clock: &mut SimClock<M>, cost: f64, plan: &PeriodPlan) {
+    loop {
+        match clock.try_run(cost) {
+            ActivityResult::Completed => return,
+            ActivityResult::Interrupted { .. } => {
+                clock.recover(plan.downtime, plan.recovery);
+            }
+        }
+    }
+}
+
+/// ABFT recovery: downtime, reload of the REMAINDER dataset from the entry
+/// checkpoint, reconstruction of the LIBRARY dataset from the checksums.
+/// Failures during the recovery restart it.
+pub fn abft_recover<M: FailureModel>(clock: &mut SimClock<M>, plan: &PeriodPlan) {
+    loop {
+        if clock.try_run(plan.downtime).is_completed()
+            && clock.try_run(plan.recovery_remainder).is_completed()
+            && clock.try_run(plan.abft_reconstruction).is_completed()
+        {
+            return;
+        }
+    }
+}
+
+/// ABFT-protected execution of `library` seconds of LIBRARY work: the work
+/// is inflated by `φ`, failures cost an ABFT recovery but lose **no work**,
+/// and the phase ends with the forced exit checkpoint of the LIBRARY
+/// dataset.
+pub fn abft_protected_stream<M: FailureModel>(
+    clock: &mut SimClock<M>,
+    library: f64,
+    plan: &PeriodPlan,
+) {
+    if library <= 0.0 {
+        return;
+    }
+    let abft_work = plan.phi * library;
+    let mut done = 0.0;
+    while done < abft_work {
+        match clock.try_run(abft_work - done) {
+            ActivityResult::Completed => done = abft_work,
+            ActivityResult::Interrupted { progress } => {
+                // ABFT recovery: the work performed so far is NOT lost.
+                done += progress;
+                abft_recover(clock, plan);
+            }
+        }
+    }
+    // Forced exit checkpoint of the LIBRARY dataset. A failure during the
+    // checkpoint is recovered with ABFT (the library data is still encoded)
+    // and the checkpoint is retried.
+    while !clock.try_run(plan.ckpt_library).is_completed() {
+        abft_recover(clock, plan);
+    }
+}
+
+/// A pluggable fault-tolerance protocol: unfolds a whole application
+/// profile over the failure stream of a clock, charging every
+/// protocol-specific overhead.
+pub trait ProtocolExecutor<M: FailureModel = ExponentialFailures> {
+    /// Which protocol this executor implements (used for reporting).
+    fn protocol(&self) -> Protocol;
+
+    /// Unfolds `profile` on `clock` under this protocol.
+    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan);
+}
+
+/// Phase-oblivious coordinated periodic checkpointing: the whole application
+/// — all epochs, GENERAL and LIBRARY phases alike — is one checkpointed
+/// stream with full checkpoints (epoch boundaries are invisible to the
+/// protocol).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PureExecutor;
+
+impl<M: FailureModel> ProtocolExecutor<M> for PureExecutor {
+    fn protocol(&self) -> Protocol {
+        Protocol::PurePeriodicCkpt
+    }
+
+    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+        checkpointed_stream(
+            clock,
+            profile.total_duration(),
+            plan.ckpt_full,
+            plan.full_period,
+            plan,
+        );
+    }
+}
+
+/// Phase-aware periodic checkpointing: GENERAL phases carry full
+/// checkpoints, LIBRARY phases carry incremental (`ρC`) checkpoints;
+/// recovery still reloads everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BiExecutor;
+
+impl<M: FailureModel> ProtocolExecutor<M> for BiExecutor {
+    fn protocol(&self) -> Protocol {
+        Protocol::BiPeriodicCkpt
+    }
+
+    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+        for epoch in profile.epochs() {
+            checkpointed_stream(clock, epoch.general, plan.ckpt_full, plan.full_period, plan);
+            checkpointed_stream(
+                clock,
+                epoch.library,
+                plan.ckpt_library,
+                plan.library_period,
+                plan,
+            );
+        }
+    }
+}
+
+/// The composite protocol: periodic checkpointing in GENERAL phases (with
+/// the forced entry checkpoint of the REMAINDER dataset before each library
+/// call), ABFT inside LIBRARY phases (with the forced exit checkpoint of
+/// the LIBRARY dataset after each call).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompositeExecutor;
+
+impl CompositeExecutor {
+    /// GENERAL phase of one epoch: periodic checkpointing when the phase is
+    /// long, otherwise only the forced entry checkpoint of the REMAINDER
+    /// dataset (a failure rolls back to the start of the phase).
+    fn run_general<M: FailureModel>(clock: &mut SimClock<M>, epoch: &Epoch, plan: &PeriodPlan) {
+        let work = epoch.general;
+        if work <= 0.0 {
+            // Even with no GENERAL work, entering the library requires the
+            // forced partial checkpoint of the REMAINDER dataset.
+            if epoch.library > 0.0 {
+                forced_checkpoint(clock, plan.ckpt_remainder, plan);
+            }
+            return;
+        }
+        if work < plan.full_period {
+            // Short phase: no periodic checkpoint, a failure rolls back to
+            // the start of the phase; the phase ends with the forced partial
+            // checkpoint of the REMAINDER dataset.
+            'attempt: loop {
+                let mut done = 0.0;
+                while done < work {
+                    match clock.try_run(work - done) {
+                        ActivityResult::Completed => done = work,
+                        ActivityResult::Interrupted { .. } => {
+                            clock.recover(plan.downtime, plan.recovery);
+                            done = 0.0;
+                        }
+                    }
+                }
+                match clock.try_run(plan.ckpt_remainder) {
+                    ActivityResult::Completed => break 'attempt,
+                    ActivityResult::Interrupted { .. } => {
+                        clock.recover(plan.downtime, plan.recovery);
+                    }
+                }
+            }
+        } else {
+            // Long phase: regular periodic checkpointing; the last checkpoint
+            // doubles as the forced entry checkpoint (the paper's "the last
+            // periodic checkpoint replaces that of size C_L̄").
+            checkpointed_stream(clock, work, plan.ckpt_full, plan.full_period, plan);
+        }
+    }
+}
+
+impl<M: FailureModel> ProtocolExecutor<M> for CompositeExecutor {
+    fn protocol(&self) -> Protocol {
+        Protocol::AbftPeriodicCkpt
+    }
+
+    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+        for epoch in profile.epochs() {
+            Self::run_general(clock, epoch, plan);
+            abft_protected_stream(clock, epoch.library, plan);
+        }
+    }
+}
+
+/// The simulation engine for one parameter point: owns the precomputed
+/// [`PeriodPlan`] and assembles [`SimOutcome`]s from executor runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    params: ModelParams,
+    plan: PeriodPlan,
+}
+
+impl Engine {
+    /// Builds an engine (and its plan) for one parameter point.
+    pub fn new(params: &ModelParams) -> Self {
+        Self {
+            params: *params,
+            plan: PeriodPlan::new(params),
+        }
+    }
+
+    /// The parameter point this engine simulates.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The precomputed plan.
+    pub fn plan(&self) -> &PeriodPlan {
+        &self.plan
+    }
+
+    /// Runs a custom executor over a profile on a caller-supplied clock
+    /// (any failure model).
+    pub fn run_with<M, E>(
+        &self,
+        executor: &E,
+        profile: &ApplicationProfile,
+        mut clock: SimClock<M>,
+    ) -> SimOutcome
+    where
+        M: FailureModel,
+        E: ProtocolExecutor<M> + ?Sized,
+    {
+        executor.execute(&mut clock, profile, &self.plan);
+        SimOutcome {
+            final_time: clock.now(),
+            base_time: profile.total_duration(),
+            failures: clock.failures(),
+        }
+    }
+
+    /// Simulates one of the paper's protocols over an arbitrary multi-epoch
+    /// profile, under exponential failures seeded deterministically.
+    pub fn simulate_profile(
+        &self,
+        protocol: Protocol,
+        profile: &ApplicationProfile,
+        seed: u64,
+    ) -> SimOutcome {
+        let clock = SimClock::new(self.params.platform_mtbf, seed);
+        match protocol {
+            Protocol::PurePeriodicCkpt => self.run_with(&PureExecutor, profile, clock),
+            Protocol::BiPeriodicCkpt => self.run_with(&BiExecutor, profile, clock),
+            Protocol::AbftPeriodicCkpt => self.run_with(&CompositeExecutor, profile, clock),
+        }
+    }
+
+    /// Simulates the single-epoch application described by the engine's
+    /// parameters (the pre-refactor `simulate()` behaviour).
+    pub fn simulate(&self, protocol: Protocol, seed: u64) -> SimOutcome {
+        // The pure protocol treats the epoch as one opaque stream of
+        // `epoch_duration` seconds, exactly like the closed-form model.
+        match protocol {
+            Protocol::PurePeriodicCkpt => {
+                let mut clock = SimClock::new(self.params.platform_mtbf, seed);
+                checkpointed_stream(
+                    &mut clock,
+                    self.params.epoch_duration,
+                    self.plan.ckpt_full,
+                    self.plan.full_period,
+                    &self.plan,
+                );
+                SimOutcome {
+                    final_time: clock.now(),
+                    base_time: self.params.epoch_duration,
+                    failures: clock.failures(),
+                }
+            }
+            _ => {
+                let profile = ApplicationProfile::from_params(&self.params);
+                let outcome = self.simulate_profile(protocol, &profile, seed);
+                SimOutcome {
+                    base_time: self.params.epoch_duration,
+                    ..outcome
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_platform::failure::WeibullFailures;
+    use ft_platform::units::{hours, minutes, weeks};
+
+    fn calm_params() -> ModelParams {
+        ModelParams::builder()
+            .epoch_duration(weeks(1.0))
+            .alpha(0.5)
+            .checkpoint_cost(minutes(10.0))
+            .recovery_cost(minutes(10.0))
+            .downtime(minutes(1.0))
+            .rho(0.8)
+            .phi(1.03)
+            .abft_reconstruction(2.0)
+            .platform_mtbf(weeks(20_000.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_precomputes_the_paper_periods() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let plan = PeriodPlan::new(&params);
+        let expected_full = paper_optimal_period(
+            params.checkpoint_cost,
+            params.platform_mtbf,
+            params.downtime,
+            params.recovery_cost,
+        )
+        .unwrap();
+        assert_eq!(plan.full_period, expected_full);
+        assert!(plan.library_period < plan.full_period);
+        assert!((plan.ckpt_library + plan.ckpt_remainder - plan.ckpt_full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_matches_the_wrapper_simulate() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let engine = Engine::new(&params);
+        for protocol in Protocol::all() {
+            for seed in 0..10 {
+                assert_eq!(
+                    engine.simulate(protocol, seed),
+                    crate::protocols::simulate(protocol, &params, seed)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_epoch_profile_with_no_failures_has_deterministic_overhead() {
+        // Huge MTBF: every epoch is short relative to the optimal period, so
+        // the per-protocol time is exactly the work plus a computable number
+        // of checkpoints.
+        let params = calm_params();
+        let engine = Engine::new(&params);
+        let (general, library) = (hours(2.0), hours(1.0));
+        let epochs = 5;
+        let profile = ApplicationProfile::uniform(epochs, general, library).unwrap();
+        let work: f64 = profile.total_duration();
+        let n = epochs as f64;
+
+        // Pure: one stream, one trailing full checkpoint (period >> work).
+        let pure = engine.simulate_profile(Protocol::PurePeriodicCkpt, &profile, 1);
+        assert_eq!(pure.failures, 0);
+        assert!((pure.final_time - (work + engine.plan().ckpt_full)).abs() < 1e-6);
+
+        // Bi: per epoch, one full checkpoint after GENERAL and one
+        // incremental checkpoint after LIBRARY.
+        let bi = engine.simulate_profile(Protocol::BiPeriodicCkpt, &profile, 1);
+        let bi_expected = work + n * (engine.plan().ckpt_full + engine.plan().ckpt_library);
+        assert_eq!(bi.failures, 0);
+        assert!((bi.final_time - bi_expected).abs() < 1e-6);
+
+        // Composite: per epoch, the entry (REMAINDER) checkpoint, the
+        // φ-inflated library work and the exit (LIBRARY) checkpoint.
+        let composite = engine.simulate_profile(Protocol::AbftPeriodicCkpt, &profile, 1);
+        let composite_expected = n
+            * (general
+                + engine.plan().ckpt_remainder
+                + engine.plan().phi * library
+                + engine.plan().ckpt_library);
+        assert_eq!(composite.failures, 0);
+        assert!((composite.final_time - composite_expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn splitting_an_epoch_only_adds_forced_checkpoint_overhead_when_calm() {
+        // Failure-free: a 4-epoch split of the same total work costs exactly
+        // 3 extra (entry + exit) checkpoint pairs under the composite
+        // protocol.
+        let params = calm_params();
+        let engine = Engine::new(&params);
+        let one = ApplicationProfile::from_params_repeated(&params, 1);
+        let four = ApplicationProfile::from_params_repeated(&params, 4);
+        let t1 = engine
+            .simulate_profile(Protocol::AbftPeriodicCkpt, &one, 3)
+            .final_time;
+        let t4 = engine
+            .simulate_profile(Protocol::AbftPeriodicCkpt, &four, 3)
+            .final_time;
+        assert!(t4 > t1);
+        let extra = t4 - t1;
+        // At most 4 extra entry+exit pairs' worth of overhead (the split
+        // also moves each shorter GENERAL phase below the periodic-regime
+        // threshold, trading periodic checkpoints for the forced one).
+        assert!(
+            extra <= 4.0 * (engine.plan().ckpt_remainder + engine.plan().ckpt_library) + 1e-6,
+            "extra {extra}"
+        );
+    }
+
+    #[test]
+    fn executors_run_under_weibull_failures() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let engine = Engine::new(&params);
+        let profile = ApplicationProfile::from_params(&params);
+        let model = WeibullFailures::new(params.platform_mtbf, 0.7).unwrap();
+        for (executor, protocol) in [
+            (
+                &PureExecutor as &dyn ProtocolExecutor<WeibullFailures>,
+                Protocol::PurePeriodicCkpt,
+            ),
+            (&BiExecutor, Protocol::BiPeriodicCkpt),
+            (&CompositeExecutor, Protocol::AbftPeriodicCkpt),
+        ] {
+            assert_eq!(executor.protocol(), protocol);
+            let out = engine.run_with(executor, &profile, SimClock::with_model(model, 11));
+            assert!(out.final_time > out.base_time);
+            assert!(out.failures > 0);
+            let again = engine.run_with(executor, &profile, SimClock::with_model(model, 11));
+            assert_eq!(out, again);
+        }
+    }
+
+    #[test]
+    fn a_custom_executor_plugs_into_the_engine() {
+        // A protocol that ignores failures entirely (an oracle lower bound):
+        // the engine accepts it like any built-in executor.
+        struct OracleExecutor;
+        impl<M: FailureModel> ProtocolExecutor<M> for OracleExecutor {
+            fn protocol(&self) -> Protocol {
+                Protocol::PurePeriodicCkpt
+            }
+            fn execute(
+                &self,
+                clock: &mut SimClock<M>,
+                profile: &ApplicationProfile,
+                _plan: &PeriodPlan,
+            ) {
+                let mut remaining = profile.total_duration();
+                while remaining > 0.0 {
+                    match clock.try_run(remaining) {
+                        ActivityResult::Completed => remaining = 0.0,
+                        ActivityResult::Interrupted { progress } => remaining -= progress,
+                    }
+                }
+            }
+        }
+        let params = ModelParams::paper_figure7(0.5, minutes(90.0)).unwrap();
+        let engine = Engine::new(&params);
+        let profile = ApplicationProfile::from_params(&params);
+        let oracle = engine.run_with(&OracleExecutor, &profile, SimClock::new(params.platform_mtbf, 5));
+        let real = engine.simulate_profile(Protocol::PurePeriodicCkpt, &profile, 5);
+        assert!((oracle.final_time - oracle.base_time).abs() < 1e-6);
+        assert!(real.final_time > oracle.final_time);
+    }
+}

@@ -6,14 +6,20 @@
 //! corner cases the closed-form model neglects (failures during checkpoints,
 //! during recoveries, during downtime, several failures per period, …).
 //!
-//! * [`clock`] — the simulation clock: exponential failure arrivals, the
-//!   `try_run` primitive (run an activity until it completes or a failure
-//!   interrupts it) and the interruptible recovery helper;
-//! * [`protocols`] — trace-driven executors for the three protocols
-//!   (PurePeriodicCkpt, BiPeriodicCkpt, ABFT&PeriodicCkpt);
-//! * [`stats`] — Welford accumulation, confidence intervals;
+//! * [`clock`] — the simulation clock: pluggable failure arrivals (from
+//!   `ft-platform`'s allocation-free failure streams), the `try_run`
+//!   primitive (run an activity until it completes or a failure interrupts
+//!   it) and the interruptible recovery helper;
+//! * [`engine`] — the shared event loop, the per-point precomputed
+//!   [`PeriodPlan`] and the pluggable [`ProtocolExecutor`]s for the three
+//!   protocols over multi-epoch application profiles;
+//! * [`protocols`] — protocol identities ([`Protocol`]) and simulation
+//!   outcomes ([`SimOutcome`]);
+//! * [`stats`] — Welford accumulation, confidence intervals, the single
+//!   outcome aggregator of the workspace;
 //! * [`replicate`](mod@replicate) — Rayon-parallel Monte-Carlo replication (the paper
-//!   averages one thousand executions per point);
+//!   averages one thousand executions per point) and the sequential
+//!   accumulation path used by the `ft-bench` sweep subsystem;
 //! * [`validate`] — model-versus-simulation comparison grids (the right-hand
 //!   column of Figure 7).
 
@@ -21,13 +27,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod engine;
 pub mod protocols;
 pub mod replicate;
 pub mod stats;
 pub mod validate;
 
 pub use clock::{ActivityResult, SimClock};
+pub use engine::{
+    BiExecutor, CompositeExecutor, Engine, PeriodPlan, ProtocolExecutor, PureExecutor,
+};
 pub use protocols::{simulate, Protocol, SimOutcome};
-pub use replicate::{replicate, SimStats};
-pub use stats::Welford;
+pub use replicate::{accumulate, accumulate_profile, replicate, SimStats};
+pub use stats::{OutcomeAccumulator, Welford};
 pub use validate::{validation_grid, ValidationCell};

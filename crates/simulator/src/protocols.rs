@@ -1,18 +1,17 @@
-//! Trace-driven protocol executors.
+//! Protocol identities and simulation outcomes.
 //!
-//! Each executor unfolds one epoch (a GENERAL phase followed by a LIBRARY
-//! phase, per the [`ModelParams`] description) over the failure stream of a
-//! [`SimClock`], faithfully charging every protocol-specific overhead:
-//! periodic/forced checkpoints, downtime, rollback reloads, re-executed work,
-//! ABFT reconstructions — including in the corner cases the closed-form
-//! model neglects (failures during checkpoints, recoveries or downtime, and
-//! several failures within one period).
+//! The actual epoch unfolding lives in the [`crate::engine`] module: a
+//! shared event loop driving one pluggable [`ProtocolExecutor`] per
+//! protocol.  This module keeps the stable surface the rest of the
+//! workspace consumes — the [`Protocol`] enum, the [`SimOutcome`] record and
+//! the one-shot [`simulate`] convenience wrapper.
+//!
+//! [`ProtocolExecutor`]: crate::engine::ProtocolExecutor
 
 use ft_composite::params::ModelParams;
-use ft_composite::young_daly::paper_optimal_period;
 use serde::{Deserialize, Serialize};
 
-use crate::clock::{ActivityResult, SimClock};
+use crate::engine::Engine;
 
 /// The three fault-tolerance protocols compared by the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,14 +44,25 @@ impl Protocol {
             Protocol::AbftPeriodicCkpt => "ABFT&PeriodicCkpt",
         }
     }
+
+    /// Parses the short protocol spellings used by the CLI binaries
+    /// (`pure`, `bi`, `abft`).
+    pub fn parse(name: &str) -> Option<Protocol> {
+        match name {
+            "pure" => Some(Protocol::PurePeriodicCkpt),
+            "bi" => Some(Protocol::BiPeriodicCkpt),
+            "abft" => Some(Protocol::AbftPeriodicCkpt),
+            _ => None,
+        }
+    }
 }
 
-/// Result of simulating one epoch under one protocol.
+/// Result of simulating one application under one protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
-    /// Total execution time of the epoch, failures included.
+    /// Total execution time, failures included.
     pub final_time: f64,
-    /// Failure-free duration of the epoch (the useful work).
+    /// Failure-free duration of the application (the useful work).
     pub base_time: f64,
     /// Number of failures that struck during the execution.
     pub failures: usize,
@@ -66,209 +76,12 @@ impl SimOutcome {
 }
 
 /// Simulates one epoch under the given protocol and seed.
+///
+/// Convenience wrapper over [`Engine::simulate`]; when evaluating many
+/// seeds of the same parameter point, build the [`Engine`] once and reuse it
+/// so the period plan is precomputed a single time.
 pub fn simulate(protocol: Protocol, params: &ModelParams, seed: u64) -> SimOutcome {
-    let mut clock = SimClock::new(params.platform_mtbf, seed);
-    match protocol {
-        Protocol::PurePeriodicCkpt => {
-            // The whole epoch is one checkpointed stream with full checkpoints.
-            run_checkpointed_stream(
-                &mut clock,
-                params.epoch_duration,
-                params.checkpoint_cost,
-                params,
-            );
-        }
-        Protocol::BiPeriodicCkpt => {
-            // GENERAL stream with full checkpoints, then LIBRARY stream with
-            // incremental checkpoints (recovery still reloads everything).
-            run_checkpointed_stream(
-                &mut clock,
-                params.general_duration(),
-                params.checkpoint_cost,
-                params,
-            );
-            run_checkpointed_stream(
-                &mut clock,
-                params.library_duration(),
-                params.checkpoint_cost_library(),
-                params,
-            );
-        }
-        Protocol::AbftPeriodicCkpt => {
-            run_composite_general(&mut clock, params);
-            run_composite_library(&mut clock, params);
-        }
-    }
-    SimOutcome {
-        final_time: clock.now(),
-        base_time: params.epoch_duration,
-        failures: clock.failures(),
-    }
-}
-
-/// Runs `work` seconds of useful work protected by periodic checkpoints of
-/// cost `ckpt`, at the optimal period for that cost.  Work performed since
-/// the last completed checkpoint is lost when a failure strikes (wherever it
-/// strikes: during work or during the checkpoint itself).
-fn run_checkpointed_stream(clock: &mut SimClock, work: f64, ckpt: f64, params: &ModelParams) {
-    if work <= 0.0 {
-        return;
-    }
-    let period = paper_optimal_period(
-        ckpt,
-        params.platform_mtbf,
-        params.downtime,
-        params.recovery_cost,
-    )
-    .unwrap_or(f64::INFINITY);
-    // Work executed per period (the period includes the checkpoint).
-    let work_per_period = if period.is_finite() && period > ckpt {
-        period - ckpt
-    } else {
-        work
-    };
-    let mut saved = 0.0;
-    while saved < work {
-        let target = work_per_period.min(work - saved);
-        // One attempt = the period's work followed by its checkpoint; any
-        // failure before the checkpoint completes discards the attempt.
-        'attempt: loop {
-            // Execute the work of this period.
-            let mut done = 0.0;
-            while done < target {
-                match clock.try_run(target - done) {
-                    ActivityResult::Completed => done = target,
-                    ActivityResult::Interrupted { .. } => {
-                        clock.recover(params.downtime, params.recovery_cost);
-                        done = 0.0;
-                    }
-                }
-            }
-            // Take the checkpoint that makes this period's work durable.
-            match clock.try_run(ckpt) {
-                ActivityResult::Completed => break 'attempt,
-                ActivityResult::Interrupted { .. } => {
-                    clock.recover(params.downtime, params.recovery_cost);
-                    // The checkpoint did not complete: the period's work is
-                    // lost and the attempt restarts.
-                }
-            }
-        }
-        saved += target;
-    }
-}
-
-/// GENERAL phase of the composite protocol: periodic checkpointing when the
-/// phase is long, otherwise only the forced entry checkpoint of the
-/// REMAINDER dataset.
-fn run_composite_general(clock: &mut SimClock, params: &ModelParams) {
-    let work = params.general_duration();
-    if work <= 0.0 {
-        // Even with no GENERAL work, entering the library requires the forced
-        // partial checkpoint of the REMAINDER dataset.
-        if params.library_duration() > 0.0 {
-            run_forced_checkpoint(clock, params.checkpoint_cost_remainder(), params);
-        }
-        return;
-    }
-    let period = paper_optimal_period(
-        params.checkpoint_cost,
-        params.platform_mtbf,
-        params.downtime,
-        params.recovery_cost,
-    )
-    .unwrap_or(f64::INFINITY);
-    if work < period {
-        // Short phase: no periodic checkpoint, a failure rolls back to the
-        // start of the phase; the phase ends with the forced partial
-        // checkpoint of the REMAINDER dataset.
-        'attempt: loop {
-            let mut done = 0.0;
-            while done < work {
-                match clock.try_run(work - done) {
-                    ActivityResult::Completed => done = work,
-                    ActivityResult::Interrupted { .. } => {
-                        clock.recover(params.downtime, params.recovery_cost);
-                        done = 0.0;
-                    }
-                }
-            }
-            match clock.try_run(params.checkpoint_cost_remainder()) {
-                ActivityResult::Completed => break 'attempt,
-                ActivityResult::Interrupted { .. } => {
-                    clock.recover(params.downtime, params.recovery_cost);
-                }
-            }
-        }
-    } else {
-        // Long phase: regular periodic checkpointing; the last checkpoint
-        // doubles as the forced entry checkpoint (the paper's "the last
-        // periodic checkpoint replaces that of size C_L̄").
-        run_checkpointed_stream(clock, work, params.checkpoint_cost, params);
-    }
-}
-
-/// The forced partial checkpoint taken when entering the library call with no
-/// GENERAL work before it.
-fn run_forced_checkpoint(clock: &mut SimClock, cost: f64, params: &ModelParams) {
-    loop {
-        match clock.try_run(cost) {
-            ActivityResult::Completed => return,
-            ActivityResult::Interrupted { .. } => {
-                clock.recover(params.downtime, params.recovery_cost);
-            }
-        }
-    }
-}
-
-/// LIBRARY phase of the composite protocol: ABFT-protected execution.  Work
-/// is inflated by φ; a failure costs downtime + reload of the REMAINDER
-/// dataset + ABFT reconstruction, and **no work is lost**; the phase ends
-/// with the forced exit checkpoint of the LIBRARY dataset.
-fn run_composite_library(clock: &mut SimClock, params: &ModelParams) {
-    let work = params.library_duration();
-    if work <= 0.0 {
-        return;
-    }
-    let abft_work = params.phi * work;
-    let mut done = 0.0;
-    while done < abft_work {
-        match clock.try_run(abft_work - done) {
-            ActivityResult::Completed => done = abft_work,
-            ActivityResult::Interrupted { progress } => {
-                // ABFT recovery: the work performed so far is NOT lost.
-                done += progress;
-                abft_recover(clock, params);
-            }
-        }
-    }
-    // Forced exit checkpoint of the LIBRARY dataset. A failure during the
-    // checkpoint is recovered with ABFT (the library data is still encoded)
-    // and the checkpoint is retried.
-    loop {
-        match clock.try_run(params.checkpoint_cost_library()) {
-            ActivityResult::Completed => return,
-            ActivityResult::Interrupted { .. } => {
-                abft_recover(clock, params);
-            }
-        }
-    }
-}
-
-/// ABFT recovery: downtime, reload of the REMAINDER dataset from the entry
-/// checkpoint, reconstruction of the LIBRARY dataset from the checksums.
-/// Failures during the recovery restart it.
-fn abft_recover(clock: &mut SimClock, params: &ModelParams) {
-    loop {
-        if clock.try_run(params.downtime).is_completed()
-            && clock
-                .try_run(params.recovery_cost_remainder())
-                .is_completed()
-            && clock.try_run(params.abft_reconstruction).is_completed()
-        {
-            return;
-        }
-    }
+    Engine::new(params).simulate(protocol, seed)
 }
 
 #[cfg(test)]
@@ -385,5 +198,13 @@ mod tests {
         assert_eq!(Protocol::BiPeriodicCkpt.name(), "BiPeriodicCkpt");
         assert_eq!(Protocol::AbftPeriodicCkpt.name(), "ABFT&PeriodicCkpt");
         assert_eq!(Protocol::all().len(), 3);
+    }
+
+    #[test]
+    fn cli_spellings_parse() {
+        assert_eq!(Protocol::parse("pure"), Some(Protocol::PurePeriodicCkpt));
+        assert_eq!(Protocol::parse("bi"), Some(Protocol::BiPeriodicCkpt));
+        assert_eq!(Protocol::parse("abft"), Some(Protocol::AbftPeriodicCkpt));
+        assert_eq!(Protocol::parse("other"), None);
     }
 }

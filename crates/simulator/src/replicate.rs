@@ -4,14 +4,28 @@
 //! executions" per parameter point.  Replications are independent, so they
 //! are spread over the available cores with Rayon; each replication derives
 //! its own seed from the master seed, keeping the whole sweep reproducible.
+//!
+//! Two entry points cover the two parallelism regimes:
+//!
+//! * [`replicate`] — parallel over replications.  Use when evaluating a
+//!   single parameter point interactively;
+//! * [`accumulate`] / [`accumulate_profile`] — sequential, returning the raw
+//!   [`OutcomeAccumulator`].  Use from code that is already parallel over
+//!   *points* (the `ft-bench` sweep subsystem), where nesting another
+//!   parallel layer would only add scheduling overhead.
+//!
+//! All aggregation goes through [`crate::stats::Welford`] (via
+//! [`OutcomeAccumulator`]); no ad-hoc mean/variance sums anywhere.
 
 use ft_composite::params::ModelParams;
+use ft_composite::scenario::ApplicationProfile;
 use ft_platform::rng::derive_seeds;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::protocols::{simulate, Protocol};
-use crate::stats::Welford;
+use crate::engine::Engine;
+use crate::protocols::Protocol;
+use crate::stats::OutcomeAccumulator;
 
 /// Aggregated statistics of a batch of replications.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +46,21 @@ pub struct SimStats {
     pub mean_failures: f64,
 }
 
+impl SimStats {
+    /// Assembles the statistics record from a raw accumulator.
+    pub fn from_accumulator(protocol: Protocol, acc: &OutcomeAccumulator) -> Self {
+        Self {
+            protocol,
+            replications: acc.count() as usize,
+            mean_waste: acc.waste.mean(),
+            std_waste: acc.waste.std_dev(),
+            ci95_waste: acc.waste.ci95_half_width(),
+            mean_final_time: acc.final_time.mean(),
+            mean_failures: acc.failures.mean(),
+        }
+    }
+}
+
 /// Runs `replications` independent simulations of `protocol` and aggregates
 /// the results. Replications run in parallel.
 pub fn replicate(
@@ -41,37 +70,54 @@ pub fn replicate(
     master_seed: u64,
 ) -> SimStats {
     let replications = replications.max(1);
+    let engine = Engine::new(params);
     let seeds = derive_seeds(master_seed, replications);
-    let (waste, time, failures) = seeds
+    let acc = seeds
         .par_iter()
-        .map(|&seed| {
-            let out = simulate(protocol, params, seed);
-            let mut w = Welford::new();
-            let mut t = Welford::new();
-            let mut f = Welford::new();
-            w.push(out.waste());
-            t.push(out.final_time);
-            f.push(out.failures as f64);
-            (w, t, f)
+        .map(|&seed| engine.simulate(protocol, seed))
+        .fold(OutcomeAccumulator::new, |mut acc, out| {
+            acc.push(&out);
+            acc
         })
-        .reduce(
-            || (Welford::new(), Welford::new(), Welford::new()),
-            |mut a, b| {
-                a.0.merge(&b.0);
-                a.1.merge(&b.1);
-                a.2.merge(&b.2);
-                a
-            },
-        );
-    SimStats {
-        protocol,
-        replications,
-        mean_waste: waste.mean(),
-        std_waste: waste.std_dev(),
-        ci95_waste: waste.ci95_half_width(),
-        mean_final_time: time.mean(),
-        mean_failures: failures.mean(),
+        .reduce(OutcomeAccumulator::new, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    SimStats::from_accumulator(protocol, &acc)
+}
+
+/// Sequentially accumulates `replications` single-epoch simulations of one
+/// parameter point.  The [`Engine`] (and its period plan) is built once and
+/// shared by every replication.
+pub fn accumulate(
+    protocol: Protocol,
+    params: &ModelParams,
+    replications: usize,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    let engine = Engine::new(params);
+    let mut acc = OutcomeAccumulator::new();
+    for seed in derive_seeds(master_seed, replications.max(1)) {
+        acc.push(&engine.simulate(protocol, seed));
     }
+    acc
+}
+
+/// Sequentially accumulates `replications` simulations of an arbitrary
+/// multi-epoch profile.
+pub fn accumulate_profile(
+    protocol: Protocol,
+    params: &ModelParams,
+    profile: &ApplicationProfile,
+    replications: usize,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    let engine = Engine::new(params);
+    let mut acc = OutcomeAccumulator::new();
+    for seed in derive_seeds(master_seed, replications.max(1)) {
+        acc.push(&engine.simulate_profile(protocol, profile, seed));
+    }
+    acc
 }
 
 /// Convenience: replicates all three protocols on the same parameters.
@@ -125,5 +171,32 @@ mod tests {
         let small = replicate(Protocol::BiPeriodicCkpt, &params, 20, 11);
         let large = replicate(Protocol::BiPeriodicCkpt, &params, 400, 11);
         assert!(large.ci95_waste < small.ci95_waste);
+    }
+
+    #[test]
+    fn sequential_accumulation_matches_parallel_replication() {
+        // Same seeds, same engine: the sequential path used by the sweep
+        // subsystem must agree exactly with the parallel path (the Welford
+        // merge tree differs, so allow float-roundoff slack on the moments).
+        let params = ModelParams::paper_figure7(0.8, minutes(120.0)).unwrap();
+        let par = replicate(Protocol::AbftPeriodicCkpt, &params, 64, 5);
+        let acc = accumulate(Protocol::AbftPeriodicCkpt, &params, 64, 5);
+        let seq = SimStats::from_accumulator(Protocol::AbftPeriodicCkpt, &acc);
+        assert_eq!(par.replications, seq.replications);
+        assert!((par.mean_waste - seq.mean_waste).abs() < 1e-12);
+        assert!((par.std_waste - seq.std_waste).abs() < 1e-9);
+        assert!((par.mean_final_time - seq.mean_final_time).abs() < 1e-6);
+        assert!((par.mean_failures - seq.mean_failures).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_accumulation_covers_multi_epoch_applications() {
+        let params = ModelParams::paper_figure7(0.8, minutes(120.0)).unwrap();
+        let profile = ApplicationProfile::from_params_repeated(&params, 4);
+        let acc = accumulate_profile(Protocol::AbftPeriodicCkpt, &params, &profile, 30, 9);
+        assert_eq!(acc.count(), 30);
+        assert!(acc.waste.mean() > 0.0 && acc.waste.mean() < 1.0);
+        let again = accumulate_profile(Protocol::AbftPeriodicCkpt, &params, &profile, 30, 9);
+        assert_eq!(acc, again);
     }
 }

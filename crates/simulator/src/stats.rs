@@ -1,6 +1,13 @@
 //! Streaming statistics (Welford) and confidence intervals.
+//!
+//! [`Welford`] is the **single** mean/variance implementation of the
+//! workspace: replication, the sweep subsystem and the benches all
+//! accumulate through it (directly or via [`OutcomeAccumulator`]) instead of
+//! rolling their own sums.
 
 use serde::{Deserialize, Serialize};
+
+use crate::protocols::SimOutcome;
 
 /// Welford's online mean/variance accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -80,6 +87,48 @@ impl Welford {
     }
 }
 
+/// Streaming statistics over a batch of [`SimOutcome`]s: one [`Welford`]
+/// accumulator per tracked quantity (waste, final time, failure count).
+///
+/// This is the only outcome aggregation in the workspace — the parallel
+/// replication fold, the sequential per-point accumulation of the sweep
+/// subsystem and the benches all push into it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutcomeAccumulator {
+    /// Waste statistics.
+    pub waste: Welford,
+    /// Total-execution-time statistics.
+    pub final_time: Welford,
+    /// Failure-count statistics.
+    pub failures: Welford,
+}
+
+impl OutcomeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one simulated outcome.
+    pub fn push(&mut self, outcome: &SimOutcome) {
+        self.waste.push(outcome.waste());
+        self.final_time.push(outcome.final_time);
+        self.failures.push(outcome.failures as f64);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OutcomeAccumulator) {
+        self.waste.merge(&other.waste);
+        self.final_time.merge(&other.final_time);
+        self.failures.merge(&other.failures);
+    }
+
+    /// Number of outcomes accumulated.
+    pub fn count(&self) -> u64 {
+        self.waste.count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +187,46 @@ mod tests {
         from_empty.merge(&other);
         assert_eq!(from_empty.count(), 1);
         assert_eq!(from_empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn outcome_accumulator_tracks_all_three_quantities() {
+        let mut acc = OutcomeAccumulator::new();
+        acc.push(&SimOutcome {
+            final_time: 200.0,
+            base_time: 100.0,
+            failures: 3,
+        });
+        acc.push(&SimOutcome {
+            final_time: 100.0,
+            base_time: 100.0,
+            failures: 0,
+        });
+        assert_eq!(acc.count(), 2);
+        assert!((acc.waste.mean() - 0.25).abs() < 1e-12);
+        assert!((acc.final_time.mean() - 150.0).abs() < 1e-12);
+        assert!((acc.failures.mean() - 1.5).abs() < 1e-12);
+
+        // Merging two accumulators equals pushing everything into one.
+        let mut a = OutcomeAccumulator::new();
+        let mut b = OutcomeAccumulator::new();
+        let outs = [
+            SimOutcome { final_time: 120.0, base_time: 100.0, failures: 1 },
+            SimOutcome { final_time: 130.0, base_time: 100.0, failures: 2 },
+            SimOutcome { final_time: 140.0, base_time: 100.0, failures: 3 },
+        ];
+        let mut whole = OutcomeAccumulator::new();
+        for (i, o) in outs.iter().enumerate() {
+            whole.push(o);
+            if i % 2 == 0 {
+                a.push(o);
+            } else {
+                b.push(o);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.waste.mean() - whole.waste.mean()).abs() < 1e-12);
+        assert!((a.final_time.variance() - whole.final_time.variance()).abs() < 1e-9);
     }
 }

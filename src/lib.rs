@@ -12,8 +12,11 @@
 //! * [`abft`] — algorithm-based fault-tolerant factorizations ([`ft_abft`]);
 //! * [`composite`] — the paper's analytical model, optimal periods and the
 //!   composite protocol runtime ([`ft_composite`]);
-//! * [`sim`] — the discrete-event simulator and Monte-Carlo replication
-//!   machinery ([`ft_sim`]).
+//! * [`sim`] — the discrete-event simulator: the trait-based protocol
+//!   engine, Monte-Carlo replication machinery ([`ft_sim`]);
+//! * [`bench`](mod@bench) — the declarative sweep subsystem
+//!   ([`ft_bench::experiment`]) and the shared output writer behind the
+//!   figure binaries ([`ft_bench`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@
 pub struct ReadmeDoctests;
 
 pub use ft_abft as abft;
+pub use ft_bench as bench;
 pub use ft_ckpt as ckpt;
 pub use ft_composite as composite;
 pub use ft_platform as platform;

@@ -1,0 +1,215 @@
+//! Regression lock on the protocol-engine refactor.
+//!
+//! The trait-based engine (`ft_sim::engine`) replaced the original
+//! hard-coded epoch unfoldings.  For single-epoch profiles the two must be
+//! *indistinguishable*: this test pins `simulate()` outcomes captured from
+//! the pre-refactor executors on a (protocol x alpha x MTBF x seed) grid and
+//! requires the refactored engine to reproduce them bit-for-bit
+//! (`f64::to_bits` on the final time, exact failure counts).
+//!
+//! It also locks the engine's failure-free behaviour on multi-epoch
+//! profiles: with a quasi-infinite MTBF every executor must finish in
+//! exactly the profile's work time plus its protocol's deterministic
+//! checkpoint overhead.
+
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::scenario::ApplicationProfile;
+use abft_ckpt_composite::platform::units::{hours, minutes, weeks};
+use abft_ckpt_composite::sim::{simulate, Engine, Protocol};
+
+/// Outcomes of the pre-refactor `simulate()` on the paper's Figure-7
+/// parameters: (protocol, alpha, MTBF in minutes, seed, final_time bits,
+/// failures).
+const PINNED: &[(Protocol, f64, f64, u64, u64, usize)] = &[
+    (Protocol::PurePeriodicCkpt, 0.0, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::PurePeriodicCkpt, 0.0, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::PurePeriodicCkpt, 0.0, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::PurePeriodicCkpt, 0.0, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::PurePeriodicCkpt, 0.0, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::PurePeriodicCkpt, 0.0, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::PurePeriodicCkpt, 0.0, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::PurePeriodicCkpt, 0.0, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::PurePeriodicCkpt, 0.0, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::PurePeriodicCkpt, 0.3, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::PurePeriodicCkpt, 0.3, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::PurePeriodicCkpt, 0.3, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::PurePeriodicCkpt, 0.3, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::PurePeriodicCkpt, 0.3, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::PurePeriodicCkpt, 0.3, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::PurePeriodicCkpt, 0.3, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::PurePeriodicCkpt, 0.3, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::PurePeriodicCkpt, 0.3, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::PurePeriodicCkpt, 0.8, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::PurePeriodicCkpt, 0.8, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::PurePeriodicCkpt, 0.8, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::PurePeriodicCkpt, 0.8, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::PurePeriodicCkpt, 0.8, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::PurePeriodicCkpt, 0.8, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::PurePeriodicCkpt, 0.8, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::PurePeriodicCkpt, 0.8, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::PurePeriodicCkpt, 0.8, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::PurePeriodicCkpt, 1.0, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::PurePeriodicCkpt, 1.0, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::PurePeriodicCkpt, 1.0, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::PurePeriodicCkpt, 1.0, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::PurePeriodicCkpt, 1.0, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::PurePeriodicCkpt, 1.0, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::PurePeriodicCkpt, 1.0, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::PurePeriodicCkpt, 1.0, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::PurePeriodicCkpt, 1.0, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::BiPeriodicCkpt, 0.0, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::BiPeriodicCkpt, 0.0, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::BiPeriodicCkpt, 0.0, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::BiPeriodicCkpt, 0.0, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::BiPeriodicCkpt, 0.0, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::BiPeriodicCkpt, 0.0, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::BiPeriodicCkpt, 0.0, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::BiPeriodicCkpt, 0.0, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::BiPeriodicCkpt, 0.0, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::BiPeriodicCkpt, 0.3, 60.0, 1, 0x4134c2219e573ed6, 371),
+    (Protocol::BiPeriodicCkpt, 0.3, 60.0, 7, 0x4134f220ae0988dc, 396),
+    (Protocol::BiPeriodicCkpt, 0.3, 60.0, 42, 0x413494e9977d29d5, 350),
+    (Protocol::BiPeriodicCkpt, 0.3, 120.0, 1, 0x41300deecca22c57, 159),
+    (Protocol::BiPeriodicCkpt, 0.3, 120.0, 7, 0x412eae0f45272026, 142),
+    (Protocol::BiPeriodicCkpt, 0.3, 120.0, 42, 0x412d8a64314f7493, 117),
+    (Protocol::BiPeriodicCkpt, 0.3, 240.0, 1, 0x412a24906ce572d5, 65),
+    (Protocol::BiPeriodicCkpt, 0.3, 240.0, 7, 0x412a1a5f027dfc35, 68),
+    (Protocol::BiPeriodicCkpt, 0.3, 240.0, 42, 0x412a115b99519c33, 56),
+    (Protocol::BiPeriodicCkpt, 0.8, 60.0, 1, 0x4133dd1ec964523f, 357),
+    (Protocol::BiPeriodicCkpt, 0.8, 60.0, 7, 0x4133c68832d7101c, 373),
+    (Protocol::BiPeriodicCkpt, 0.8, 60.0, 42, 0x41340bcc46ceb309, 343),
+    (Protocol::BiPeriodicCkpt, 0.8, 120.0, 1, 0x412ed4e6f6bd9690, 147),
+    (Protocol::BiPeriodicCkpt, 0.8, 120.0, 7, 0x412e310a544ff3da, 141),
+    (Protocol::BiPeriodicCkpt, 0.8, 120.0, 42, 0x412d67bac6dfd35e, 117),
+    (Protocol::BiPeriodicCkpt, 0.8, 240.0, 1, 0x4129b06fa3292218, 64),
+    (Protocol::BiPeriodicCkpt, 0.8, 240.0, 7, 0x412968383ca47238, 65),
+    (Protocol::BiPeriodicCkpt, 0.8, 240.0, 42, 0x41296f0941e12fbc, 54),
+    (Protocol::BiPeriodicCkpt, 1.0, 60.0, 1, 0x413393da152bfde5, 353),
+    (Protocol::BiPeriodicCkpt, 1.0, 60.0, 7, 0x4133b69832d7101c, 373),
+    (Protocol::BiPeriodicCkpt, 1.0, 60.0, 42, 0x4133d4616abf95c4, 340),
+    (Protocol::BiPeriodicCkpt, 1.0, 120.0, 1, 0x412e98c464eaa840, 146),
+    (Protocol::BiPeriodicCkpt, 1.0, 120.0, 7, 0x412e18ee279e9e53, 141),
+    (Protocol::BiPeriodicCkpt, 1.0, 120.0, 42, 0x412ca91f83653451, 113),
+    (Protocol::BiPeriodicCkpt, 1.0, 240.0, 1, 0x41299d5aa21669cb, 64),
+    (Protocol::BiPeriodicCkpt, 1.0, 240.0, 7, 0x41297182f36441ed, 65),
+    (Protocol::BiPeriodicCkpt, 1.0, 240.0, 42, 0x41292f35c73015ef, 53),
+    (Protocol::AbftPeriodicCkpt, 0.0, 60.0, 1, 0x413566c386f3fd9b, 385),
+    (Protocol::AbftPeriodicCkpt, 0.0, 60.0, 7, 0x413580c387d85e38, 401),
+    (Protocol::AbftPeriodicCkpt, 0.0, 60.0, 42, 0x4134ae3324842021, 350),
+    (Protocol::AbftPeriodicCkpt, 0.0, 120.0, 1, 0x41302ba38054be3d, 160),
+    (Protocol::AbftPeriodicCkpt, 0.0, 120.0, 7, 0x412f408ede211588, 144),
+    (Protocol::AbftPeriodicCkpt, 0.0, 120.0, 42, 0x412deca176066cc3, 118),
+    (Protocol::AbftPeriodicCkpt, 0.0, 240.0, 1, 0x412a52cf9c529bde, 65),
+    (Protocol::AbftPeriodicCkpt, 0.0, 240.0, 7, 0x412a8fadc3a71918, 70),
+    (Protocol::AbftPeriodicCkpt, 0.0, 240.0, 42, 0x412a5bfa80914d3e, 56),
+    (Protocol::AbftPeriodicCkpt, 0.3, 60.0, 1, 0x41323f9e5ba539d8, 340),
+    (Protocol::AbftPeriodicCkpt, 0.3, 60.0, 7, 0x41325e38924a094c, 353),
+    (Protocol::AbftPeriodicCkpt, 0.3, 60.0, 42, 0x4131a0a53c4af00c, 303),
+    (Protocol::AbftPeriodicCkpt, 0.3, 120.0, 1, 0x412cb084d9df0d74, 137),
+    (Protocol::AbftPeriodicCkpt, 0.3, 120.0, 7, 0x412bdef59ef409bc, 134),
+    (Protocol::AbftPeriodicCkpt, 0.3, 120.0, 42, 0x412b00744e1eac2c, 112),
+    (Protocol::AbftPeriodicCkpt, 0.3, 240.0, 1, 0x4127be4ee8b5a4e6, 58),
+    (Protocol::AbftPeriodicCkpt, 0.3, 240.0, 7, 0x412842ff9bc97766, 63),
+    (Protocol::AbftPeriodicCkpt, 0.3, 240.0, 42, 0x4127f1b9349e1c58, 50),
+    (Protocol::AbftPeriodicCkpt, 0.8, 60.0, 1, 0x4128f769a92de768, 243),
+    (Protocol::AbftPeriodicCkpt, 0.8, 60.0, 7, 0x412809476a27e61d, 237),
+    (Protocol::AbftPeriodicCkpt, 0.8, 60.0, 42, 0x412816f987f96802, 205),
+    (Protocol::AbftPeriodicCkpt, 0.8, 120.0, 1, 0x4125bbee72d0b402, 109),
+    (Protocol::AbftPeriodicCkpt, 0.8, 120.0, 7, 0x4125ef1ee0e16d6f, 109),
+    (Protocol::AbftPeriodicCkpt, 0.8, 120.0, 42, 0x4125d97726e02c96, 93),
+    (Protocol::AbftPeriodicCkpt, 0.8, 240.0, 1, 0x41247b5ce5d60611, 44),
+    (Protocol::AbftPeriodicCkpt, 0.8, 240.0, 7, 0x41245b669b38d876, 54),
+    (Protocol::AbftPeriodicCkpt, 0.8, 240.0, 42, 0x412470d9ead04f7e, 40),
+    (Protocol::AbftPeriodicCkpt, 1.0, 60.0, 1, 0x4124231b5ccef75b, 202),
+    (Protocol::AbftPeriodicCkpt, 1.0, 60.0, 7, 0x41241b327057b880, 198),
+    (Protocol::AbftPeriodicCkpt, 1.0, 60.0, 42, 0x4123f4012b1ae80b, 170),
+    (Protocol::AbftPeriodicCkpt, 1.0, 120.0, 1, 0x412392c7ffffffff, 98),
+    (Protocol::AbftPeriodicCkpt, 1.0, 120.0, 7, 0x41238de9f7ba4522, 97),
+    (Protocol::AbftPeriodicCkpt, 1.0, 120.0, 42, 0x412375faeb56df41, 78),
+    (Protocol::AbftPeriodicCkpt, 1.0, 240.0, 1, 0x412341bc00000000, 41),
+    (Protocol::AbftPeriodicCkpt, 1.0, 240.0, 7, 0x41235137b47bde6d, 53),
+    (Protocol::AbftPeriodicCkpt, 1.0, 240.0, 42, 0x41233d7800000000, 38),];
+
+#[test]
+fn new_engine_reproduces_pre_refactor_simulate_bit_for_bit() {
+    for &(protocol, alpha, mtbf_min, seed, expected_bits, expected_failures) in PINNED {
+        let params = ModelParams::paper_figure7(alpha, minutes(mtbf_min)).unwrap();
+        let out = simulate(protocol, &params, seed);
+        assert_eq!(
+            out.final_time.to_bits(),
+            expected_bits,
+            "{protocol:?} alpha {alpha} MTBF {mtbf_min} min seed {seed}: \
+             final_time {} != pinned {}",
+            out.final_time,
+            f64::from_bits(expected_bits),
+        );
+        assert_eq!(
+            out.failures, expected_failures,
+            "{protocol:?} alpha {alpha} MTBF {mtbf_min} min seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn engine_reuse_matches_the_one_shot_wrapper() {
+    // Building the Engine once per point (as the sweep subsystem does) and
+    // calling the simulate() convenience wrapper must agree exactly.
+    let params = ModelParams::paper_figure7(0.8, minutes(120.0)).unwrap();
+    let engine = Engine::new(&params);
+    for protocol in Protocol::all() {
+        for seed in 0..20 {
+            assert_eq!(engine.simulate(protocol, seed), simulate(protocol, &params, seed));
+        }
+    }
+}
+
+#[test]
+fn multi_epoch_zero_failure_time_is_work_plus_deterministic_checkpoints() {
+    // Quasi-infinite MTBF: no failures, every phase is far below the optimal
+    // period, so each executor's final time is exactly computable.
+    let params = ModelParams::builder()
+        .epoch_duration(weeks(1.0))
+        .alpha(0.5)
+        .checkpoint_cost(minutes(10.0))
+        .recovery_cost(minutes(10.0))
+        .downtime(minutes(1.0))
+        .rho(0.8)
+        .phi(1.03)
+        .abft_reconstruction(2.0)
+        .platform_mtbf(weeks(50_000.0))
+        .build()
+        .unwrap();
+    let engine = Engine::new(&params);
+    let plan = *engine.plan();
+    let (general, library) = (hours(3.0), hours(2.0));
+    let epochs = 7usize;
+    let profile = ApplicationProfile::uniform(epochs, general, library).unwrap();
+    let work = profile.total_duration();
+    let n = epochs as f64;
+
+    let cases = [
+        // Pure: one opaque stream, one trailing full checkpoint.
+        (Protocol::PurePeriodicCkpt, work + plan.ckpt_full),
+        // Bi: per epoch one full + one incremental checkpoint.
+        (
+            Protocol::BiPeriodicCkpt,
+            work + n * (plan.ckpt_full + plan.ckpt_library),
+        ),
+        // Composite: per epoch the forced entry (REMAINDER) checkpoint, the
+        // phi-inflated library work and the forced exit (LIBRARY) checkpoint.
+        (
+            Protocol::AbftPeriodicCkpt,
+            n * (general + plan.ckpt_remainder + plan.phi * library + plan.ckpt_library),
+        ),
+    ];
+    for (protocol, expected) in cases {
+        let out = engine.simulate_profile(protocol, &profile, 99);
+        assert_eq!(out.failures, 0, "{protocol:?} saw failures");
+        assert!(
+            (out.final_time - expected).abs() < 1e-6,
+            "{protocol:?}: {} != expected {expected}",
+            out.final_time
+        );
+        assert!((out.base_time - work).abs() < 1e-9);
+    }
+}

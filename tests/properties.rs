@@ -5,6 +5,7 @@ use abft_ckpt_composite::abft::lu::AbftLu;
 use abft_ckpt_composite::abft::matrix::Matrix;
 use abft_ckpt_composite::composite::model;
 use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::safeguard::safeguarded_composite_waste;
 use abft_ckpt_composite::composite::young_daly::{paper_optimal_period, waste_at_period};
 use abft_ckpt_composite::sim::{simulate, Protocol};
 use ft_ckpt::coordinated::CoordinatedCheckpoint;
@@ -47,14 +48,15 @@ proptest! {
 
     #[test]
     fn model_waste_is_always_a_valid_fraction(params in arb_params()) {
-        for waste in [
+        for w in [
             model::pure::waste(&params),
             model::bi::waste(&params),
             model::composite::waste(&params),
-        ] {
-            if let Ok(w) = waste {
-                prop_assert!(w.value() >= 0.0 && w.value() < 1.0, "waste {}", w.value());
-            }
+        ]
+        .into_iter()
+        .flatten()
+        {
+            prop_assert!(w.value() >= 0.0 && w.value() < 1.0, "waste {}", w.value());
         }
     }
 
@@ -74,6 +76,32 @@ proptest! {
         prop_assume!(params.library_duration() >= period);
         if let (Ok(pure), Ok(bi)) = (model::pure::waste(&params), model::bi::waste(&params)) {
             prop_assert!(bi.value() <= pure.value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn the_safeguarded_composite_protocol_is_never_worse_than_pure_checkpointing(
+        params in arb_params(),
+    ) {
+        // The paper's §III-B "never worse" claim, at model level: with the
+        // safeguard rule applied (ABFT kept off when its projected duration
+        // is below the optimal period, or when the model predicts the flat
+        // phi overhead loses to checkpointing), the composite protocol's
+        // waste never exceeds PurePeriodicCkpt's — for *every* sampled
+        // parameter point, up to float roundoff.
+        const EPS: f64 = 1e-9;
+        if let (Ok(effective), Ok(pure)) =
+            (safeguarded_composite_waste(&params), model::pure::waste(&params))
+        {
+            prop_assert!(
+                effective.value() <= pure.value() + EPS,
+                "safeguarded composite waste {} > pure waste {} (alpha {}, phi {}, mtbf {})",
+                effective.value(),
+                pure.value(),
+                params.alpha,
+                params.phi,
+                params.platform_mtbf,
+            );
         }
     }
 

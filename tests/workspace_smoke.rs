@@ -3,7 +3,7 @@
 //! fails this suite immediately rather than surfacing deep inside an
 //! integration test.
 
-use abft_ckpt_composite::{abft, ckpt, composite, platform, sim};
+use abft_ckpt_composite::{abft, bench, ckpt, composite, platform, sim};
 
 #[test]
 fn every_reexported_module_is_reachable() {
@@ -40,6 +40,17 @@ fn every_reexported_module_is_reachable() {
     // sim
     let outcome = sim::simulate(sim::Protocol::PurePeriodicCkpt, &params, 42);
     assert!(outcome.final_time >= params.epoch_duration);
+    let engine = sim::Engine::new(&params);
+    assert_eq!(engine.simulate(sim::Protocol::PurePeriodicCkpt, 42), outcome);
+
+    // bench: a one-point declarative sweep through the umbrella re-export
+    let results = bench::SweepSpec::new("smoke", params)
+        .axis(bench::Axis::values(bench::Parameter::Alpha, vec![0.5]))
+        .protocols(vec![sim::Protocol::PurePeriodicCkpt])
+        .run()
+        .unwrap();
+    assert_eq!(results.results.len(), 1);
+    assert!(results.results[0].model_waste > 0.0);
 
     // umbrella constant
     assert!(!abft_ckpt_composite::VERSION.is_empty());

@@ -1,100 +1,414 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with real data parallelism.
 //!
 //! The workspace builds in environments without network access, so the real
 //! `rayon` cannot be fetched.  This stand-in keeps the rayon-shaped call
-//! sites (`par_iter`, `par_chunks_mut`, rayon-style `reduce`) compiling by
-//! executing them **sequentially**.  Swapping this path dependency for the
-//! real crate restores parallelism with no source change.
+//! sites (`par_iter`, `par_chunks_mut`, `map`/`filter`/`enumerate`,
+//! rayon-style `fold`/`reduce`, `collect`, `sum`, `for_each`) compiling
+//! *and actually executes them in parallel*: terminal operations split the
+//! items into one contiguous block per worker and run each block on a
+//! [`std::thread::scope`] thread.  `collect` preserves item order, `reduce`
+//! combines per-block partial results exactly like rayon does, and
+//! [`ThreadPoolBuilder::num_threads`] bounds the worker count (defaulting to
+//! [`std::thread::available_parallelism`]).  Swapping this path dependency
+//! for the real crate restores work stealing with no source change.
 
-/// Sequential adapter that mimics the subset of rayon's parallel-iterator
-/// API used by the workspace.
-pub struct SeqIter<I>(I);
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-impl<I: Iterator> SeqIter<I> {
-    /// Maps each item, like `ParallelIterator::map`.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
-        SeqIter(self.0.map(f))
+/// Worker-count override installed by [`ThreadPoolBuilder::build_global`]
+/// (0 = follow the hardware).
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads terminal operations will use.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (the stand-in never
+/// fails; the type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Stand-in for rayon's global thread-pool configuration.  Unlike the real
+/// crate, calling [`ThreadPoolBuilder::build_global`] more than once simply
+/// replaces the configured worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts building the global pool configuration.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Enumerates items, like `IndexedParallelIterator::enumerate`.
-    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
-        SeqIter(self.0.enumerate())
+    /// Bounds the number of worker threads (0 = follow the hardware).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A composable, `Sync` transformation stack applied to every item on the
+/// worker threads (`None` = the item was filtered out).
+pub trait PipelineOp<In>: Sync {
+    /// Output item type of the stack.
+    type Out;
+    /// Applies the stack to one item.
+    fn apply(&self, item: In) -> Option<Self::Out>;
+}
+
+/// The empty pipeline: passes items through unchanged.
+pub struct Identity;
+
+impl<T> PipelineOp<T> for Identity {
+    type Out = T;
+    #[inline]
+    fn apply(&self, item: T) -> Option<T> {
+        Some(item)
+    }
+}
+
+/// Pipeline stage appended by [`ParIter::map`].
+pub struct MapOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, B, F> PipelineOp<In> for MapOp<P, F>
+where
+    P: PipelineOp<In>,
+    F: Fn(P::Out) -> B + Sync,
+{
+    type Out = B;
+    #[inline]
+    fn apply(&self, item: In) -> Option<B> {
+        self.prev.apply(item).map(&self.f)
+    }
+}
+
+/// Pipeline stage appended by [`ParIter::filter`].
+pub struct FilterOp<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F> PipelineOp<In> for FilterOp<P, F>
+where
+    P: PipelineOp<In>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+    #[inline]
+    fn apply(&self, item: In) -> Option<P::Out> {
+        self.prev.apply(item).filter(|x| (self.f)(x))
+    }
+}
+
+/// The stand-in parallel iterator: a source of items plus a `Sync` pipeline.
+/// Terminal operations distribute the items over scoped worker threads.
+pub struct ParIter<I, P> {
+    src: I,
+    op: P,
+    min_len: usize,
+}
+
+impl<I: Iterator> ParIter<I, Identity> {
+    fn from_source(src: I) -> Self {
+        Self {
+            src,
+            op: Identity,
+            min_len: 1,
+        }
+    }
+
+    /// Enumerates the source items, like
+    /// `IndexedParallelIterator::enumerate`.  (Only available before any
+    /// `map`/`filter`, which is how the workspace uses it.)
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>, Identity> {
+        ParIter {
+            src: self.src.enumerate(),
+            op: Identity,
+            min_len: self.min_len,
+        }
+    }
+}
+
+impl<I: Iterator, P: PipelineOp<I::Item>> ParIter<I, P> {
+    /// Maps each item, like `ParallelIterator::map`.
+    pub fn map<B, F: Fn(P::Out) -> B + Sync>(self, f: F) -> ParIter<I, MapOp<P, F>> {
+        ParIter {
+            src: self.src,
+            op: MapOp { prev: self.op, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Filters items, like `ParallelIterator::filter`.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
-        SeqIter(self.0.filter(f))
+    pub fn filter<F: Fn(&P::Out) -> bool + Sync>(self, f: F) -> ParIter<I, FilterOp<P, F>> {
+        ParIter {
+            src: self.src,
+            op: FilterOp { prev: self.op, f },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Lower-bounds the number of items each worker receives, like
+    /// `IndexedParallelIterator::with_min_len`.
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = len.max(1);
+        self
+    }
+}
+
+impl<I, P> ParIter<I, P>
+where
+    I: Iterator,
+    I::Item: Send,
+    P: PipelineOp<I::Item> + Sync,
+    P::Out: Send,
+{
+    /// Materialises the source, splits it into one contiguous block per
+    /// worker, runs `consume` on each block (on scoped threads when more
+    /// than one block is worth spawning) and returns the per-block results
+    /// in source order.
+    fn run_blocks<T, C>(self, consume: C) -> Vec<T>
+    where
+        T: Send,
+        C: Fn(std::vec::IntoIter<I::Item>, &P) -> T + Sync,
+    {
+        let Self { src, op, min_len } = self;
+        let items: Vec<I::Item> = src.collect();
+        let threads = current_num_threads();
+        if threads <= 1 || items.len() <= min_len {
+            return vec![consume(items.into_iter(), &op)];
+        }
+        let per_block = items.len().div_ceil(threads).max(min_len);
+        let mut blocks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        let mut rest = items;
+        while rest.len() > per_block {
+            let tail = rest.split_off(per_block);
+            blocks.push(std::mem::replace(&mut rest, tail));
+        }
+        blocks.push(rest);
+        if blocks.len() == 1 {
+            let only = blocks.pop().expect("one block");
+            return vec![consume(only.into_iter(), &op)];
+        }
+        let op = &op;
+        let consume = &consume;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .into_iter()
+                .map(|block| scope.spawn(move || consume(block.into_iter(), op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        })
     }
 
     /// Consumes every item, like `ParallelIterator::for_each`.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F: Fn(P::Out) + Sync>(self, f: F) {
+        self.run_blocks(|items, op| {
+            for item in items {
+                if let Some(out) = op.apply(item) {
+                    f(out);
+                }
+            }
+        });
     }
 
-    /// Rayon-style reduce: folds from `identity()` with `op`.
-    ///
-    /// Note the signature difference from `Iterator::reduce` — rayon takes an
-    /// identity constructor so partial results can be combined per thread.
-    pub fn reduce<F, G>(self, identity: G, op: F) -> I::Item
+    /// Rayon-style reduce: folds each worker's block from `identity()` with
+    /// `op`, then combines the per-block results with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Out
     where
-        F: Fn(I::Item, I::Item) -> I::Item,
-        G: Fn() -> I::Item,
+        ID: Fn() -> P::Out + Sync,
+        OP: Fn(P::Out, P::Out) -> P::Out + Sync,
     {
-        self.0.fold(identity(), op)
+        let parts = self.run_blocks(|items, pipe| {
+            items
+                .filter_map(|x| pipe.apply(x))
+                .fold(identity(), |a, b| op(a, b))
+        });
+        parts.into_iter().fold(identity(), |a, b| op(a, b))
+    }
+
+    /// Rayon-style fold: produces one accumulator per worker block; chain
+    /// with [`ParIter::reduce`] to combine them.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::vec::IntoIter<T>, Identity>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, P::Out) -> T + Sync,
+    {
+        let parts = self.run_blocks(|items, pipe| {
+            items
+                .filter_map(|x| pipe.apply(x))
+                .fold(identity(), |acc, x| fold_op(acc, x))
+        });
+        ParIter::from_source(parts.into_iter())
     }
 
     /// Collects into a container, like `ParallelIterator::collect`.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Item order is preserved.
+    pub fn collect<C: FromIterator<P::Out>>(self) -> C {
+        let parts = self.run_blocks(|items, pipe| {
+            items.filter_map(|x| pipe.apply(x)).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
     }
 
     /// Sums the items, like `ParallelIterator::sum`.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Hint accepted for compatibility; a no-op sequentially.
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Out> + std::iter::Sum<S> + Send,
+    {
+        let parts = self.run_blocks(|items, pipe| items.filter_map(|x| pipe.apply(x)).sum::<S>());
+        parts.into_iter().sum()
     }
 }
 
 /// The rayon prelude: extension traits providing `par_*` methods.
 pub mod prelude {
-    use super::SeqIter;
+    use super::{Identity, ParIter};
 
     /// `par_iter` / `par_chunks` over anything viewable as a slice.
     pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+        /// Parallel iterator over the slice's elements.
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>, Identity>;
+        /// Parallel iterator over non-overlapping chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>, Identity>;
     }
 
     /// `par_iter_mut` / `par_chunks_mut` over anything viewable as a mutable
     /// slice.
     pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+        /// Parallel iterator over mutable references to the elements.
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>, Identity>;
+        /// Parallel iterator over non-overlapping mutable chunks.
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> ParIter<std::slice::ChunksMut<'_, T>, Identity>;
     }
 
     impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
-        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
-            SeqIter(self.as_ref().iter())
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>, Identity> {
+            ParIter::from_source(self.as_ref().iter())
         }
-        fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
-            SeqIter(self.as_ref().chunks(chunk_size))
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>, Identity> {
+            ParIter::from_source(self.as_ref().chunks(chunk_size))
         }
     }
 
     impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
-        fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
-            SeqIter(self.as_mut().iter_mut())
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>, Identity> {
+            ParIter::from_source(self.as_mut().iter_mut())
         }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
-            SeqIter(self.as_mut().chunks_mut(chunk_size))
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> ParIter<std::slice::ChunksMut<'_, T>, Identity> {
+            ParIter::from_source(self.as_mut().chunks_mut(chunk_size))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let xs: Vec<u64> = (1..=1_000).collect();
+        let sum = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+    }
+
+    #[test]
+    fn fold_then_reduce_combines_partial_accumulators() {
+        let xs: Vec<u64> = (1..=1_000).collect();
+        let sum = xs
+            .par_iter()
+            .map(|&x| x)
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+    }
+
+    #[test]
+    fn filter_and_sum() {
+        let xs: Vec<u64> = (0..100).collect();
+        let evens: u64 = xs.par_iter().map(|&x| x).filter(|x| x % 2 == 0).sum();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).sum::<u64>());
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_every_chunk() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 8);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let visited = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..4_321).collect();
+        xs.par_iter().for_each(|_| {
+            visited.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(visited.load(Ordering::Relaxed), 4_321);
+    }
+
+    #[test]
+    fn thread_pool_builder_overrides_worker_count() {
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(super::current_num_threads() >= 1);
     }
 }
