@@ -56,6 +56,6 @@ pub use cholesky::{plain_cholesky, AbftCholesky};
 pub use error::AbftError;
 pub use fault::FaultInjector;
 pub use gemm::AbftGemm;
-pub use lu::{plain_lu, AbftLu};
+pub use lu::{blocked_lu, plain_lu, AbftLu};
 pub use matrix::Matrix;
 pub use overhead::{measure_overhead, OverheadReport};

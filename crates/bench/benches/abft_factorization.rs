@@ -1,12 +1,51 @@
 //! Criterion bench for the ABFT substrate: plain versus checksum-protected
-//! LU factorization (the measured counterpart of the paper's `φ` parameter)
-//! and the cost of a single-process recovery (`Recons_ABFT`).
+//! LU factorization (the measured counterpart of the paper's `φ` parameter),
+//! the cost of a single-process recovery (`Recons_ABFT`), and the
+//! before/after numbers of the tiled kernels — naive vs cache-tiled
+//! `matmul`, unblocked vs blocked right-looking LU.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ft_abft::lu::{plain_lu, AbftLu};
+use ft_abft::lu::{blocked_lu, plain_lu, AbftLu};
 use ft_abft::matrix::Matrix;
 use ft_platform::grid::ProcessGrid;
 use std::hint::black_box;
+
+/// Before/after the tiling of `Matrix::matmul`: the naive kernel walks the
+/// whole right-hand side once per output row, the tiled kernel streams
+/// 64-row panels over blocks of output rows.
+fn bench_matmul_tiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abft/matmul");
+    group.sample_size(10);
+    for n in [128usize, 256, 384] {
+        let a = Matrix::random(n, n, 11);
+        let b = Matrix::random(n, n, 12);
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul_naive(black_box(b)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(black_box(b)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Before/after the blocking of the right-looking LU: the unblocked kernel
+/// re-reads the whole trailing matrix at every elimination step, the
+/// blocked kernel batches `nb` steps into one rank-`nb` trailing update.
+fn bench_lu_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abft/lu_blocking");
+    group.sample_size(10);
+    for n in [96usize, 288, 512] {
+        let a = Matrix::random_diagonally_dominant(n, 13);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &a, |b, a| {
+            b.iter(|| black_box(plain_lu(black_box(a)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_nb32", n), &a, |b, a| {
+            b.iter(|| black_box(blocked_lu(black_box(a), 32).unwrap()))
+        });
+    }
+    group.finish();
+}
 
 fn bench_factorizations(c: &mut Criterion) {
     let grid = ProcessGrid::new(2, 2).unwrap();
@@ -48,5 +87,11 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_factorizations, bench_recovery);
+criterion_group!(
+    benches,
+    bench_matmul_tiling,
+    bench_lu_blocking,
+    bench_factorizations,
+    bench_recovery
+);
 criterion_main!(benches);

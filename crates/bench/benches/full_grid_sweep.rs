@@ -1,18 +1,29 @@
 //! Criterion bench for the sweep subsystem: whole-grid parallel execution
 //! versus the serial grid baseline on a reduced Figure-7 grid, reported as
-//! tasks per second.  This is the knob the ISSUE's acceptance criterion
-//! watches: grid-level parallelism must beat per-point replication
-//! (speedup > 1.5x on >= 4 cores; on a single-core host the two paths
-//! collapse to the same execution).
+//! tasks per second, plus the adaptive-replication comparison recorded in
+//! `BENCH_adaptive.json`: a fixed-1000-replication sweep versus an adaptive
+//! sweep targeting the same (worst-case) relative CI95, on one core.
 //!
 //! Run with `cargo bench -p ft-bench --bench full_grid_sweep`; the final
-//! lines print a JSON summary suitable for `BENCH_sweep.json`.
+//! lines print JSON summaries suitable for `BENCH_sweep.json` and
+//! `BENCH_adaptive.json`.  Set `FT_BENCH_SMOKE=1` (as CI does) to shrink
+//! the grids to a seconds-long smoke run.
+//!
+//! (The grid-parallelism acceptance criterion of PR 2 still applies:
+//! speedup > 1.5x on >= 4 cores; on a single-core host the two paths
+//! collapse to the same execution.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ft_bench::{figure7_base, Axis, Parameter, SweepSpec};
 use ft_platform::units::minutes;
+use ft_sim::ReplicationBudget;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Whether CI asked for the tiny smoke grids.
+fn smoke() -> bool {
+    std::env::var_os("FT_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
 
 /// A reduced Figure-7 grid: 4 MTBF x 3 alpha points, 3 protocols, 25
 /// replications per task = 36 tasks, 900 simulated executions.
@@ -26,6 +37,8 @@ fn reduced_fig7() -> SweepSpec {
 fn bench_grid_execution(c: &mut Criterion) {
     let spec = reduced_fig7();
     let mut group = c.benchmark_group("sweep/fig7_4x3x25reps");
+    // Real criterion rejects sample sizes below 10, so the smoke mode keeps
+    // the floor and relies on the tiny grid for speed.
     group.sample_size(10);
     group.bench_function("serial_grid", |b| {
         b.iter(|| black_box(spec.run_serial().unwrap()))
@@ -70,5 +83,92 @@ fn report_json(c: &mut Criterion) {
     c.bench_function("sweep/json_report_overhead", |b| b.iter(|| black_box(tasks)));
 }
 
-criterion_group!(benches, bench_grid_execution, report_json);
+/// The adaptive-replication win (ISSUE 3's acceptance criterion): on the
+/// reduced Figure-7 grid, run every task with a fixed 1000 replications,
+/// read off the *worst relative* CI95 that budget achieved, then rerun the
+/// grid adaptively with that precision as the stopping target.  Every point
+/// then meets the fixed run's worst-case precision while easy points stop
+/// hundreds of replications earlier; the JSON line (the `BENCH_adaptive.json`
+/// payload) reports both wall clocks, the speedup, and the replications
+/// actually used per point.
+fn report_adaptive_json(c: &mut Criterion) {
+    let fixed_reps = if smoke() { 60 } else { 1000 };
+    let min_reps = if smoke() { 20 } else { 100 };
+    let grid = |spec: SweepSpec| {
+        if smoke() {
+            spec.axis(Axis::linspace(Parameter::Mtbf, minutes(60.0), minutes(240.0), 2))
+                .axis(Axis::values(Parameter::Alpha, vec![0.0, 0.8]))
+        } else {
+            spec.axis(Axis::linspace(Parameter::Mtbf, minutes(60.0), minutes(240.0), 4))
+                .axis(Axis::linspace(Parameter::Alpha, 0.0, 1.0, 3))
+        }
+    };
+    // The serial grid path isolates the replication cost itself (this is a
+    // single-core acceptance figure; the parallel path would fold in
+    // scheduling noise on multi-core hosts).
+    let time = |spec: &SweepSpec| {
+        let runs = if smoke() { 1 } else { 3 };
+        let mut best = f64::INFINITY;
+        let mut results = None;
+        for _ in 0..runs {
+            let t = Instant::now();
+            let r = black_box(spec.run_serial().unwrap());
+            best = best.min(t.elapsed().as_secs_f64());
+            results = Some(r);
+        }
+        (best, results.expect("at least one run"))
+    };
+
+    let fixed_spec = grid(SweepSpec::new("fixed", figure7_base())).replications(fixed_reps);
+    let (fixed_seconds, fixed) = time(&fixed_spec);
+    // The loosest relative CI95 the fixed budget produced anywhere on the
+    // grid: the precision every point must reach.
+    let target = fixed
+        .results
+        .iter()
+        .filter_map(|r| r.sim.map(|s| s.ci95_waste / s.mean_waste.abs().max(1e-12)))
+        .fold(0.0f64, f64::max);
+
+    let adaptive_spec = grid(SweepSpec::new("adaptive", figure7_base())).budget(
+        ReplicationBudget::Adaptive {
+            rel_precision: target,
+            min: min_reps,
+            max: fixed_reps,
+        },
+    );
+    let (adaptive_seconds, adaptive) = time(&adaptive_spec);
+
+    let reps_used: Vec<usize> = adaptive
+        .results
+        .iter()
+        .filter_map(|r| r.sim.map(|s| s.replications))
+        .collect();
+    let reps_list = reps_used
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let grid_label = if smoke() {
+        "fig7 2x2 smoke grid, 3 protocols"
+    } else {
+        "fig7 4x3, 3 protocols"
+    };
+    println!(
+        "{{\"bench\": \"adaptive_vs_fixed\", \"grid\": \"{grid_label}\", \
+         \"threads\": 1, \"fixed_replications\": {fixed_reps}, \
+         \"target_rel_ci95\": {target:.5}, \
+         \"fixed_seconds\": {fixed_seconds:.4}, \"adaptive_seconds\": {adaptive_seconds:.4}, \
+         \"fixed_total_replications\": {}, \"adaptive_total_replications\": {}, \
+         \"adaptive_reps_per_task\": [{reps_list}], \
+         \"wall_clock_speedup\": {:.2}}}",
+        fixed.total_replications(),
+        adaptive.total_replications(),
+        fixed_seconds / adaptive_seconds,
+    );
+    c.bench_function("sweep/adaptive_report_overhead", |b| {
+        b.iter(|| black_box(reps_used.len()))
+    });
+}
+
+criterion_group!(benches, bench_grid_execution, report_json, report_adaptive_json);
 criterion_main!(benches);

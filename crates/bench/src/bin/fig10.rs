@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin fig10 -- \
-//!     [--points-per-decade 3] [--break-even] [--format table|csv|json]
+//!     [--points-per-decade 3] [--break-even] [--format table|csv|json] \
+//!     [--replications N | --precision 0.02] [--paired]
 //! ```
 
 use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};
@@ -43,7 +44,7 @@ fn main() {
         .axis(Axis::values(Parameter::Nodes, vec![1_000_000.0]))
         .protocols(vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt]);
         let results = run_cli(spec, &args);
-        let found = (0..results.grid_points).find(|&i| {
+        let found = (0..results.grid_points()).find(|&i| {
             results.waste_at(i, Protocol::PurePeriodicCkpt)
                 <= results.waste_at(i, Protocol::AbftPeriodicCkpt)
         });

@@ -7,8 +7,13 @@
 //! ```text
 //! cargo run -p ft-bench --release --bin fig7 -- \
 //!     [--protocol pure|bi|abft|all] [--mtbf-points 7] [--alpha-points 6] \
-//!     [--replications 200] [--seed 42] [--threads N] [--format table|csv|json]
+//!     [--replications 200 | --precision 0.02 [--min-replications 100] [--max-replications 10000]] \
+//!     [--paired] [--seed 42] [--threads N] [--format table|csv|json]
 //! ```
+//!
+//! `--precision` switches to adaptive sequential stopping (each point stops
+//! replicating once the waste CI95 meets the target); `--paired` replays the
+//! same failure traces to all protocols and adds paired-delta columns.
 
 use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
 use ft_platform::units::minutes;

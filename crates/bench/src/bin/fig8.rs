@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin fig8 -- \
-//!     [--points-per-decade 3] [--literal] [--format table|csv|json]
+//!     [--points-per-decade 3] [--literal] [--format table|csv|json] \
+//!     [--replications N | --precision 0.02] [--paired]
 //! ```
 
 use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};

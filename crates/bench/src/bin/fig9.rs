@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin fig9 -- \
-//!     [--points-per-decade 3] [--format table|csv|json]
+//!     [--points-per-decade 3] [--format table|csv|json] \
+//!     [--replications N | --precision 0.02] [--paired]
 //! ```
 
 use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};

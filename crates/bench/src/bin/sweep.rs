@@ -6,9 +6,13 @@
 //! ```text
 //! cargo run -p ft-bench --release --bin sweep -- \
 //!     --parameter rho|phi|checkpoint|downtime|recons|alpha|mtbf \
-//!     [--from 0.1] [--to 1.0] [--steps 10] [--replications 100] \
+//!     [--from 0.1] [--to 1.0] [--steps 10] \
+//!     [--replications 100 | --precision 0.02] [--paired] \
 //!     [--epochs 1] [--threads N] [--format table|csv|json]
 //! ```
+//!
+//! `--precision` enables adaptive sequential stopping, `--paired` pairs the
+//! protocols on common failure traces (tight CIs on waste differences).
 
 use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
 

@@ -5,16 +5,25 @@
 //! hand-rolling nested loops in every figure binary, a [`SweepSpec`]
 //! *declares* the experiment — a base parameter point (or a weak-scaling
 //! scenario), a list of [`Axis`] values to sweep, the protocols, the
-//! replication count — and [`SweepSpec::run`] executes the **whole expanded
-//! grid in parallel** (every `(point, protocol)` task is independent), not
-//! just the replications inside one point:
+//! replication budget — and [`SweepSpec::run`] executes the **whole expanded
+//! grid in parallel** (every task is independent), not just the replications
+//! inside one point:
 //!
 //! * expansion is a cartesian product of the axes, resolved to validated
 //!   [`ModelParams`] per point (or to a scenario evaluation when a
 //!   [`Parameter::Nodes`] axis is present);
 //! * each task derives its seed deterministically from the master seed and
-//!   the `(point, protocol)` identity, so results are independent of
-//!   execution order and thread count;
+//!   the task identity, so results are independent of execution order and
+//!   thread count;
+//! * the simulation arm runs under a [`ReplicationBudget`]: a fixed count
+//!   (the historical behaviour) or **adaptive sequential stopping** that
+//!   ends a point's replications as soon as the waste CI95 meets the
+//!   requested relative precision — most points need a fraction of the
+//!   fixed budget;
+//! * with [`SweepSpec::paired`], all protocols of a point replay the
+//!   **same** recorded failure traces (common random numbers) and the
+//!   output gains per-trace waste-difference columns whose confidence
+//!   intervals are far tighter than unpaired comparisons;
 //! * outcomes stream through the single Welford implementation
 //!   (`ft_sim::stats`) and render through the shared writer in
 //!   [`crate::output`] as an aligned table, CSV or JSON.
@@ -28,7 +37,7 @@ use ft_composite::params::ModelParams;
 use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
 use ft_platform::rng::SplitMix64;
-use ft_sim::replicate::{accumulate_profile, SimStats};
+use ft_sim::replicate::{accumulate_paired, accumulate_profile_budget, ReplicationBudget, SimStats};
 use ft_sim::validate::model_waste;
 use ft_sim::Protocol;
 use rayon::prelude::*;
@@ -171,11 +180,16 @@ pub struct SweepSpec {
     pub scaling: Option<WeakScalingScenario>,
     /// The grid dimensions (empty = evaluate `base` alone).
     pub axes: Vec<Axis>,
-    /// Protocols to evaluate at every point.
+    /// Protocols to evaluate at every point.  In paired mode the first
+    /// protocol is the baseline of every waste difference.
     pub protocols: Vec<Protocol>,
-    /// Monte-Carlo replications per `(point, protocol)` task (0 = model
+    /// Monte-Carlo replication budget per task (`Fixed(0)` = model
     /// predictions only).
-    pub replications: usize,
+    pub budget: ReplicationBudget,
+    /// When `true`, all protocols of a point replay the same recorded
+    /// failure traces (common random numbers) and per-trace waste
+    /// differences against the first protocol are reported.
+    pub paired: bool,
     /// Number of epochs of the simulated application profile.  Ignored in
     /// scenario mode, where the simulation arm unfolds the scenario's own
     /// epoch count to stay commensurable with the model arm.
@@ -193,7 +207,8 @@ impl SweepSpec {
             scaling: None,
             axes: Vec::new(),
             protocols: Protocol::all().to_vec(),
-            replications: 0,
+            budget: ReplicationBudget::Fixed(0),
+            paired: false,
             epochs: 1,
             seed: 42,
         }
@@ -223,9 +238,22 @@ impl SweepSpec {
         self
     }
 
-    /// Sets the Monte-Carlo replication count (0 = model only).
+    /// Sets a fixed Monte-Carlo replication count (0 = model only).
     pub fn replications(mut self, replications: usize) -> Self {
-        self.replications = replications;
+        self.budget = ReplicationBudget::Fixed(replications);
+        self
+    }
+
+    /// Sets an arbitrary replication budget (fixed or adaptive).
+    pub fn budget(mut self, budget: ReplicationBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables (or disables) common-random-numbers pairing of the
+    /// protocols at every point.
+    pub fn paired(mut self, paired: bool) -> Self {
+        self.paired = paired;
         self
     }
 
@@ -242,9 +270,9 @@ impl SweepSpec {
     }
 
     /// Expands the axes into the full point grid (cartesian product, last
-    /// axis fastest).
+    /// axis fastest).  The expansion is index arithmetic over the axis
+    /// lengths — no intermediate combination vectors are cloned.
     pub fn expand(&self) -> Result<Vec<GridPoint>, SweepError> {
-        let mut combos: Vec<Vec<(Parameter, f64)>> = vec![Vec::new()];
         for axis in &self.axes {
             if axis.values.is_empty() {
                 return Err(SweepError(format!(
@@ -252,21 +280,22 @@ impl SweepSpec {
                     axis.parameter.label()
                 )));
             }
-            combos = combos
-                .into_iter()
-                .flat_map(|combo| {
-                    axis.values.iter().map(move |&v| {
-                        let mut c = combo.clone();
-                        c.push((axis.parameter, v));
-                        c
-                    })
-                })
-                .collect();
         }
-        combos
-            .into_iter()
-            .enumerate()
-            .map(|(index, coordinates)| self.resolve(index, coordinates))
+        let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+        (0..total)
+            .map(|index| {
+                // Decompose the grid index with the last axis fastest.
+                let mut coordinates = Vec::with_capacity(self.axes.len() + 1);
+                let mut stride = total;
+                let mut rem = index;
+                for axis in &self.axes {
+                    stride /= axis.values.len();
+                    let i = rem / stride;
+                    rem %= stride;
+                    coordinates.push((axis.parameter, axis.values[i]));
+                }
+                self.resolve(index, coordinates)
+            })
             .collect()
     }
 
@@ -333,7 +362,8 @@ impl SweepSpec {
     }
 
     /// Executes the whole grid in parallel: one task per
-    /// `(point, protocol)`, spread over the available cores.
+    /// `(point, protocol)` — or per point in paired mode — spread over the
+    /// available cores.
     pub fn run(&self) -> Result<SweepResults, SweepError> {
         self.execute(true)
     }
@@ -346,35 +376,51 @@ impl SweepSpec {
 
     fn execute(&self, parallel: bool) -> Result<SweepResults, SweepError> {
         let grid = self.expand()?;
-        let tasks: Vec<(usize, Protocol)> = grid
-            .iter()
-            .flat_map(|gp| self.protocols.iter().map(move |&p| (gp.index, p)))
-            .collect();
         let started = Instant::now();
-        let results: Vec<PointResult> = if parallel {
-            tasks
-                .par_iter()
-                .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
-                .collect()
+        let results: Vec<PointResult> = if self.paired {
+            // Paired mode: protocols share failure traces, so the task
+            // granularity is one whole point.
+            let evals: Vec<Vec<PointResult>> = if parallel {
+                grid.par_iter().map(|gp| self.evaluate_paired(gp)).collect()
+            } else {
+                grid.iter().map(|gp| self.evaluate_paired(gp)).collect()
+            };
+            evals.into_iter().flatten().collect()
         } else {
-            tasks
+            let tasks: Vec<(usize, Protocol)> = grid
                 .iter()
-                .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
-                .collect()
+                .flat_map(|gp| self.protocols.iter().map(move |&p| (gp.index, p)))
+                .collect();
+            if parallel {
+                tasks
+                    .par_iter()
+                    .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
+                    .collect()
+            } else {
+                tasks
+                    .iter()
+                    .map(|&(i, protocol)| self.evaluate(&grid[i], protocol))
+                    .collect()
+            }
         };
+        let elapsed_seconds = started.elapsed().as_secs_f64();
+        // The coordinate vectors move out of the grid once, instead of being
+        // cloned into every (point, protocol) task result.
+        let points = grid.into_iter().map(|gp| gp.coordinates).collect();
         Ok(SweepResults {
             name: self.name.clone(),
-            replications: self.replications,
-            grid_points: grid.len(),
-            elapsed_seconds: started.elapsed().as_secs_f64(),
+            budget: self.budget,
+            paired: self.paired,
+            points,
+            elapsed_seconds,
             results,
         })
     }
 
-    /// Evaluates one `(point, protocol)` task: the model prediction plus
-    /// (when `replications > 0`) a Monte-Carlo simulation arm.
-    fn evaluate(&self, point: &GridPoint, protocol: Protocol) -> PointResult {
-        let (model, expected_failures) = match point.scenario {
+    /// The model arm of one `(point, protocol)` task: predicted waste and
+    /// expected failure count.
+    fn model_arm(&self, point: &GridPoint, protocol: Protocol) -> (f64, f64) {
+        match point.scenario {
             Some((scenario, nodes)) => match scenario.point(nodes) {
                 Ok(sp) => {
                     let pp = match protocol {
@@ -397,28 +443,37 @@ impl SweepSpec {
                 };
                 (waste, expected)
             }
-        };
+        }
+    }
+
+    /// The application profile the simulation arm unfolds at one point: in
+    /// scenario mode the scenario's own epoch count (Figures 8-10 amortize
+    /// checkpoints over 1000 epochs), otherwise the spec's `epochs` knob.
+    fn sim_profile(&self, point: &GridPoint, params: &ModelParams) -> ApplicationProfile {
+        match point.scenario {
+            Some((scenario, nodes)) => ApplicationProfile::uniform(
+                scenario.epochs,
+                scenario.general_duration(nodes),
+                scenario.library_duration(nodes),
+            )
+            .expect("scenario durations are non-negative"),
+            None => ApplicationProfile::from_params_repeated(params, self.epochs),
+        }
+    }
+
+    /// Evaluates one `(point, protocol)` task: the model prediction plus
+    /// (when the budget runs replications) a Monte-Carlo simulation arm.
+    fn evaluate(&self, point: &GridPoint, protocol: Protocol) -> PointResult {
+        let (model, expected_failures) = self.model_arm(point, protocol);
         let sim = match point.params {
-            Some(params) if self.replications > 0 => {
-                // The simulated profile must cover the same application the
-                // model arm prices: in scenario mode that is the scenario's
-                // own epoch count (Figures 8-10 amortize checkpoints over
-                // 1000 epochs), otherwise the spec's `epochs` knob.
-                let profile = match point.scenario {
-                    Some((scenario, nodes)) => ApplicationProfile::uniform(
-                        scenario.epochs,
-                        scenario.general_duration(nodes),
-                        scenario.library_duration(nodes),
-                    )
-                    .expect("scenario durations are non-negative"),
-                    None => ApplicationProfile::from_params_repeated(&params, self.epochs),
-                };
-                let acc = accumulate_profile(
+            Some(params) if self.budget.runs_simulation() => {
+                let profile = self.sim_profile(point, &params);
+                let acc = accumulate_profile_budget(
                     protocol,
                     &params,
                     &profile,
-                    self.replications,
-                    task_seed(self.seed, point.index as u64, protocol),
+                    self.budget,
+                    task_seed(self.seed, point.index as u64, Some(protocol)),
                 );
                 Some(SimStats::from_accumulator(protocol, &acc))
             }
@@ -426,12 +481,57 @@ impl SweepSpec {
         };
         PointResult {
             index: point.index,
-            coordinates: point.coordinates.clone(),
             protocol,
             model_waste: model,
             expected_failures,
             sim,
+            paired: None,
         }
+    }
+
+    /// Evaluates one whole point in paired mode: every protocol replays the
+    /// same failure traces, and waste differences against the first protocol
+    /// ride along with each non-baseline row.
+    fn evaluate_paired(&self, point: &GridPoint) -> Vec<PointResult> {
+        let sim = match point.params {
+            Some(params) if self.budget.runs_simulation() => {
+                let profile = self.sim_profile(point, &params);
+                Some(accumulate_paired(
+                    &self.protocols,
+                    &params,
+                    &profile,
+                    self.budget,
+                    task_seed(self.seed, point.index as u64, None),
+                ))
+            }
+            _ => None,
+        };
+        self.protocols
+            .iter()
+            .enumerate()
+            .map(|(i, &protocol)| {
+                let (model, expected_failures) = self.model_arm(point, protocol);
+                let (stats, paired) = match &sim {
+                    Some(acc) => (
+                        Some(SimStats::from_accumulator(protocol, &acc.outcomes[i])),
+                        acc.delta(protocol).map(|d| PairedDelta {
+                            baseline: self.protocols[0],
+                            mean: d.mean(),
+                            ci95: d.ci95_half_width(),
+                        }),
+                    ),
+                    None => (None, None),
+                };
+                PointResult {
+                    index: point.index,
+                    protocol,
+                    model_waste: model,
+                    expected_failures,
+                    sim: stats,
+                    paired,
+                }
+            })
+            .collect()
     }
 }
 
@@ -454,13 +554,15 @@ fn apply(
     }
 }
 
-/// Derives the seed of one `(point, protocol)` task from the master seed.
-/// Independent of execution order and thread count.
-fn task_seed(master: u64, point_index: u64, protocol: Protocol) -> u64 {
+/// Derives the seed of one task from the master seed: per
+/// `(point, protocol)` for independent tasks, per point (protocol `None`)
+/// for paired tasks.  Independent of execution order and thread count.
+fn task_seed(master: u64, point_index: u64, protocol: Option<Protocol>) -> u64 {
     let tag = match protocol {
-        Protocol::PurePeriodicCkpt => 1u64,
-        Protocol::BiPeriodicCkpt => 2,
-        Protocol::AbftPeriodicCkpt => 3,
+        None => 0u64,
+        Some(Protocol::PurePeriodicCkpt) => 1,
+        Some(Protocol::BiPeriodicCkpt) => 2,
+        Some(Protocol::AbftPeriodicCkpt) => 3,
     };
     SplitMix64::new(
         master
@@ -485,13 +587,24 @@ pub struct GridPoint {
     pub scenario: Option<(WeakScalingScenario, f64)>,
 }
 
-/// The outcome of one `(point, protocol)` task.
+/// Common-random-numbers waste difference of one protocol against the
+/// paired baseline, over the shared failure traces of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedDelta {
+    /// The protocol the difference is measured against.
+    pub baseline: Protocol,
+    /// Mean per-trace waste difference `this − baseline`.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval of the difference.
+    pub ci95: f64,
+}
+
+/// The outcome of one `(point, protocol)` task.  Coordinates live once per
+/// point in [`SweepResults::points`], keyed by [`PointResult::index`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointResult {
     /// Grid-point index the task belongs to.
     pub index: usize,
-    /// The point's coordinates.
-    pub coordinates: Vec<(Parameter, f64)>,
     /// Protocol evaluated.
     pub protocol: Protocol,
     /// Waste predicted by the closed-form model (or scenario evaluation).
@@ -500,6 +613,9 @@ pub struct PointResult {
     pub expected_failures: f64,
     /// Monte-Carlo statistics, when the sweep has a simulation arm.
     pub sim: Option<SimStats>,
+    /// Paired waste difference against the baseline protocol (paired mode,
+    /// non-baseline rows only).
+    pub paired: Option<PairedDelta>,
 }
 
 impl PointResult {
@@ -521,10 +637,13 @@ impl PointResult {
 pub struct SweepResults {
     /// Experiment title.
     pub name: String,
-    /// Replications per task (0 = model only).
-    pub replications: usize,
-    /// Number of grid points (tasks = points × protocols).
-    pub grid_points: usize,
+    /// Replication budget each task ran under.
+    pub budget: ReplicationBudget,
+    /// Whether protocols were paired on common failure traces.
+    pub paired: bool,
+    /// Coordinates of each grid point, in grid order (one entry per point,
+    /// shared by that point's protocol rows).
+    pub points: Vec<Vec<(Parameter, f64)>>,
     /// Wall-clock execution time of the grid.
     pub elapsed_seconds: f64,
     /// One result per `(point, protocol)` task, in grid order.
@@ -532,6 +651,11 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
+    /// Number of grid points (tasks = points × protocols).
+    pub fn grid_points(&self) -> usize {
+        self.points.len()
+    }
+
     /// Executed tasks per wall-clock second.
     pub fn tasks_per_second(&self) -> f64 {
         if self.elapsed_seconds > 0.0 {
@@ -541,17 +665,23 @@ impl SweepResults {
         }
     }
 
-    /// The coordinate value of grid point `index` on `parameter`.
-    pub fn coordinate(&self, index: usize, parameter: Parameter) -> Option<f64> {
+    /// Total simulated executions across the grid (replications actually
+    /// used — the quantity the adaptive budget shrinks).
+    pub fn total_replications(&self) -> usize {
         self.results
             .iter()
-            .find(|r| r.index == index)
-            .and_then(|r| {
-                r.coordinates
-                    .iter()
-                    .find(|(p, _)| *p == parameter)
-                    .map(|&(_, v)| v)
-            })
+            .filter_map(|r| r.sim.map(|s| s.replications))
+            .sum()
+    }
+
+    /// The coordinate value of grid point `index` on `parameter`.
+    pub fn coordinate(&self, index: usize, parameter: Parameter) -> Option<f64> {
+        self.points.get(index).and_then(|coords| {
+            coords
+                .iter()
+                .find(|(p, _)| *p == parameter)
+                .map(|&(_, v)| v)
+        })
     }
 
     /// The waste of `protocol` at grid point `index` (simulated when
@@ -567,7 +697,7 @@ impl SweepResults {
     /// waste drops below PurePeriodicCkpt's, reported as that point's value
     /// on `axis` — the crossover annotation of Figures 8–10.
     pub fn crossover(&self, axis: Parameter) -> Option<f64> {
-        (0..self.grid_points).find_map(|i| {
+        (0..self.grid_points()).find_map(|i| {
             let pure = self.waste_at(i, Protocol::PurePeriodicCkpt)?;
             let composite = self.waste_at(i, Protocol::AbftPeriodicCkpt)?;
             (composite < pure).then(|| self.coordinate(i, axis))?
@@ -585,35 +715,48 @@ impl SweepResults {
 
     /// Renders the results as a [`Table`] for the shared output writer.
     pub fn to_table(&self) -> Table {
+        let has_sim = self.budget.runs_simulation();
         let mut headers: Vec<&str> = Vec::new();
-        if let Some(first) = self.results.first() {
-            for (p, _) in &first.coordinates {
+        if let Some(first) = self.points.first() {
+            for (p, _) in first {
                 headers.push(p.label());
             }
         }
         headers.extend(["protocol", "model_waste", "expected_failures"]);
-        if self.replications > 0 {
-            headers.extend(["sim_waste", "diff", "ci95", "mean_failures"]);
+        if has_sim {
+            headers.extend(["sim_waste", "diff", "ci95", "mean_failures", "reps"]);
+        }
+        if self.paired {
+            headers.extend(["paired_delta", "paired_ci95"]);
         }
         let mut table = Table::new(&headers);
         for r in &self.results {
-            let mut row: Vec<String> = r
-                .coordinates
+            let mut row: Vec<String> = self.points[r.index]
                 .iter()
                 .map(|&(p, v)| format_value(p, v))
                 .collect();
             row.push(r.protocol.name().to_string());
             row.push(format!("{:.4}", r.model_waste));
             row.push(format!("{:.1}", r.expected_failures));
-            if self.replications > 0 {
+            if has_sim {
                 match r.sim {
                     Some(s) => {
                         row.push(format!("{:.4}", s.mean_waste));
                         row.push(format!("{:+.4}", s.mean_waste - r.model_waste));
                         row.push(format!("{:.4}", s.ci95_waste));
                         row.push(format!("{:.1}", s.mean_failures));
+                        row.push(format!("{}", s.replications));
                     }
-                    None => row.extend(std::iter::repeat_n(String::new(), 4)),
+                    None => row.extend(std::iter::repeat_n(String::new(), 5)),
+                }
+            }
+            if self.paired {
+                match r.paired {
+                    Some(d) => {
+                        row.push(format!("{:+.4}", d.mean));
+                        row.push(format!("{:.4}", d.ci95));
+                    }
+                    None => row.extend(std::iter::repeat_n(String::new(), 2)),
                 }
             }
             table.push_row(row);
@@ -642,13 +785,33 @@ fn format_value(parameter: Parameter, v: f64) -> String {
     }
 }
 
-/// Applies the shared CLI knobs (`--replications`, `--seed`, `--epochs`,
-/// `--threads`) to a spec, runs it (serially with `--serial`) and prints the
-/// header, the rendered grid (`--format table|csv|json`, with `--csv` as a
-/// shorthand) and a throughput footer.  Returns the results for
-/// binary-specific footers.
+/// Applies the shared CLI knobs (`--replications`, `--precision`,
+/// `--min-replications`, `--max-replications`, `--paired`, `--seed`,
+/// `--epochs`, `--threads`) to a spec, runs it (serially with `--serial`)
+/// and prints the header, the rendered grid
+/// (`--format table|csv|json`, with `--csv` as a shorthand) and a
+/// throughput footer.  Returns the results for binary-specific footers.
+///
+/// `--precision 0.02` switches the budget to adaptive sequential stopping:
+/// each point replicates until the waste CI95 half-width falls below 2 % of
+/// the mean (bracketed by `--min-replications`/`--max-replications`).
+/// `--paired` replays the same failure traces to every protocol and adds
+/// the paired waste-difference columns.
 pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
-    spec.replications = args.value("--replications", spec.replications);
+    if let Some(n) = args.maybe_value::<usize>("--replications") {
+        spec.budget = ReplicationBudget::Fixed(n);
+    }
+    let precision: f64 = args.value("--precision", 0.0);
+    if precision > 0.0 {
+        spec.budget = ReplicationBudget::Adaptive {
+            rel_precision: precision,
+            min: args.value("--min-replications", 100),
+            max: args.value("--max-replications", 10_000),
+        };
+    }
+    if args.flag("--paired") {
+        spec.paired = true;
+    }
     spec.seed = args.value("--seed", spec.seed);
     spec.epochs = args.value("--epochs", spec.epochs).max(1);
     let threads: usize = args.value("--threads", 0);
@@ -677,16 +840,18 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     });
     println!("# {}", results.name);
     println!(
-        "# {} grid points x {} protocols, {} replications per task, {} epochs",
-        results.grid_points,
+        "# {} grid points x {} protocols, budget {} per task{}, {} epochs",
+        results.grid_points(),
         spec.protocols.len(),
-        spec.replications,
+        spec.budget,
+        if spec.paired { " (paired)" } else { "" },
         spec.epochs,
     );
     print!("{}", results.render(format));
     println!(
-        "# {} tasks in {:.2} s ({:.0} tasks/s) on {} threads",
+        "# {} tasks ({} simulated executions) in {:.2} s ({:.0} tasks/s) on {} threads",
         results.results.len(),
+        results.total_replications(),
         results.elapsed_seconds,
         results.tasks_per_second(),
         rayon::current_num_threads(),
@@ -734,11 +899,13 @@ mod tests {
         let spec = SweepSpec::new("t", figure7_base())
             .axis(Axis::linspace(Parameter::Alpha, 0.0, 1.0, 3));
         let results = spec.run().unwrap();
-        assert_eq!(results.grid_points, 3);
+        assert_eq!(results.grid_points(), 3);
         assert_eq!(results.results.len(), 9);
+        assert_eq!(results.total_replications(), 0);
         for r in &results.results {
             assert!(r.model_waste >= 0.0 && r.model_waste <= 1.0);
             assert!(r.sim.is_none());
+            assert!(r.paired.is_none());
             assert!(r.expected_failures.is_finite());
         }
     }
@@ -759,14 +926,16 @@ mod tests {
 
     #[test]
     fn task_seeds_differ_per_point_and_protocol() {
-        let a = task_seed(42, 0, Protocol::PurePeriodicCkpt);
-        let b = task_seed(42, 1, Protocol::PurePeriodicCkpt);
-        let c = task_seed(42, 0, Protocol::AbftPeriodicCkpt);
-        let d = task_seed(43, 0, Protocol::PurePeriodicCkpt);
+        let a = task_seed(42, 0, Some(Protocol::PurePeriodicCkpt));
+        let b = task_seed(42, 1, Some(Protocol::PurePeriodicCkpt));
+        let c = task_seed(42, 0, Some(Protocol::AbftPeriodicCkpt));
+        let d = task_seed(43, 0, Some(Protocol::PurePeriodicCkpt));
+        let e = task_seed(42, 0, None);
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
-        assert_eq!(a, task_seed(42, 0, Protocol::PurePeriodicCkpt));
+        assert_ne!(a, e);
+        assert_eq!(a, task_seed(42, 0, Some(Protocol::PurePeriodicCkpt)));
     }
 
     #[test]
@@ -775,7 +944,7 @@ mod tests {
         let spec = SweepSpec::scaling("fig8", scenario)
             .axis(Axis::decades(Parameter::Nodes, 3, 6, 1));
         let results = spec.run().unwrap();
-        assert_eq!(results.grid_points, 4);
+        assert_eq!(results.grid_points(), 4);
         for (i, &nodes) in paper_node_counts().iter().enumerate() {
             let sp = scenario.point(nodes).unwrap();
             let pure = results.waste_at(i, Protocol::PurePeriodicCkpt).unwrap();
@@ -823,10 +992,67 @@ mod tests {
         let r = &results.results[0];
         let sim = r.sim.expect("simulation arm ran");
         assert_eq!(sim.replications, 50);
+        assert_eq!(results.total_replications(), 50);
         assert!(sim.mean_waste > 0.0 && sim.mean_waste < 1.0);
         assert!(results.worst_model_sim_gap().unwrap() < 0.06);
         let table = results.to_table();
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn adaptive_budget_uses_fewer_replications_per_easy_point() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.3, 0.8]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .budget(ReplicationBudget::Adaptive {
+                rel_precision: 0.05,
+                min: 50,
+                max: 1_000,
+            });
+        let results = spec.run().unwrap();
+        for r in &results.results {
+            let sim = r.sim.expect("adaptive budgets always simulate");
+            assert!(sim.replications >= 50);
+            assert!(
+                sim.replications < 1_000,
+                "5 % precision should stop early, used {}",
+                sim.replications
+            );
+            assert!(sim.ci95_waste <= 0.05 * sim.mean_waste);
+        }
+        // The rendered table reports the replications actually used.
+        let table = results.to_table();
+        assert!(results.render(OutputFormat::Csv).lines().next().unwrap().contains("reps"));
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn paired_sweeps_report_deltas_and_match_serial_execution() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.8]))
+            .replications(60)
+            .paired(true);
+        let par = spec.run().unwrap();
+        let ser = spec.run_serial().unwrap();
+        assert_eq!(par.results, ser.results);
+        assert_eq!(par.results.len(), 3);
+        // Baseline row (pure) carries no delta; the others do.
+        assert!(par.results[0].paired.is_none());
+        for r in &par.results[1..] {
+            let d = r.paired.expect("non-baseline rows carry a delta");
+            assert_eq!(d.baseline, Protocol::PurePeriodicCkpt);
+            let sim = r.sim.unwrap();
+            let marginal = sim.mean_waste - par.results[0].sim.unwrap().mean_waste;
+            assert!((d.mean - marginal).abs() < 1e-12);
+            // CRN pairing: the delta interval is no wider than the
+            // independent-runs interval.
+            let independent = (sim.ci95_waste.powi(2)
+                + par.results[0].sim.unwrap().ci95_waste.powi(2))
+            .sqrt();
+            assert!(d.ci95 <= independent, "paired {} vs independent {independent}", d.ci95);
+        }
+        let csv = par.render(OutputFormat::Csv);
+        assert!(csv.lines().next().unwrap().contains("paired_delta"));
     }
 
     #[test]

@@ -59,12 +59,16 @@ impl Args {
 
     /// The value following `--name`, parsed, or `default`.
     pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.maybe_value(name).unwrap_or(default)
+    }
+
+    /// The value following `--name`, parsed, when the flag is present.
+    pub fn maybe_value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         self.raw
             .iter()
             .position(|a| a == name)
             .and_then(|i| self.raw.get(i + 1))
             .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
     }
 
     /// The string value following `--name`, or `default`.

@@ -142,6 +142,24 @@ fn gamma(x: f64) -> f64 {
     }
 }
 
+/// A source of *absolute* failure times, consumed one at a time by the
+/// simulation clock.
+///
+/// Two families implement it:
+///
+/// * [`FailureStream`] — samples a fresh sequence from a [`FailureModel`]
+///   (every consumer sees an independent sequence);
+/// * [`crate::trace::TraceCursor`] — replays a recorded sequence from a
+///   [`crate::trace::TraceBuffer`], so several consumers can see the **same**
+///   failures (common random numbers).
+pub trait FailureSource {
+    /// Absolute time of the next failure (advances the source).
+    fn next_failure(&mut self) -> f64;
+
+    /// Mean inter-arrival time of the underlying model (the platform MTBF).
+    fn mean_interarrival(&self) -> f64;
+}
+
 /// Stateful failure-time generator: turns an inter-arrival model into an
 /// absolute-time stream of failures starting at `t = 0`.
 #[derive(Debug, Clone)]
@@ -178,6 +196,18 @@ impl<M: FailureModel> Iterator for FailureStream<M> {
 
     fn next(&mut self) -> Option<f64> {
         Some(self.next_failure())
+    }
+}
+
+impl<M: FailureModel> FailureSource for FailureStream<M> {
+    #[inline]
+    fn next_failure(&mut self) -> f64 {
+        FailureStream::next_failure(self)
+    }
+
+    #[inline]
+    fn mean_interarrival(&self) -> f64 {
+        self.model.mean()
     }
 }
 

@@ -38,10 +38,10 @@ pub mod units;
 
 pub use cluster::Cluster;
 pub use error::PlatformError;
-pub use failure::{ExponentialFailures, FailureModel, WeibullFailures};
+pub use failure::{ExponentialFailures, FailureModel, FailureSource, FailureStream, WeibullFailures};
 pub use grid::ProcessGrid;
 pub use memory::DatasetLayout;
 pub use node::Node;
-pub use rng::{DeterministicRng, SplitMix64, Xoshiro256};
+pub use rng::{DeterministicRng, SeedStream, SplitMix64, Xoshiro256};
 pub use storage::{BandwidthBound, ConstantCost, Hierarchical, StorageModel};
-pub use trace::{FailureEvent, FailureTrace};
+pub use trace::{FailureEvent, FailureTrace, TraceBuffer, TraceCursor};

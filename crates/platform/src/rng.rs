@@ -202,12 +202,54 @@ impl DeterministicRng for Xoshiro256 {
     }
 }
 
+/// An allocation-free stream of independent seeds derived from a master seed.
+///
+/// This is how the simulator hands one seed to each Monte-Carlo replication:
+/// the `i`-th item of `SeedStream::new(master)` is exactly
+/// `derive_seeds(master, n)[i]`, but no intermediate `Vec<u64>` is ever
+/// materialised, which matters on the sweep fast path where every grid point
+/// used to allocate (and immediately throw away) a thousand-entry seed
+/// vector.  For parallel consumers, [`SeedStream::nth_seed`] computes any
+/// position of the stream in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    sm: SplitMix64,
+}
+
+impl SeedStream {
+    /// Starts the seed stream of a master seed.
+    #[inline]
+    pub fn new(master: u64) -> Self {
+        Self {
+            sm: SplitMix64::new(master),
+        }
+    }
+
+    /// The `index`-th seed of `master`'s stream, in O(1): SplitMix64's state
+    /// advances by a fixed constant per draw, so any position can be reached
+    /// directly instead of iterating.
+    #[inline]
+    pub fn nth_seed(master: u64, index: u64) -> u64 {
+        let state = master.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
+        SplitMix64::new(state).derive_seed()
+    }
+}
+
+impl Iterator for SeedStream {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        Some(self.sm.derive_seed())
+    }
+}
+
 /// Derives `count` independent seeds from a master seed.
 ///
-/// This is how the simulator hands one seed to each Monte-Carlo replication.
+/// Allocating convenience over [`SeedStream`]; prefer the stream (or
+/// [`SeedStream::nth_seed`]) on hot paths.
 pub fn derive_seeds(master: u64, count: usize) -> Vec<u64> {
-    let mut sm = SplitMix64::new(master);
-    (0..count).map(|_| sm.derive_seed()).collect()
+    SeedStream::new(master).take(count).collect()
 }
 
 #[cfg(test)]
@@ -278,6 +320,22 @@ mod tests {
             for _ in 0..1_000 {
                 assert!(rng.next_below(bound) < bound);
             }
+        }
+    }
+
+    #[test]
+    fn seed_stream_matches_derive_seeds() {
+        let seeds = derive_seeds(0xABCD_EF01, 500);
+        let streamed: Vec<u64> = SeedStream::new(0xABCD_EF01).take(500).collect();
+        assert_eq!(seeds, streamed);
+    }
+
+    #[test]
+    fn nth_seed_is_random_access_into_the_stream() {
+        let master = 0x1234_5678_9ABC_DEF0;
+        let streamed: Vec<u64> = SeedStream::new(master).take(100).collect();
+        for (i, &s) in streamed.iter().enumerate() {
+            assert_eq!(SeedStream::nth_seed(master, i as u64), s, "index {i}");
         }
     }
 

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_positive, Result};
-use crate::failure::FailureModel;
+use crate::failure::{FailureModel, FailureSource};
 use crate::rng::{DeterministicRng, Xoshiro256};
 
 /// One failure: an absolute timestamp and the rank of the victim process.
@@ -148,6 +148,133 @@ impl FailureTrace {
     }
 }
 
+/// A reusable recording buffer of one sampled failure sequence — the
+/// common-random-numbers workhorse of the replication fast path.
+///
+/// Failure times are sampled **lazily** from the model, in exactly the order
+/// a [`crate::failure::FailureStream`] with the same model and seed would
+/// produce them, and are memoised so the sequence can be replayed any number
+/// of times through [`TraceBuffer::cursor`].  Replaying the same buffer to
+/// several protocol executors makes their comparison *paired*: every
+/// protocol faces the same adversity, and per-trace differences cancel the
+/// shared sampling noise.
+///
+/// The buffer is reused across replications: [`TraceBuffer::reset`] reseeds
+/// the generator and clears the recorded times while keeping the allocation,
+/// so a whole parameter point (a thousand replications × three protocols)
+/// touches the allocator only when a replication sees more failures than any
+/// one before it.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer<M: FailureModel> {
+    model: M,
+    rng: Xoshiro256,
+    seed: u64,
+    times: Vec<f64>,
+    last: f64,
+}
+
+impl<M: FailureModel> TraceBuffer<M> {
+    /// Creates a buffer over `model`, seeded for its first replication.
+    pub fn new(model: M, seed: u64) -> Self {
+        Self {
+            model,
+            rng: Xoshiro256::seed_from_u64(seed),
+            seed,
+            times: Vec::new(),
+            last: 0.0,
+        }
+    }
+
+    /// Starts a fresh failure sequence for the next replication, keeping the
+    /// buffer's allocation.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = Xoshiro256::seed_from_u64(seed);
+        self.seed = seed;
+        self.times.clear();
+        self.last = 0.0;
+    }
+
+    /// Absolute time of the `index`-th failure of the current sequence,
+    /// sampling (and recording) any failures not yet drawn.
+    pub fn time(&mut self, index: usize) -> f64 {
+        while self.times.len() <= index {
+            self.last += self.model.next_interarrival(&mut self.rng);
+            self.times.push(self.last);
+        }
+        self.times[index]
+    }
+
+    /// The failure times sampled so far in the current sequence.
+    #[inline]
+    pub fn sampled(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The underlying inter-arrival model.
+    #[inline]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// A replay cursor positioned at the start of the sequence.  Cursors
+    /// borrow the buffer mutably (replaying may need to extend the
+    /// recording), so executors consume them one after the other.
+    pub fn cursor(&mut self) -> TraceCursor<'_, M> {
+        TraceCursor {
+            buffer: self,
+            next: 0,
+        }
+    }
+
+    /// Freezes the currently recorded sequence into a [`FailureTrace`] over
+    /// `ranks` processes.  Victim ranks come from a *separate* generator
+    /// derived from the replication seed — never from the buffer's sampling
+    /// generator — so freezing a trace neither perturbs later lazy
+    /// extensions of the sequence (the bit-identical replay contract holds)
+    /// nor varies between repeated calls.
+    pub fn to_trace(&mut self, horizon: f64, ranks: usize) -> Result<FailureTrace> {
+        let ranks = ranks.max(1);
+        // Materialise every failure up to the horizon.
+        let mut i = 0;
+        while self.time(i) <= horizon {
+            i += 1;
+        }
+        let mut rank_rng =
+            Xoshiro256::seed_from_u64(crate::rng::SplitMix64::new(!self.seed).derive_seed());
+        let cutoff = self.times.iter().take_while(|&&t| t <= horizon).count();
+        let mut events = Vec::with_capacity(cutoff);
+        for k in 0..cutoff {
+            events.push(FailureEvent {
+                time: self.times[k],
+                rank: rank_rng.index(ranks),
+            });
+        }
+        FailureTrace::from_events(events, horizon, ranks)
+    }
+}
+
+/// A replay position into a [`TraceBuffer`]: yields the recorded failure
+/// sequence from the beginning, extending the recording on demand.
+#[derive(Debug)]
+pub struct TraceCursor<'a, M: FailureModel> {
+    buffer: &'a mut TraceBuffer<M>,
+    next: usize,
+}
+
+impl<M: FailureModel> FailureSource for TraceCursor<'_, M> {
+    #[inline]
+    fn next_failure(&mut self) -> f64 {
+        let t = self.buffer.time(self.next);
+        self.next += 1;
+        t
+    }
+
+    #[inline]
+    fn mean_interarrival(&self) -> f64 {
+        self.buffer.model.mean()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +378,85 @@ mod tests {
         let t = FailureTrace::generate(&m, units::days(1.0), 10, 21).unwrap();
         let replayed: Vec<FailureEvent> = t.replay().collect();
         assert_eq!(replayed.as_slice(), t.events());
+    }
+
+    #[test]
+    fn trace_buffer_matches_a_failure_stream_bit_for_bit() {
+        use crate::failure::{FailureSource, FailureStream};
+        let m = exp_model(units::hours(2.0));
+        let mut stream = FailureStream::new(m, 77);
+        let mut buffer = TraceBuffer::new(m, 77);
+        let mut cursor = buffer.cursor();
+        for _ in 0..200 {
+            assert_eq!(
+                stream.next_failure().to_bits(),
+                FailureSource::next_failure(&mut cursor).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_buffer_replays_identically_to_every_cursor() {
+        use crate::failure::FailureSource;
+        let m = exp_model(units::minutes(90.0));
+        let mut buffer = TraceBuffer::new(m, 5);
+        let first: Vec<f64> = {
+            let mut c = buffer.cursor();
+            (0..50).map(|_| c.next_failure()).collect()
+        };
+        // A second cursor — possibly reading further — sees the same prefix.
+        let second: Vec<f64> = {
+            let mut c = buffer.cursor();
+            (0..80).map(|_| c.next_failure()).collect()
+        };
+        assert_eq!(first.as_slice(), &second[..50]);
+        assert_eq!(buffer.sampled().len(), 80);
+        assert!((buffer.cursor().mean_interarrival() - units::minutes(90.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_buffer_reset_starts_a_fresh_sequence_and_keeps_capacity() {
+        let m = exp_model(units::hours(1.0));
+        let mut buffer = TraceBuffer::new(m, 1);
+        let a = buffer.time(99);
+        let cap = buffer.sampled().len();
+        buffer.reset(2);
+        assert!(buffer.sampled().is_empty());
+        let b = buffer.time(99);
+        assert_ne!(a.to_bits(), b.to_bits());
+        // Same seed again: identical sequence.
+        buffer.reset(1);
+        assert_eq!(buffer.time(99).to_bits(), a.to_bits());
+        assert!(buffer.sampled().len() >= cap.min(100));
+    }
+
+    #[test]
+    fn buffer_freezes_into_a_trace() {
+        let m = exp_model(units::minutes(30.0));
+        let mut buffer = TraceBuffer::new(m, 9);
+        let trace = buffer.to_trace(units::days(1.0), 8).unwrap();
+        assert!(!trace.is_empty());
+        assert_eq!(trace.ranks(), 8);
+        for (e, &t) in trace.events().iter().zip(buffer.sampled()) {
+            assert_eq!(e.time, t);
+            assert!(e.rank < 8);
+        }
+        // Freezing is repeatable: same sequence, same ranks.
+        assert_eq!(trace, buffer.to_trace(units::days(1.0), 8).unwrap());
+        assert!(buffer.to_trace(-1.0, 8).is_err());
+    }
+
+    #[test]
+    fn freezing_a_trace_does_not_perturb_later_replay() {
+        // The rank draws of to_trace must not touch the sampling generator:
+        // lazily extending the sequence afterwards still matches a buffer
+        // that never froze anything.
+        let m = exp_model(units::hours(1.0));
+        let mut frozen = TraceBuffer::new(m, 33);
+        let mut pristine = TraceBuffer::new(m, 33);
+        frozen.to_trace(units::days(1.0), 4).unwrap();
+        for i in 0..200 {
+            assert_eq!(frozen.time(i).to_bits(), pristine.time(i).to_bits(), "index {i}");
+        }
     }
 }

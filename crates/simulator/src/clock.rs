@@ -1,12 +1,15 @@
 //! The simulation clock: failure arrivals and interruptible activities.
 //!
-//! Failure times come from an [`ft_platform::failure::FailureStream`] — the
-//! allocation-free absolute-time iterator over a pluggable
-//! [`FailureModel`] — so the clock works identically for exponential
-//! (the paper's assumption) and Weibull (robustness studies) arrivals, and
-//! simulating an execution allocates nothing on the failure path.
+//! Failure times come from a pluggable [`FailureSource`]: either a
+//! [`FailureStream`] — the allocation-free absolute-time sampler over a
+//! [`FailureModel`] (exponential for the paper, Weibull for robustness
+//! studies) — or a [`ft_platform::trace::TraceCursor`] replaying a recorded
+//! [`ft_platform::trace::TraceBuffer`], which is how the replication fast
+//! path shows the **same** failure sequence to every protocol (common
+//! random numbers).  Either way, simulating an execution allocates nothing
+//! on the failure path.
 
-use ft_platform::failure::{ExponentialFailures, FailureModel, FailureStream};
+use ft_platform::failure::{ExponentialFailures, FailureModel, FailureSource, FailureStream};
 
 /// Outcome of attempting an activity on the clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,21 +30,21 @@ impl ActivityResult {
     }
 }
 
-/// Simulation clock drawing failure arrivals from a [`FailureModel`]
-/// (exponential by default).
+/// Simulation clock drawing failure arrivals from a [`FailureSource`]
+/// (a freshly-seeded exponential stream by default).
 ///
 /// Failures keep arriving during *any* activity — work, checkpoints,
 /// recoveries, downtime — which is precisely what the closed-form model
 /// neglects and the simulator must capture.
 #[derive(Debug, Clone)]
-pub struct SimClock<M: FailureModel = ExponentialFailures> {
+pub struct SimClock<F: FailureSource = FailureStream<ExponentialFailures>> {
     now: f64,
     next_failure: f64,
-    stream: FailureStream<M>,
+    source: F,
     failures: usize,
 }
 
-impl SimClock<ExponentialFailures> {
+impl SimClock<FailureStream<ExponentialFailures>> {
     /// Creates a clock with exponential failures of the given platform MTBF
     /// (seconds), seeded deterministically.
     pub fn new(mtbf: f64, seed: u64) -> Self {
@@ -50,16 +53,23 @@ impl SimClock<ExponentialFailures> {
     }
 }
 
-impl<M: FailureModel> SimClock<M> {
+impl<M: FailureModel> SimClock<FailureStream<M>> {
     /// Creates a clock over an arbitrary failure inter-arrival model, seeded
     /// deterministically.
     pub fn with_model(model: M, seed: u64) -> Self {
-        let mut stream = FailureStream::new(model, seed);
-        let first = stream.next_failure();
+        Self::with_source(FailureStream::new(model, seed))
+    }
+}
+
+impl<F: FailureSource> SimClock<F> {
+    /// Creates a clock over an arbitrary failure-time source — a fresh
+    /// stream, or a trace cursor replaying a shared failure sequence.
+    pub fn with_source(mut source: F) -> Self {
+        let first = source.next_failure();
         Self {
             now: 0.0,
             next_failure: first,
-            stream,
+            source,
             failures: 0,
         }
     }
@@ -76,10 +86,10 @@ impl<M: FailureModel> SimClock<M> {
         self.failures
     }
 
-    /// The mean inter-arrival time of the failure model (the platform MTBF).
+    /// The mean inter-arrival time of the failure source (the platform MTBF).
     #[inline]
     pub fn mtbf(&self) -> f64 {
-        self.stream.model().mean()
+        self.source.mean_interarrival()
     }
 
     /// Attempts to run an activity of the given duration.  Advances the clock
@@ -96,7 +106,7 @@ impl<M: FailureModel> SimClock<M> {
             let progress = (self.next_failure - self.now).max(0.0);
             self.now = self.next_failure;
             self.failures += 1;
-            self.next_failure = self.stream.next_failure();
+            self.next_failure = self.source.next_failure();
             ActivityResult::Interrupted { progress }
         }
     }
@@ -218,6 +228,54 @@ mod tests {
         clock.run_restartable(500.0);
         // The last attempt is clean, so at least 500 s elapsed.
         assert!(clock.now() >= 500.0);
+    }
+
+    #[test]
+    fn trace_backed_clock_matches_a_stream_backed_clock_bit_for_bit() {
+        use ft_platform::failure::ExponentialFailures;
+        use ft_platform::trace::TraceBuffer;
+        let model = ExponentialFailures::new(150.0).unwrap();
+        let mut buffer = TraceBuffer::new(model, 31);
+        let mut streamed = SimClock::with_model(model, 31);
+        let mut replayed = SimClock::with_source(buffer.cursor());
+        for _ in 0..500 {
+            assert_eq!(streamed.try_run(40.0), replayed.try_run(40.0));
+        }
+        assert_eq!(streamed.now().to_bits(), replayed.now().to_bits());
+        assert_eq!(streamed.failures(), replayed.failures());
+        assert!((replayed.mtbf() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_clocks_over_one_buffer_see_the_same_failures() {
+        use ft_platform::failure::ExponentialFailures;
+        use ft_platform::trace::TraceBuffer;
+        let model = ExponentialFailures::new(80.0).unwrap();
+        let mut buffer = TraceBuffer::new(model, 7);
+        // First consumer runs long activities, second runs short ones — the
+        // failure *times* they observe are identical because both replay the
+        // same recorded sequence.
+        let failures_a = {
+            let mut clock = SimClock::with_source(buffer.cursor());
+            for _ in 0..100 {
+                clock.try_run(100.0);
+            }
+            clock.failures()
+        };
+        let sampled: Vec<u64> = buffer.sampled().iter().map(|t| t.to_bits()).collect();
+        let failures_b = {
+            let mut clock = SimClock::with_source(buffer.cursor());
+            for _ in 0..400 {
+                clock.try_run(25.0);
+            }
+            clock.failures()
+        };
+        assert!(failures_a > 0 && failures_b > 0);
+        let prefix: Vec<u64> = buffer.sampled()[..sampled.len()]
+            .iter()
+            .map(|t| t.to_bits())
+            .collect();
+        assert_eq!(sampled, prefix);
     }
 
     #[test]

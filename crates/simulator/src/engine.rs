@@ -19,9 +19,12 @@
 //!   protocols (e.g. forward/backward composite recovery schemes) plug in
 //!   without touching the engine or the sweep subsystem.
 //!
-//! The executors are generic over the clock's [`FailureModel`], so the same
+//! The executors are generic over the clock's [`FailureSource`], so the same
 //! protocol code runs under exponential (the paper) and Weibull (robustness
-//! studies) failures.
+//! studies) failures, freshly sampled or replayed from a recorded
+//! [`TraceBuffer`] — the latter is how [`Engine::simulate_paired`] shows the
+//! **same** failure sequence to every protocol (common random numbers),
+//! turning protocol comparisons into paired comparisons.
 //!
 //! For a single-epoch profile the engine reproduces the pre-refactor
 //! `simulate()` results on the same seed (see the pinned-seed regression
@@ -30,7 +33,8 @@
 use ft_composite::params::ModelParams;
 use ft_composite::scenario::{ApplicationProfile, Epoch};
 use ft_composite::young_daly::paper_optimal_period;
-use ft_platform::failure::{ExponentialFailures, FailureModel};
+use ft_platform::failure::{ExponentialFailures, FailureSource, FailureStream};
+use ft_platform::trace::TraceBuffer;
 
 use crate::clock::{ActivityResult, SimClock};
 use crate::protocols::{Protocol, SimOutcome};
@@ -94,8 +98,8 @@ impl PeriodPlan {
 /// checkpointing and save the phase in one attempt).  Work performed since
 /// the last completed checkpoint is lost when a failure strikes — wherever
 /// it strikes, during the work or during the checkpoint itself.
-pub fn checkpointed_stream<M: FailureModel>(
-    clock: &mut SimClock<M>,
+pub fn checkpointed_stream<F: FailureSource>(
+    clock: &mut SimClock<F>,
     work: f64,
     ckpt: f64,
     period: f64,
@@ -143,7 +147,7 @@ pub fn checkpointed_stream<M: FailureModel>(
 
 /// Takes a forced checkpoint of the given cost, retrying (after a rollback
 /// recovery) until it completes.
-pub fn forced_checkpoint<M: FailureModel>(clock: &mut SimClock<M>, cost: f64, plan: &PeriodPlan) {
+pub fn forced_checkpoint<F: FailureSource>(clock: &mut SimClock<F>, cost: f64, plan: &PeriodPlan) {
     loop {
         match clock.try_run(cost) {
             ActivityResult::Completed => return,
@@ -157,7 +161,7 @@ pub fn forced_checkpoint<M: FailureModel>(clock: &mut SimClock<M>, cost: f64, pl
 /// ABFT recovery: downtime, reload of the REMAINDER dataset from the entry
 /// checkpoint, reconstruction of the LIBRARY dataset from the checksums.
 /// Failures during the recovery restart it.
-pub fn abft_recover<M: FailureModel>(clock: &mut SimClock<M>, plan: &PeriodPlan) {
+pub fn abft_recover<F: FailureSource>(clock: &mut SimClock<F>, plan: &PeriodPlan) {
     loop {
         if clock.try_run(plan.downtime).is_completed()
             && clock.try_run(plan.recovery_remainder).is_completed()
@@ -172,8 +176,8 @@ pub fn abft_recover<M: FailureModel>(clock: &mut SimClock<M>, plan: &PeriodPlan)
 /// is inflated by `φ`, failures cost an ABFT recovery but lose **no work**,
 /// and the phase ends with the forced exit checkpoint of the LIBRARY
 /// dataset.
-pub fn abft_protected_stream<M: FailureModel>(
-    clock: &mut SimClock<M>,
+pub fn abft_protected_stream<F: FailureSource>(
+    clock: &mut SimClock<F>,
     library: f64,
     plan: &PeriodPlan,
 ) {
@@ -203,12 +207,12 @@ pub fn abft_protected_stream<M: FailureModel>(
 /// A pluggable fault-tolerance protocol: unfolds a whole application
 /// profile over the failure stream of a clock, charging every
 /// protocol-specific overhead.
-pub trait ProtocolExecutor<M: FailureModel = ExponentialFailures> {
+pub trait ProtocolExecutor<F: FailureSource = FailureStream<ExponentialFailures>> {
     /// Which protocol this executor implements (used for reporting).
     fn protocol(&self) -> Protocol;
 
     /// Unfolds `profile` on `clock` under this protocol.
-    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan);
+    fn execute(&self, clock: &mut SimClock<F>, profile: &ApplicationProfile, plan: &PeriodPlan);
 }
 
 /// Phase-oblivious coordinated periodic checkpointing: the whole application
@@ -218,12 +222,12 @@ pub trait ProtocolExecutor<M: FailureModel = ExponentialFailures> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PureExecutor;
 
-impl<M: FailureModel> ProtocolExecutor<M> for PureExecutor {
+impl<F: FailureSource> ProtocolExecutor<F> for PureExecutor {
     fn protocol(&self) -> Protocol {
         Protocol::PurePeriodicCkpt
     }
 
-    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+    fn execute(&self, clock: &mut SimClock<F>, profile: &ApplicationProfile, plan: &PeriodPlan) {
         checkpointed_stream(
             clock,
             profile.total_duration(),
@@ -240,12 +244,12 @@ impl<M: FailureModel> ProtocolExecutor<M> for PureExecutor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BiExecutor;
 
-impl<M: FailureModel> ProtocolExecutor<M> for BiExecutor {
+impl<F: FailureSource> ProtocolExecutor<F> for BiExecutor {
     fn protocol(&self) -> Protocol {
         Protocol::BiPeriodicCkpt
     }
 
-    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+    fn execute(&self, clock: &mut SimClock<F>, profile: &ApplicationProfile, plan: &PeriodPlan) {
         for epoch in profile.epochs() {
             checkpointed_stream(clock, epoch.general, plan.ckpt_full, plan.full_period, plan);
             checkpointed_stream(
@@ -270,7 +274,7 @@ impl CompositeExecutor {
     /// GENERAL phase of one epoch: periodic checkpointing when the phase is
     /// long, otherwise only the forced entry checkpoint of the REMAINDER
     /// dataset (a failure rolls back to the start of the phase).
-    fn run_general<M: FailureModel>(clock: &mut SimClock<M>, epoch: &Epoch, plan: &PeriodPlan) {
+    fn run_general<F: FailureSource>(clock: &mut SimClock<F>, epoch: &Epoch, plan: &PeriodPlan) {
         let work = epoch.general;
         if work <= 0.0 {
             // Even with no GENERAL work, entering the library requires the
@@ -311,12 +315,12 @@ impl CompositeExecutor {
     }
 }
 
-impl<M: FailureModel> ProtocolExecutor<M> for CompositeExecutor {
+impl<F: FailureSource> ProtocolExecutor<F> for CompositeExecutor {
     fn protocol(&self) -> Protocol {
         Protocol::AbftPeriodicCkpt
     }
 
-    fn execute(&self, clock: &mut SimClock<M>, profile: &ApplicationProfile, plan: &PeriodPlan) {
+    fn execute(&self, clock: &mut SimClock<F>, profile: &ApplicationProfile, plan: &PeriodPlan) {
         for epoch in profile.epochs() {
             Self::run_general(clock, epoch, plan);
             abft_protected_stream(clock, epoch.library, plan);
@@ -353,15 +357,15 @@ impl Engine {
 
     /// Runs a custom executor over a profile on a caller-supplied clock
     /// (any failure model).
-    pub fn run_with<M, E>(
+    pub fn run_with<F, E>(
         &self,
         executor: &E,
         profile: &ApplicationProfile,
-        mut clock: SimClock<M>,
+        mut clock: SimClock<F>,
     ) -> SimOutcome
     where
-        M: FailureModel,
-        E: ProtocolExecutor<M> + ?Sized,
+        F: FailureSource,
+        E: ProtocolExecutor<F> + ?Sized,
     {
         executor.execute(&mut clock, profile, &self.plan);
         SimOutcome {
@@ -380,11 +384,92 @@ impl Engine {
         seed: u64,
     ) -> SimOutcome {
         let clock = SimClock::new(self.params.platform_mtbf, seed);
+        self.dispatch(protocol, profile, clock)
+    }
+
+    /// Runs the built-in executor of `protocol` on an arbitrary clock.
+    fn dispatch<F: FailureSource>(
+        &self,
+        protocol: Protocol,
+        profile: &ApplicationProfile,
+        clock: SimClock<F>,
+    ) -> SimOutcome {
         match protocol {
             Protocol::PurePeriodicCkpt => self.run_with(&PureExecutor, profile, clock),
             Protocol::BiPeriodicCkpt => self.run_with(&BiExecutor, profile, clock),
             Protocol::AbftPeriodicCkpt => self.run_with(&CompositeExecutor, profile, clock),
         }
+    }
+
+    /// A failure buffer matching this engine's parameter point, ready to be
+    /// reset once per replication and replayed to every protocol.
+    pub fn trace_buffer(&self, seed: u64) -> TraceBuffer<ExponentialFailures> {
+        let model =
+            ExponentialFailures::new(self.params.platform_mtbf).expect("validated positive MTBF");
+        TraceBuffer::new(model, seed)
+    }
+
+    /// Simulates `protocol` over `profile`, *replaying* the failure sequence
+    /// recorded in `buffer` instead of sampling a fresh one.  Replaying the
+    /// same buffer (same [`TraceBuffer::reset`] seed) to several protocols
+    /// gives a common-random-numbers comparison; with the buffer reset to
+    /// seed `s`, the outcome is bit-identical to `simulate_profile(p, _, s)`.
+    pub fn simulate_profile_replay(
+        &self,
+        protocol: Protocol,
+        profile: &ApplicationProfile,
+        buffer: &mut TraceBuffer<ExponentialFailures>,
+    ) -> SimOutcome {
+        self.dispatch(protocol, profile, SimClock::with_source(buffer.cursor()))
+    }
+
+    /// Single-epoch counterpart of [`Engine::simulate_profile_replay`]:
+    /// replays `buffer` through the exact event sequence of
+    /// [`Engine::simulate`], bit-for-bit.
+    pub fn simulate_replay(
+        &self,
+        protocol: Protocol,
+        buffer: &mut TraceBuffer<ExponentialFailures>,
+    ) -> SimOutcome {
+        match protocol {
+            Protocol::PurePeriodicCkpt => {
+                let mut clock = SimClock::with_source(buffer.cursor());
+                checkpointed_stream(
+                    &mut clock,
+                    self.params.epoch_duration,
+                    self.plan.ckpt_full,
+                    self.plan.full_period,
+                    &self.plan,
+                );
+                SimOutcome {
+                    final_time: clock.now(),
+                    base_time: self.params.epoch_duration,
+                    failures: clock.failures(),
+                }
+            }
+            _ => {
+                let profile = ApplicationProfile::from_params(&self.params);
+                let outcome = self.simulate_profile_replay(protocol, &profile, buffer);
+                SimOutcome {
+                    base_time: self.params.epoch_duration,
+                    ..outcome
+                }
+            }
+        }
+    }
+
+    /// Simulates all three protocols over `profile` on **one** failure
+    /// sequence (reseeded from `seed`): the paired, common-random-numbers
+    /// counterpart of calling [`Engine::simulate_profile`] three times.
+    /// Outcomes are returned in [`Protocol::all`] order.
+    pub fn simulate_paired(
+        &self,
+        profile: &ApplicationProfile,
+        seed: u64,
+        buffer: &mut TraceBuffer<ExponentialFailures>,
+    ) -> [SimOutcome; 3] {
+        buffer.reset(seed);
+        Protocol::all().map(|p| self.simulate_profile_replay(p, profile, buffer))
     }
 
     /// Simulates the single-epoch application described by the engine's
@@ -542,7 +627,7 @@ mod tests {
         let model = WeibullFailures::new(params.platform_mtbf, 0.7).unwrap();
         for (executor, protocol) in [
             (
-                &PureExecutor as &dyn ProtocolExecutor<WeibullFailures>,
+                &PureExecutor as &dyn ProtocolExecutor<FailureStream<WeibullFailures>>,
                 Protocol::PurePeriodicCkpt,
             ),
             (&BiExecutor, Protocol::BiPeriodicCkpt),
@@ -558,17 +643,60 @@ mod tests {
     }
 
     #[test]
+    fn replay_reproduces_fresh_sampling_bit_for_bit() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let engine = Engine::new(&params);
+        let profile = ApplicationProfile::from_params_repeated(&params, 3);
+        let mut buffer = engine.trace_buffer(0);
+        for protocol in Protocol::all() {
+            for seed in [1u64, 7, 42] {
+                buffer.reset(seed);
+                let replayed = engine.simulate_replay(protocol, &mut buffer);
+                let fresh = engine.simulate(protocol, seed);
+                assert_eq!(replayed.final_time.to_bits(), fresh.final_time.to_bits());
+                assert_eq!(replayed, fresh);
+
+                buffer.reset(seed);
+                let replayed = engine.simulate_profile_replay(protocol, &profile, &mut buffer);
+                let fresh = engine.simulate_profile(protocol, &profile, seed);
+                assert_eq!(replayed.final_time.to_bits(), fresh.final_time.to_bits());
+                assert_eq!(replayed, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn paired_simulation_shows_every_protocol_the_same_failures() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let engine = Engine::new(&params);
+        let profile = ApplicationProfile::from_params(&params);
+        let mut buffer = engine.trace_buffer(0);
+        let [pure, bi, composite] = engine.simulate_paired(&profile, 11, &mut buffer);
+        // Each outcome is bit-identical to its unpaired run on the same seed
+        // (common random numbers change the *correlation*, not the marginals).
+        assert_eq!(pure, engine.simulate_profile(Protocol::PurePeriodicCkpt, &profile, 11));
+        assert_eq!(bi, engine.simulate_profile(Protocol::BiPeriodicCkpt, &profile, 11));
+        assert_eq!(
+            composite,
+            engine.simulate_profile(Protocol::AbftPeriodicCkpt, &profile, 11)
+        );
+        // And the whole paired run is reproducible.
+        let again = engine.simulate_paired(&profile, 11, &mut buffer);
+        assert_eq!([pure, bi, composite], again);
+    }
+
+    #[test]
     fn a_custom_executor_plugs_into_the_engine() {
         // A protocol that ignores failures entirely (an oracle lower bound):
         // the engine accepts it like any built-in executor.
         struct OracleExecutor;
-        impl<M: FailureModel> ProtocolExecutor<M> for OracleExecutor {
+        impl<F: FailureSource> ProtocolExecutor<F> for OracleExecutor {
             fn protocol(&self) -> Protocol {
                 Protocol::PurePeriodicCkpt
             }
             fn execute(
                 &self,
-                clock: &mut SimClock<M>,
+                clock: &mut SimClock<F>,
                 profile: &ApplicationProfile,
                 _plan: &PeriodPlan,
             ) {

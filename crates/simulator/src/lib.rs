@@ -17,9 +17,11 @@
 //!   outcomes ([`SimOutcome`]);
 //! * [`stats`] — Welford accumulation, confidence intervals, the single
 //!   outcome aggregator of the workspace;
-//! * [`replicate`](mod@replicate) — Rayon-parallel Monte-Carlo replication (the paper
-//!   averages one thousand executions per point) and the sequential
-//!   accumulation path used by the `ft-bench` sweep subsystem;
+//! * [`replicate`](mod@replicate) — Monte-Carlo replication: Rayon-parallel
+//!   over replications, or sequential (the `ft-bench` sweep subsystem's
+//!   path) under a [`ReplicationBudget`] — fixed counts or adaptive
+//!   precision-targeted stopping — with common-random-numbers pairing of
+//!   protocols over shared failure traces ([`accumulate_paired`]);
 //! * [`validate`] — model-versus-simulation comparison grids (the right-hand
 //!   column of Figure 7).
 
@@ -38,6 +40,10 @@ pub use engine::{
     BiExecutor, CompositeExecutor, Engine, PeriodPlan, ProtocolExecutor, PureExecutor,
 };
 pub use protocols::{simulate, Protocol, SimOutcome};
-pub use replicate::{accumulate, accumulate_profile, replicate, SimStats};
+pub use replicate::{
+    accumulate, accumulate_budget, accumulate_paired, accumulate_profile,
+    accumulate_profile_budget, replicate, replicate_all, PairedAccumulator, ReplicationBudget,
+    SimStats,
+};
 pub use stats::{OutcomeAccumulator, Welford};
 pub use validate::{validation_grid, ValidationCell};

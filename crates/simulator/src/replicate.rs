@@ -1,38 +1,157 @@
 //! Monte-Carlo replication.
 //!
 //! The paper's evaluation averages "the termination time over a thousand
-//! executions" per parameter point.  Replications are independent, so they
-//! are spread over the available cores with Rayon; each replication derives
-//! its own seed from the master seed, keeping the whole sweep reproducible.
+//! executions" per parameter point.  This module is the replication fast
+//! path rebuilt around two ideas:
 //!
-//! Two entry points cover the two parallelism regimes:
+//! * **Common random numbers** — every replication records its failure
+//!   sequence in a reusable [`TraceBuffer`] (seeded from the allocation-free
+//!   [`SeedStream`]), so several protocols can replay the *same* failures
+//!   and be compared pairwise trace-for-trace ([`accumulate_paired`]);
+//! * **Adaptive budgets** — a [`ReplicationBudget`] either runs a fixed
+//!   count (`Fixed(n)`, bit-compatible with the historical behaviour and
+//!   guarded by the pinned-seed engine regression) or runs replications in
+//!   blocks and stops as soon as the 95 % confidence interval of the waste
+//!   is tight enough (`Adaptive`), which cuts most points of a sweep from
+//!   1000 replications down to the few hundred they actually need.
+//!
+//! Entry points by parallelism regime:
 //!
 //! * [`replicate`] — parallel over replications.  Use when evaluating a
 //!   single parameter point interactively;
-//! * [`accumulate`] / [`accumulate_profile`] — sequential, returning the raw
-//!   [`OutcomeAccumulator`].  Use from code that is already parallel over
-//!   *points* (the `ft-bench` sweep subsystem), where nesting another
-//!   parallel layer would only add scheduling overhead.
+//! * [`accumulate`] / [`accumulate_profile`] / the `*_budget` and
+//!   [`accumulate_paired`] variants — sequential, returning raw
+//!   accumulators.  Use from code that is already parallel over *points*
+//!   (the `ft-bench` sweep subsystem), where nesting another parallel layer
+//!   would only add scheduling overhead.
 //!
 //! All aggregation goes through [`crate::stats::Welford`] (via
 //! [`OutcomeAccumulator`]); no ad-hoc mean/variance sums anywhere.
 
 use ft_composite::params::ModelParams;
 use ft_composite::scenario::ApplicationProfile;
-use ft_platform::rng::derive_seeds;
+use ft_platform::failure::ExponentialFailures;
+use ft_platform::rng::SeedStream;
+use ft_platform::trace::TraceBuffer;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Engine;
-use crate::protocols::Protocol;
-use crate::stats::OutcomeAccumulator;
+use crate::protocols::{Protocol, SimOutcome};
+use crate::stats::{OutcomeAccumulator, Welford};
+
+/// How many replications a Monte-Carlo evaluation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationBudget {
+    /// Exactly `n` replications — bit-compatible with the historical
+    /// fixed-count behaviour (`Fixed(0)` means "no simulation arm" to the
+    /// sweep subsystem).
+    Fixed(usize),
+    /// Sequential stopping: run replications in blocks of
+    /// [`ReplicationBudget::BLOCK`] and stop as soon as the CI95 half-width
+    /// of the mean waste falls to `rel_precision` times the mean (but never
+    /// before `min` nor beyond `max` replications).
+    Adaptive {
+        /// Target relative precision: stop once
+        /// `ci95_half_width ≤ rel_precision × mean_waste`.
+        rel_precision: f64,
+        /// Minimum replications before the first stopping check (keeps the
+        /// normal-approximation interval honest).
+        min: usize,
+        /// Hard cap on replications.
+        max: usize,
+    },
+}
+
+impl ReplicationBudget {
+    /// Replications run between two stopping checks of the adaptive mode.
+    pub const BLOCK: usize = 50;
+
+    /// An adaptive budget with the workspace's default bracket
+    /// (`min = 100`, `max = 10_000`).
+    pub fn adaptive(rel_precision: f64) -> Self {
+        ReplicationBudget::Adaptive {
+            rel_precision,
+            min: 100,
+            max: 10_000,
+        }
+    }
+
+    /// The largest number of replications this budget can spend.
+    pub fn max_replications(&self) -> usize {
+        match *self {
+            ReplicationBudget::Fixed(n) => n,
+            ReplicationBudget::Adaptive { min, max, .. } => max.max(min),
+        }
+    }
+
+    /// Whether the budget runs a simulation arm at all.
+    pub fn runs_simulation(&self) -> bool {
+        self.max_replications() > 0
+    }
+
+    /// Whether `acc` (the waste accumulator) satisfies the stopping rule.
+    fn satisfied(&self, acc: &Welford) -> bool {
+        match *self {
+            ReplicationBudget::Fixed(n) => acc.count() >= n as u64,
+            ReplicationBudget::Adaptive {
+                rel_precision,
+                min,
+                max,
+            } => {
+                let n = acc.count();
+                if n < min.max(2) as u64 {
+                    return false;
+                }
+                if n >= max.max(min) as u64 {
+                    return true;
+                }
+                acc.ci95_half_width() <= rel_precision * acc.mean().abs()
+            }
+        }
+    }
+
+    /// How many replications to run before the next stopping check, given
+    /// `done` so far.
+    fn next_block(&self, done: usize) -> usize {
+        match *self {
+            ReplicationBudget::Fixed(n) => n.saturating_sub(done),
+            ReplicationBudget::Adaptive { min, max, .. } => {
+                let cap = max.max(min);
+                if done < min {
+                    min - done
+                } else {
+                    Self::BLOCK.min(cap.saturating_sub(done))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicationBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ReplicationBudget::Fixed(n) => write!(f, "fixed({n})"),
+            ReplicationBudget::Adaptive {
+                rel_precision,
+                min,
+                max,
+            } => write!(
+                f,
+                "adaptive({:.1}% CI95, {min}..{max} reps)",
+                rel_precision * 100.0
+            ),
+        }
+    }
+}
 
 /// Aggregated statistics of a batch of replications.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Protocol that was simulated.
     pub protocol: Protocol,
-    /// Number of replications.
+    /// Number of replications actually run (equals the request under
+    /// `Fixed`, reported per point under `Adaptive`).
     pub replications: usize,
     /// Mean waste across replications.
     pub mean_waste: f64,
@@ -71,10 +190,14 @@ pub fn replicate(
 ) -> SimStats {
     let replications = replications.max(1);
     let engine = Engine::new(params);
-    let seeds = derive_seeds(master_seed, replications);
-    let acc = seeds
+    // The vendored rayon parallelises slices, so the parallel path carries
+    // one index vector; the per-task seed is computed in O(1) from the
+    // stream position, keeping the seed values identical to the sequential
+    // SeedStream order.
+    let indices: Vec<u64> = (0..replications as u64).collect();
+    let acc = indices
         .par_iter()
-        .map(|&seed| engine.simulate(protocol, seed))
+        .map(|&i| engine.simulate(protocol, SeedStream::nth_seed(master_seed, i)))
         .fold(OutcomeAccumulator::new, |mut acc, out| {
             acc.push(&out);
             acc
@@ -86,25 +209,84 @@ pub fn replicate(
     SimStats::from_accumulator(protocol, &acc)
 }
 
+/// Drives one parameter point's replications under a budget: every
+/// replication reseeds the shared trace buffer from the seed stream and
+/// pushes the outcome of `run` into the accumulator, checking the stopping
+/// rule between blocks.
+fn drive<R>(engine: &Engine, budget: ReplicationBudget, master_seed: u64, mut run: R) -> OutcomeAccumulator
+where
+    R: FnMut(&Engine, &mut TraceBuffer<ExponentialFailures>) -> SimOutcome,
+{
+    let mut acc = OutcomeAccumulator::new();
+    let mut seeds = SeedStream::new(master_seed);
+    let mut buffer = engine.trace_buffer(master_seed);
+    let mut done = 0usize;
+    loop {
+        let block = budget.next_block(done);
+        if block == 0 {
+            break;
+        }
+        for _ in 0..block {
+            let seed = seeds.next().expect("seed streams are infinite");
+            buffer.reset(seed);
+            acc.push(&run(engine, &mut buffer));
+        }
+        done += block;
+        if budget.satisfied(&acc.waste) {
+            break;
+        }
+    }
+    acc
+}
+
+/// Sequentially accumulates single-epoch simulations of one parameter point
+/// under a [`ReplicationBudget`].  The [`Engine`] (and its period plan) is
+/// built once; the failure buffer is reused across replications.
+pub fn accumulate_budget(
+    protocol: Protocol,
+    params: &ModelParams,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    let engine = Engine::new(params);
+    drive(&engine, budget, master_seed, |engine, buffer| {
+        engine.simulate_replay(protocol, buffer)
+    })
+}
+
+/// Sequentially accumulates simulations of an arbitrary multi-epoch profile
+/// under a [`ReplicationBudget`].
+pub fn accumulate_profile_budget(
+    protocol: Protocol,
+    params: &ModelParams,
+    profile: &ApplicationProfile,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    let engine = Engine::new(params);
+    drive(&engine, budget, master_seed, |engine, buffer| {
+        engine.simulate_profile_replay(protocol, profile, buffer)
+    })
+}
+
 /// Sequentially accumulates `replications` single-epoch simulations of one
-/// parameter point.  The [`Engine`] (and its period plan) is built once and
-/// shared by every replication.
+/// parameter point ([`ReplicationBudget::Fixed`] convenience).
 pub fn accumulate(
     protocol: Protocol,
     params: &ModelParams,
     replications: usize,
     master_seed: u64,
 ) -> OutcomeAccumulator {
-    let engine = Engine::new(params);
-    let mut acc = OutcomeAccumulator::new();
-    for seed in derive_seeds(master_seed, replications.max(1)) {
-        acc.push(&engine.simulate(protocol, seed));
-    }
-    acc
+    accumulate_budget(
+        protocol,
+        params,
+        ReplicationBudget::Fixed(replications.max(1)),
+        master_seed,
+    )
 }
 
 /// Sequentially accumulates `replications` simulations of an arbitrary
-/// multi-epoch profile.
+/// multi-epoch profile ([`ReplicationBudget::Fixed`] convenience).
 pub fn accumulate_profile(
     protocol: Protocol,
     params: &ModelParams,
@@ -112,10 +294,113 @@ pub fn accumulate_profile(
     replications: usize,
     master_seed: u64,
 ) -> OutcomeAccumulator {
+    accumulate_profile_budget(
+        protocol,
+        params,
+        profile,
+        ReplicationBudget::Fixed(replications.max(1)),
+        master_seed,
+    )
+}
+
+/// Common-random-numbers accumulation over several protocols: per
+/// replication, one failure sequence is recorded and replayed to **every**
+/// protocol, and the per-trace waste *differences* against the first
+/// protocol stream through their own Welford accumulators.
+///
+/// Because the two waste samples of a difference share the same failure
+/// trace, the sampling noise they have in common cancels and the confidence
+/// interval on "protocol B − protocol A" is far tighter than the one derived
+/// from two independent runs — the same number of replications resolves much
+/// smaller protocol gaps (or the same gap needs far fewer replications).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedAccumulator {
+    /// The protocols compared, in evaluation order; `protocols[0]` is the
+    /// baseline of every difference.
+    pub protocols: Vec<Protocol>,
+    /// One outcome accumulator per protocol (same order).
+    pub outcomes: Vec<OutcomeAccumulator>,
+    /// `deltas[i]` accumulates `waste(protocols[i]) − waste(protocols[0])`
+    /// per shared trace; `deltas[0]` stays empty.
+    pub deltas: Vec<Welford>,
+}
+
+impl PairedAccumulator {
+    /// Number of shared failure traces evaluated.
+    pub fn replications(&self) -> usize {
+        self.outcomes.first().map_or(0, |a| a.count() as usize)
+    }
+
+    /// The per-trace waste difference of `protocol` against the baseline.
+    pub fn delta(&self, protocol: Protocol) -> Option<&Welford> {
+        self.protocols
+            .iter()
+            .position(|&p| p == protocol)
+            .filter(|&i| i > 0)
+            .map(|i| &self.deltas[i])
+    }
+
+    /// The baseline protocol of the differences.
+    pub fn baseline(&self) -> Option<Protocol> {
+        self.protocols.first().copied()
+    }
+}
+
+/// Runs a paired (common-random-numbers) comparison of `protocols` over
+/// `profile` under a [`ReplicationBudget`].
+///
+/// The adaptive stopping rule applies to the *worst* waste interval across
+/// the compared protocols, so every marginal estimate meets the requested
+/// precision when the evaluation stops early.
+pub fn accumulate_paired(
+    protocols: &[Protocol],
+    params: &ModelParams,
+    profile: &ApplicationProfile,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> PairedAccumulator {
+    let mut acc = PairedAccumulator {
+        protocols: protocols.to_vec(),
+        outcomes: vec![OutcomeAccumulator::new(); protocols.len()],
+        deltas: vec![Welford::new(); protocols.len()],
+    };
+    if protocols.is_empty() {
+        // Nothing to compare: an empty accumulator, like the unpaired
+        // sweep path's empty task list.
+        return acc;
+    }
     let engine = Engine::new(params);
-    let mut acc = OutcomeAccumulator::new();
-    for seed in derive_seeds(master_seed, replications.max(1)) {
-        acc.push(&engine.simulate_profile(protocol, profile, seed));
+    let mut seeds = SeedStream::new(master_seed);
+    let mut buffer = engine.trace_buffer(master_seed);
+    let mut done = 0usize;
+    loop {
+        let block = budget.next_block(done);
+        if block == 0 {
+            break;
+        }
+        for _ in 0..block {
+            let seed = seeds.next().expect("seed streams are infinite");
+            buffer.reset(seed);
+            let mut baseline_waste = 0.0;
+            for (i, &protocol) in protocols.iter().enumerate() {
+                let out = engine.simulate_profile_replay(protocol, profile, &mut buffer);
+                let waste = out.waste();
+                acc.outcomes[i].push(&out);
+                if i == 0 {
+                    baseline_waste = waste;
+                } else {
+                    acc.deltas[i].push(waste - baseline_waste);
+                }
+            }
+        }
+        done += block;
+        if acc
+            .outcomes
+            .iter()
+            .all(|o| budget.satisfied(&o.waste))
+        {
+            break;
+        }
     }
     acc
 }
@@ -198,5 +483,137 @@ mod tests {
         assert!(acc.waste.mean() > 0.0 && acc.waste.mean() < 1.0);
         let again = accumulate_profile(Protocol::AbftPeriodicCkpt, &params, &profile, 30, 9);
         assert_eq!(acc, again);
+    }
+
+    #[test]
+    fn adaptive_budget_stops_early_when_the_interval_is_tight() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let budget = ReplicationBudget::Adaptive {
+            rel_precision: 0.05,
+            min: 50,
+            max: 2_000,
+        };
+        let acc = accumulate_budget(Protocol::AbftPeriodicCkpt, &params, budget, 3);
+        let n = acc.count();
+        assert!(n >= 50);
+        assert!(n < 2_000, "a 5 % interval should need far fewer than 2000 reps, used {n}");
+        assert!(acc.waste.ci95_half_width() <= 0.05 * acc.waste.mean());
+    }
+
+    #[test]
+    fn adaptive_budget_respects_the_hard_cap() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        // An impossible precision: the cap must stop the loop.
+        let budget = ReplicationBudget::Adaptive {
+            rel_precision: 1e-6,
+            min: 10,
+            max: 120,
+        };
+        let acc = accumulate_budget(Protocol::PurePeriodicCkpt, &params, budget, 1);
+        assert_eq!(acc.count(), 120);
+    }
+
+    #[test]
+    fn adaptive_prefix_is_the_fixed_prefix() {
+        // The adaptive path consumes the same seed stream as the fixed path,
+        // so its first `min` replications are exactly Fixed(min)'s.
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let fixed = accumulate_budget(
+            Protocol::BiPeriodicCkpt,
+            &params,
+            ReplicationBudget::Fixed(40),
+            17,
+        );
+        let adaptive = accumulate_budget(
+            Protocol::BiPeriodicCkpt,
+            &params,
+            ReplicationBudget::Adaptive {
+                rel_precision: 10.0, // absurdly lax: stops right after `min`
+                min: 40,
+                max: 500,
+            },
+            17,
+        );
+        assert_eq!(fixed, adaptive);
+    }
+
+    #[test]
+    fn paired_accumulation_pairs_traces_and_tightens_deltas() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+        let paired = accumulate_paired(
+            &protocols,
+            &params,
+            &profile,
+            ReplicationBudget::Fixed(120),
+            21,
+        );
+        assert_eq!(paired.replications(), 120);
+        assert_eq!(paired.baseline(), Some(Protocol::PurePeriodicCkpt));
+        let delta = paired.delta(Protocol::AbftPeriodicCkpt).unwrap();
+        assert_eq!(delta.count(), 120);
+        // Composite beats pure at alpha 0.8 / 90 min: the paired delta mean
+        // is clearly negative, consistent with the marginal means.
+        let marginal =
+            paired.outcomes[1].waste.mean() - paired.outcomes[0].waste.mean();
+        assert!((delta.mean() - marginal).abs() < 1e-12);
+        assert!(delta.mean() < 0.0);
+        // Pairing on common traces must not widen the interval relative to
+        // independent runs (it cancels the shared sampling noise).
+        let independent_ci = (paired.outcomes[0].waste.ci95_half_width().powi(2)
+            + paired.outcomes[1].waste.ci95_half_width().powi(2))
+        .sqrt();
+        assert!(
+            delta.ci95_half_width() <= independent_ci,
+            "paired {} vs independent {independent_ci}",
+            delta.ci95_half_width()
+        );
+        // No baseline delta against itself.
+        assert!(paired.delta(Protocol::PurePeriodicCkpt).is_none());
+    }
+
+    #[test]
+    fn paired_marginals_match_unpaired_accumulation_bit_for_bit() {
+        // Protocol replays of the shared buffer see exactly the sequence the
+        // unpaired path samples: the per-protocol marginals are identical.
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let paired = accumulate_paired(
+            &Protocol::all(),
+            &params,
+            &profile,
+            ReplicationBudget::Fixed(30),
+            5,
+        );
+        for (i, &protocol) in Protocol::all().iter().enumerate() {
+            let unpaired = accumulate_profile(protocol, &params, &profile, 30, 5);
+            assert_eq!(paired.outcomes[i], unpaired, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn paired_accumulation_of_no_protocols_is_an_empty_no_op() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let paired =
+            accumulate_paired(&[], &params, &profile, ReplicationBudget::Fixed(10), 1);
+        assert_eq!(paired.replications(), 0);
+        assert_eq!(paired.baseline(), None);
+        assert!(paired.outcomes.is_empty());
+    }
+
+    #[test]
+    fn budget_bookkeeping_helpers() {
+        assert!(!ReplicationBudget::Fixed(0).runs_simulation());
+        assert!(ReplicationBudget::Fixed(3).runs_simulation());
+        assert_eq!(ReplicationBudget::Fixed(7).max_replications(), 7);
+        let adaptive = ReplicationBudget::adaptive(0.02);
+        assert!(adaptive.runs_simulation());
+        assert_eq!(adaptive.max_replications(), 10_000);
+        assert_eq!(adaptive.next_block(0), 100);
+        assert_eq!(adaptive.next_block(100), ReplicationBudget::BLOCK);
+        assert_eq!(ReplicationBudget::Fixed(10).next_block(4), 6);
+        assert_eq!(ReplicationBudget::Fixed(10).next_block(10), 0);
     }
 }
