@@ -1,0 +1,216 @@
+//! Crossover refinement driver: localises *where* the composite protocol
+//! starts beating pure periodic checkpointing — the headline annotation of
+//! Figures 8–10 — to a requested relative tolerance, instead of the grid
+//! resolution the figure binaries report.
+//!
+//! A cheap model-arm seeding sweep brackets the crossover at grid
+//! resolution, then a [`CrossoverRefiner`] bisects the bracket with
+//! paired-delta adaptive probes: each probe replays common failure traces to
+//! `PurePeriodicCkpt` and `AbftPeriodicCkpt` and stops as soon as the sign
+//! of the waste difference is resolved, so the whole refinement costs far
+//! fewer simulated executions than re-scanning a finer grid with a fixed
+//! budget.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin crossover -- \
+//!     [--target fig8|fig9|fig10] [--axis nodes|mtbf|alpha|...] \
+//!     [--tolerance 0.01] [--precision 0.05] \
+//!     [--min-replications 100] [--max-replications 1000] [--max-probes 40] \
+//!     [--failure-model exponential|weibull --weibull-shape 0.7] \
+//!     [--model-only] [--compare-fixed 1000] [--json] [--seed 42]
+//! ```
+//!
+//! `--model-only` probes the closed-form model instead of simulating
+//! (exact and essentially free).  `--compare-fixed N` additionally runs the
+//! seeding grid as a paired fixed-`N` scan and reports both execution
+//! counts — the `BENCH_crossover.json` payload.  `--json` prints the
+//! machine-readable summary line.
+
+use ft_bench::experiment::{failure_spec_from_args, format_value};
+use ft_bench::{
+    figure7_base, report_crossover, Args, Axis, CrossoverRefiner, Parameter, SweepSpec, Table,
+};
+use ft_composite::scaling::WeakScalingScenario;
+use ft_sim::{Protocol, ReplicationBudget};
+
+fn main() {
+    let args = Args::capture();
+    let target = args.string("--target", "fig9");
+    let axis_name = args.string("--axis", "nodes");
+    let axis = Parameter::parse(&axis_name).unwrap_or_else(|| {
+        eprintln!("unknown --axis `{axis_name}`; use one of the sweep parameters (e.g. nodes, mtbf, alpha)");
+        std::process::exit(2);
+    });
+
+    // The experiment the refinement runs inside: a Figures 8–10 weak-scaling
+    // scenario for the node-count axis, the paper's headline base point for
+    // every other axis.
+    let (spec, grid_axis) = if axis == Parameter::Nodes {
+        let scenario = match target.as_str() {
+            "fig8" => WeakScalingScenario::figure8(),
+            "fig9" => WeakScalingScenario::figure9(),
+            "fig10" => WeakScalingScenario::figure10(),
+            other => {
+                eprintln!("unknown --target `{other}`; use fig8|fig9|fig10");
+                std::process::exit(2);
+            }
+        };
+        let ppd = args.value("--points-per-decade", 1);
+        (
+            SweepSpec::scaling(format!("Crossover refinement — {target}"), scenario),
+            Axis::decades(Parameter::Nodes, 3, 6, ppd),
+        )
+    } else {
+        let (from, to) = axis.default_range();
+        (
+            SweepSpec::new(
+                format!("Crossover refinement — `{axis_name}` around the headline scenario"),
+                figure7_base(),
+            ),
+            Axis::linspace(axis, args.value("--from", from), args.value("--to", to), 9),
+        )
+    };
+
+    let mut spec = spec.seed(args.value("--seed", 42));
+    if let Some(failure) = failure_spec_from_args(&args) {
+        spec.failure = failure;
+    }
+
+    // Probe budget: paired-delta adaptive stopping unless the caller asked
+    // for exact model probes.
+    if args.flag("--model-only") && axis == Parameter::WeibullShape {
+        eprintln!(
+            "--model-only cannot refine along weibull_shape: the closed-form model keeps the exponential assumption and is shape-blind"
+        );
+        std::process::exit(2);
+    }
+    spec.budget = if args.flag("--model-only") {
+        ReplicationBudget::Fixed(0)
+    } else {
+        ReplicationBudget::AdaptiveDelta {
+            rel_precision: args.value("--precision", 0.05),
+            min: args.value("--min-replications", 100),
+            max: args.value("--max-replications", 1_000),
+        }
+    };
+
+    // 1. Seed: a grid sweep brackets the crossover — via the free model arm,
+    // except on the Weibull-shape axis, which the exponential closed form is
+    // blind to and only the simulation arm can bracket.
+    let model_blind = axis == Parameter::WeibullShape;
+    let seeding = SweepSpec {
+        budget: if model_blind {
+            spec.budget
+        } else {
+            ReplicationBudget::Fixed(0)
+        },
+        paired: model_blind,
+        axes: vec![grid_axis],
+        protocols: vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt],
+        ..spec.clone()
+    };
+    let grid = seeding.run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("# {}", spec.name);
+    println!(
+        "# seeding grid: {} points along `{}`, {} arm, {} failures",
+        grid.grid_points(),
+        axis.label(),
+        if model_blind { "simulation" } else { "model" },
+        spec.failure,
+    );
+    report_crossover(&grid, axis);
+    let Some((below, above)) = grid.crossover_bracket(axis) else {
+        println!("# nothing to refine — widen the grid or change the scenario");
+        return;
+    };
+
+    // 2. Bisect the bracket with paired-delta probes.
+    let refiner = CrossoverRefiner::new(spec.clone(), axis)
+        .tolerance(args.value("--tolerance", 0.01))
+        .max_probes(args.value("--max-probes", 40));
+    let refinement = refiner.refine(below, above).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let mut table = Table::new(&[axis.label(), "delta", "ci95", "traces", "winner", "decided"]);
+    for p in &refinement.probes {
+        table.push_row(vec![
+            format_value(axis, p.value),
+            format!("{:+.5}", p.delta),
+            format!("{:.5}", p.ci95),
+            format!("{}", p.replications),
+            if p.composite_beats { "composite" } else { "pure" }.to_string(),
+            format!("{}", p.decided),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "# crossover localised at {} ~= {} (bracket {}..{}, rel width {:.4} vs tolerance {:.4}, {}converged)",
+        axis.label(),
+        format_value(axis, refinement.crossover),
+        format_value(axis, refinement.bracket.0),
+        format_value(axis, refinement.bracket.1),
+        refinement.achieved_tolerance,
+        refinement.rel_tolerance,
+        if refinement.converged { "" } else { "NOT " },
+    );
+    println!(
+        "# refinement cost: {} probes, {} shared traces, {} simulated executions (budget {})",
+        refinement.probes.len(),
+        refinement.total_replications() / 2,
+        refinement.total_replications(),
+        spec.budget,
+    );
+
+    // 3. Optional comparison: the historical approach, a paired fixed-N scan
+    // of the same grid, which only localises the crossover to the grid
+    // resolution.
+    let compare_fixed: usize = args.value("--compare-fixed", 0);
+    let fixed_scan = (compare_fixed > 0).then(|| {
+        let scan = SweepSpec {
+            budget: ReplicationBudget::Fixed(compare_fixed),
+            paired: true,
+            ..seeding.clone()
+        };
+        let results = scan.run().expect("the seeding grid already expanded");
+        println!(
+            "# fixed-{compare_fixed} grid scan: {} simulated executions, crossover at grid resolution only:",
+            results.total_replications(),
+        );
+        report_crossover(&results, axis);
+        results
+    });
+
+    if args.flag("--json") {
+        let probes = refinement.probes.len();
+        let (fixed_execs, fixed_crossover) = fixed_scan.as_ref().map_or((0, None), |r| {
+            (r.total_replications(), r.crossover(axis))
+        });
+        println!(
+            "{{\"bench\": \"crossover_refinement\", \"target\": \"{target}\", \
+             \"axis\": \"{}\", \"failure_model\": \"{}\", \"budget\": \"{}\", \
+             \"seed\": {}, \"grid_bracket\": [{below}, {above}], \
+             \"crossover\": {}, \"bracket\": [{}, {}], \
+             \"rel_tolerance\": {}, \"achieved_tolerance\": {:.6}, \
+             \"converged\": {}, \"probes\": {probes}, \
+             \"refiner_executions\": {}, \"fixed_scan_replications\": {compare_fixed}, \
+             \"fixed_scan_executions\": {fixed_execs}, \"fixed_scan_crossover\": {}}}",
+            axis.label(),
+            spec.failure,
+            spec.budget,
+            spec.seed,
+            refinement.crossover,
+            refinement.bracket.0,
+            refinement.bracket.1,
+            refinement.rel_tolerance,
+            refinement.achieved_tolerance,
+            refinement.converged,
+            refinement.total_replications(),
+            fixed_crossover.map_or("null".to_string(), |x| format!("{x:.1}")),
+        );
+    }
+}

@@ -4,10 +4,11 @@
 //! ```text
 //! cargo run -p ft-bench --release --bin fig9 -- \
 //!     [--points-per-decade 3] [--format table|csv|json] \
-//!     [--replications N | --precision 0.02] [--paired]
+//!     [--replications N | --precision 0.02 | --delta-precision 0.05] \
+//!     [--paired] [--failure-model weibull --weibull-shape 0.7]
 //! ```
 
-use ft_bench::{run_cli, Args, Axis, Parameter, SweepSpec};
+use ft_bench::{report_crossover, run_cli, Args, Axis, Parameter, SweepSpec};
 use ft_composite::scaling::WeakScalingScenario;
 
 fn main() {
@@ -23,8 +24,5 @@ fn main() {
         args.value("--points-per-decade", 1),
     ));
     let results = run_cli(spec, &args);
-    match results.crossover(Parameter::Nodes) {
-        Some(nodes) => println!("# composite overtakes PurePeriodicCkpt at ~{nodes:.0} nodes"),
-        None => println!("# composite never overtakes PurePeriodicCkpt on this axis"),
-    }
+    report_crossover(&results, Parameter::Nodes);
 }

@@ -5,14 +5,19 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin sweep -- \
-//!     --parameter rho|phi|checkpoint|downtime|recons|alpha|mtbf \
+//!     --parameter rho|phi|checkpoint|downtime|recons|alpha|mtbf|weibull_shape \
 //!     [--from 0.1] [--to 1.0] [--steps 10] \
-//!     [--replications 100 | --precision 0.02] [--paired] \
+//!     [--replications 100 | --precision 0.02 | --delta-precision 0.05] \
+//!     [--paired] [--failure-model weibull --weibull-shape 0.7] \
 //!     [--epochs 1] [--threads N] [--format table|csv|json]
 //! ```
 //!
 //! `--precision` enables adaptive sequential stopping, `--paired` pairs the
-//! protocols on common failure traces (tight CIs on waste differences).
+//! protocols on common failure traces (tight CIs on waste differences),
+//! `--delta-precision` stops each point on the paired waste *differences*
+//! instead.  `--parameter weibull_shape` sweeps the failure clock's Weibull
+//! shape (the robustness-study axis); `--failure-model weibull` switches
+//! the clock for any other sweep.
 
 use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
 
@@ -20,7 +25,9 @@ fn main() {
     let args = Args::capture();
     let name = args.string("--parameter", "rho");
     let parameter = Parameter::parse(&name).unwrap_or_else(|| {
-        eprintln!("unknown parameter `{name}`; use rho|phi|checkpoint|downtime|recons|alpha|mtbf");
+        eprintln!(
+            "unknown parameter `{name}`; use rho|phi|checkpoint|downtime|recons|alpha|mtbf|weibull_shape"
+        );
         std::process::exit(2);
     });
     let (default_from, default_to) = parameter.default_range();

@@ -36,10 +36,14 @@ use std::time::Instant;
 use ft_composite::params::ModelParams;
 use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
-use ft_platform::rng::SplitMix64;
-use ft_sim::replicate::{accumulate_paired, accumulate_profile_budget, ReplicationBudget, SimStats};
+use ft_platform::failure::FailureSpec;
+use ft_platform::rng::{SeedStream, SplitMix64};
+use ft_sim::replicate::{
+    accumulate_paired_engine, accumulate_profile_engine, PairedAccumulator, ReplicationBudget,
+    SimStats,
+};
 use ft_sim::validate::model_waste;
-use ft_sim::Protocol;
+use ft_sim::{Engine, Protocol};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +70,11 @@ pub enum Parameter {
     /// Node count `N` of a weak-scaling scenario (requires
     /// [`SweepSpec::scaling`]).
     Nodes,
+    /// Weibull shape `k` of the failure clock (`k = 1` is exponential): the
+    /// robustness-study axis.  Only the simulation arm reacts — the
+    /// closed-form model keeps its first-order exponential assumption, which
+    /// is exactly the comparison the robustness study makes.
+    WeibullShape,
 }
 
 impl Parameter {
@@ -80,6 +89,7 @@ impl Parameter {
             Parameter::Downtime => "downtime",
             Parameter::Reconstruction => "recons",
             Parameter::Nodes => "nodes",
+            Parameter::WeibullShape => "weibull_shape",
         }
     }
 
@@ -94,6 +104,7 @@ impl Parameter {
             "downtime" => Some(Parameter::Downtime),
             "recons" => Some(Parameter::Reconstruction),
             "nodes" => Some(Parameter::Nodes),
+            "weibull_shape" | "weibull-shape" | "shape" => Some(Parameter::WeibullShape),
             _ => None,
         }
     }
@@ -110,6 +121,8 @@ impl Parameter {
             Parameter::Alpha => (0.0, 1.0),
             Parameter::Mtbf => (minutes(60.0), minutes(240.0)),
             Parameter::Nodes => (1e3, 1e6),
+            // Infant mortality (0.5) through exponential (1.0) to wear-out.
+            Parameter::WeibullShape => (0.5, 1.5),
         }
     }
 }
@@ -190,6 +203,11 @@ pub struct SweepSpec {
     /// failure traces (common random numbers) and per-trace waste
     /// differences against the first protocol are reported.
     pub paired: bool,
+    /// Failure clock of the simulation arm (exponential by default; Weibull
+    /// for the robustness studies).  A [`Parameter::WeibullShape`] axis
+    /// overrides this per point.  The model arm always keeps the paper's
+    /// exponential closed form.
+    pub failure: FailureSpec,
     /// Number of epochs of the simulated application profile.  Ignored in
     /// scenario mode, where the simulation arm unfolds the scenario's own
     /// epoch count to stay commensurable with the model arm.
@@ -209,6 +227,7 @@ impl SweepSpec {
             protocols: Protocol::all().to_vec(),
             budget: ReplicationBudget::Fixed(0),
             paired: false,
+            failure: FailureSpec::Exponential,
             epochs: 1,
             seed: 42,
         }
@@ -257,6 +276,12 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the failure clock of the simulation arm.
+    pub fn failure_model(mut self, failure: FailureSpec) -> Self {
+        self.failure = failure;
+        self
+    }
+
     /// Sets the number of epochs of the simulated profile.
     pub fn epochs(mut self, epochs: usize) -> Self {
         self.epochs = epochs.max(1);
@@ -273,12 +298,20 @@ impl SweepSpec {
     /// axis fastest).  The expansion is index arithmetic over the axis
     /// lengths — no intermediate combination vectors are cloned.
     pub fn expand(&self) -> Result<Vec<GridPoint>, SweepError> {
+        self.failure
+            .validate()
+            .map_err(|e| SweepError(format!("invalid failure model: {e}")))?;
         for axis in &self.axes {
             if axis.values.is_empty() {
                 return Err(SweepError(format!(
                     "axis `{}` has no values",
                     axis.parameter.label()
                 )));
+            }
+            if axis.parameter == Parameter::WeibullShape
+                && !axis.values.iter().all(|&v| v.is_finite() && v > 0.0)
+            {
+                return Err(SweepError("Weibull shapes must be positive and finite".into()));
             }
         }
         let total: usize = self.axes.iter().map(|a| a.values.len()).product();
@@ -317,7 +350,10 @@ impl SweepSpec {
             })?;
             for &(parameter, value) in &coordinates {
                 match parameter {
-                    Parameter::Nodes => {}
+                    // Nodes is the evaluation coordinate; the Weibull shape
+                    // only retargets the simulation clock, never the
+                    // scenario's parameter rules.
+                    Parameter::Nodes | Parameter::WeibullShape => {}
                     Parameter::Alpha => scenario.alpha_at_reference = value,
                     Parameter::Mtbf => scenario.mtbf_at_reference = value,
                     Parameter::Rho => scenario.rho = value,
@@ -411,6 +447,8 @@ impl SweepSpec {
             name: self.name.clone(),
             budget: self.budget,
             paired: self.paired,
+            failure: self.failure,
+            axes: self.axes.iter().map(|a| a.parameter).collect(),
             points,
             elapsed_seconds,
             results,
@@ -461,6 +499,14 @@ impl SweepSpec {
         }
     }
 
+    /// The simulation engine of one grid point: the point's parameters under
+    /// the spec's failure clock (or the clock a
+    /// [`Parameter::WeibullShape`] coordinate selects).
+    fn engine(&self, point: &GridPoint, params: &ModelParams) -> Engine {
+        Engine::with_failure_spec(params, point.failure_spec(self.failure))
+            .expect("failure specs are validated at expansion")
+    }
+
     /// Evaluates one `(point, protocol)` task: the model prediction plus
     /// (when the budget runs replications) a Monte-Carlo simulation arm.
     fn evaluate(&self, point: &GridPoint, protocol: Protocol) -> PointResult {
@@ -468,9 +514,9 @@ impl SweepSpec {
         let sim = match point.params {
             Some(params) if self.budget.runs_simulation() => {
                 let profile = self.sim_profile(point, &params);
-                let acc = accumulate_profile_budget(
+                let acc = accumulate_profile_engine(
+                    &self.engine(point, &params),
                     protocol,
-                    &params,
                     &profile,
                     self.budget,
                     task_seed(self.seed, point.index as u64, Some(protocol)),
@@ -496,9 +542,9 @@ impl SweepSpec {
         let sim = match point.params {
             Some(params) if self.budget.runs_simulation() => {
                 let profile = self.sim_profile(point, &params);
-                Some(accumulate_paired(
+                Some(accumulate_paired_engine(
+                    &self.engine(point, &params),
                     &self.protocols,
-                    &params,
                     &profile,
                     self.budget,
                     task_seed(self.seed, point.index as u64, None),
@@ -550,7 +596,9 @@ fn apply(
         Parameter::Checkpoint => params.with_checkpoint_cost(value),
         Parameter::Downtime => params.with_downtime(value),
         Parameter::Reconstruction => params.with_abft_reconstruction(value),
-        Parameter::Nodes => Ok(params),
+        // Not parameter-point coordinates: resolved at the engine level
+        // (node count) or at clock construction (Weibull shape).
+        Parameter::Nodes | Parameter::WeibullShape => Ok(params),
     }
 }
 
@@ -585,6 +633,17 @@ pub struct GridPoint {
     pub params: Option<ModelParams>,
     /// In scenario mode: the perturbed scenario and the node count.
     pub scenario: Option<(WeakScalingScenario, f64)>,
+}
+
+impl GridPoint {
+    /// The failure clock of this point: a [`Parameter::WeibullShape`]
+    /// coordinate overrides the sweep-wide `base` spec.
+    pub fn failure_spec(&self, base: FailureSpec) -> FailureSpec {
+        self.coordinates
+            .iter()
+            .find(|(p, _)| *p == Parameter::WeibullShape)
+            .map_or(base, |&(_, shape)| FailureSpec::Weibull { shape })
+    }
 }
 
 /// Common-random-numbers waste difference of one protocol against the
@@ -641,6 +700,12 @@ pub struct SweepResults {
     pub budget: ReplicationBudget,
     /// Whether protocols were paired on common failure traces.
     pub paired: bool,
+    /// Failure clock of the simulation arm.
+    pub failure: FailureSpec,
+    /// The swept parameters, in axis order — the first `axes.len()`
+    /// coordinates of every point; anything after them is derived (e.g. the
+    /// realised α of a scenario sweep).
+    pub axes: Vec<Parameter>,
     /// Coordinates of each grid point, in grid order (one entry per point,
     /// shared by that point's protocol rows).
     pub points: Vec<Vec<(Parameter, f64)>>,
@@ -693,15 +758,86 @@ impl SweepResults {
             .map(PointResult::waste)
     }
 
-    /// First grid point (in grid order) at which the composite protocol's
-    /// waste drops below PurePeriodicCkpt's, reported as that point's value
-    /// on `axis` — the crossover annotation of Figures 8–10.
+    /// The grid-point indices of the slice along `axis` through the grid
+    /// origin — the points whose *other* axis coordinates all equal the
+    /// first grid point's — ordered by ascending `axis` value.  Derived
+    /// coordinates (e.g. the realised α of a scenario sweep) vary freely
+    /// along the slice and are ignored.
+    fn axis_slice(&self, axis: Parameter) -> Vec<usize> {
+        let Some(axis_pos) = self.axes.iter().position(|&p| p == axis) else {
+            return Vec::new();
+        };
+        let Some(origin) = self.points.first() else {
+            return Vec::new();
+        };
+        let mut slice: Vec<usize> = (0..self.points.len())
+            .filter(|&i| {
+                self.points[i][..self.axes.len()]
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &(_, v))| j == axis_pos || v == origin[j].1)
+            })
+            .collect();
+        slice.sort_by(|&a, &b| self.points[a][axis_pos].1.total_cmp(&self.points[b][axis_pos].1));
+        slice
+    }
+
+    /// Classifies the pure-versus-composite comparison along `axis`: walks
+    /// the grid slice through the origin in ascending axis order (never raw
+    /// grid order, which is not monotone on multi-axis grids) over a
+    /// once-built waste index, looking for the first true *sign change* —
+    /// pure no worse before, composite strictly better after.
+    pub fn crossover_outcome(&self, axis: Parameter) -> CrossoverOutcome {
+        // Index every (point, protocol) waste in one pass instead of
+        // re-scanning all results per grid point.
+        let mut wastes: Vec<(Option<f64>, Option<f64>)> = vec![(None, None); self.points.len()];
+        for r in &self.results {
+            match r.protocol {
+                Protocol::PurePeriodicCkpt => wastes[r.index].0 = Some(r.waste()),
+                Protocol::AbftPeriodicCkpt => wastes[r.index].1 = Some(r.waste()),
+                _ => {}
+            }
+        }
+        let comparable: Vec<(f64, bool)> = self
+            .axis_slice(axis)
+            .into_iter()
+            .filter_map(|i| {
+                let (pure, composite) = wastes[i];
+                Some((self.coordinate(i, axis)?, composite? < pure?))
+            })
+            .collect();
+        if let Some(window) = comparable.windows(2).find(|w| !w[0].1 && w[1].1) {
+            return CrossoverOutcome::At {
+                value: window[1].0,
+                below: window[0].0,
+            };
+        }
+        match comparable.first() {
+            Some(&(_, true)) => CrossoverOutcome::CompositeDominant,
+            _ => CrossoverOutcome::NoCrossover,
+        }
+    }
+
+    /// The crossover annotation of Figures 8–10: the first `axis` value (in
+    /// ascending order along the origin slice) at which the comparison's
+    /// sign *changes* to "composite strictly better".  `None` both when the
+    /// composite never wins and when it wins everywhere (no sign change in
+    /// range — use [`SweepResults::crossover_outcome`] to distinguish).
     pub fn crossover(&self, axis: Parameter) -> Option<f64> {
-        (0..self.grid_points()).find_map(|i| {
-            let pure = self.waste_at(i, Protocol::PurePeriodicCkpt)?;
-            let composite = self.waste_at(i, Protocol::AbftPeriodicCkpt)?;
-            (composite < pure).then(|| self.coordinate(i, axis))?
-        })
+        match self.crossover_outcome(axis) {
+            CrossoverOutcome::At { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The bracket around the crossover on `axis`: the last value where pure
+    /// still held and the first where the composite wins — the seed interval
+    /// of a [`CrossoverRefiner`] bisection.
+    pub fn crossover_bracket(&self, axis: Parameter) -> Option<(f64, f64)> {
+        match self.crossover_outcome(axis) {
+            CrossoverOutcome::At { value, below } => Some((below, value)),
+            _ => None,
+        }
     }
 
     /// Largest `|WASTE_simul − WASTE_model|` across the grid, when a
@@ -775,28 +911,336 @@ impl SweepResults {
     }
 }
 
+/// Classification of the pure-versus-composite comparison along one sweep
+/// axis (see [`SweepResults::crossover_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrossoverOutcome {
+    /// The comparison changes sign: pure no worse at `below`, composite
+    /// strictly better at `value` (adjacent slice points).
+    At {
+        /// First axis value at which the composite wins.
+        value: f64,
+        /// Last axis value at which pure still held.
+        below: f64,
+    },
+    /// The composite already wins at the first point of the range — no sign
+    /// change is visible, the crossover (if any) lies below the sweep.
+    CompositeDominant,
+    /// The composite never wins in the swept range.
+    NoCrossover,
+}
+
+/// Prints the shared crossover footer of the Figure 8–10 binaries,
+/// distinguishing "no crossover in range" from "composite dominant from the
+/// first point" (one helper, not three copies).
+pub fn report_crossover(results: &SweepResults, axis: Parameter) {
+    let label = axis.label();
+    match results.crossover_outcome(axis) {
+        CrossoverOutcome::At { value, below } => println!(
+            "# composite overtakes PurePeriodicCkpt between {label} = {} and {label} = {}",
+            format_value(axis, below),
+            format_value(axis, value),
+        ),
+        CrossoverOutcome::CompositeDominant => println!(
+            "# composite dominant from the first grid point — crossover below the swept {label} range"
+        ),
+        CrossoverOutcome::NoCrossover => {
+            println!("# no crossover in range — composite never overtakes PurePeriodicCkpt")
+        }
+    }
+}
+
+/// Seed-stream tag separating refiner probe seeds from grid task seeds.
+const REFINER_SEED_TAG: u64 = 0xC055_0FEB_15EC_7104;
+
+/// One bisection probe of a [`CrossoverRefiner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossoverProbe {
+    /// The probed axis coordinate.
+    pub value: f64,
+    /// Waste difference `composite − pure` at the probe (paired simulation
+    /// mean, or the closed-form model difference for model-only probes).
+    pub delta: f64,
+    /// CI95 half-width of the paired delta (0 for model probes).
+    pub ci95: f64,
+    /// Shared failure traces the probe replayed (0 for model probes).
+    pub replications: usize,
+    /// Whether the composite protocol wins at this coordinate.
+    pub composite_beats: bool,
+    /// Whether the comparison was statistically resolved (CI95 excludes
+    /// zero; always `true` for model probes).
+    pub decided: bool,
+}
+
+/// The outcome of a bisection refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverRefinement {
+    /// Axis that was bisected.
+    pub axis: Parameter,
+    /// Final bracket `(pure side, composite side)`.
+    pub bracket: (f64, f64),
+    /// Localised crossover coordinate (geometric midpoint of the bracket).
+    pub crossover: f64,
+    /// Requested relative tolerance.
+    pub rel_tolerance: f64,
+    /// Achieved relative bracket width `|hi − lo| / crossover`.
+    pub achieved_tolerance: f64,
+    /// Whether the requested tolerance was reached within the probe budget.
+    pub converged: bool,
+    /// Every probe, in bisection order (the first two verify the bracket).
+    pub probes: Vec<CrossoverProbe>,
+}
+
+impl CrossoverRefinement {
+    /// Total simulated executions spent across all probes (traces ×
+    /// protocols) — the quantity to compare against a fixed-budget grid
+    /// scan's [`SweepResults::total_replications`].
+    pub fn total_replications(&self) -> usize {
+        self.probes.iter().map(|p| p.replications * 2).sum()
+    }
+}
+
+/// Bisection driver that localises the pure→composite crossover along one
+/// axis to a requested *relative tolerance*, instead of the grid resolution
+/// [`SweepResults::crossover`] is limited to.
+///
+/// Each probe evaluates one coordinate with a **paired** comparison of
+/// `PurePeriodicCkpt` and `AbftPeriodicCkpt` — under the spec's replication
+/// budget (a [`ReplicationBudget::AdaptiveDelta`] budget stops each probe as
+/// soon as the sign of the waste difference is resolved, which is all a
+/// bisection step consumes) — and halves the bracket on the observed sign.
+/// Probe seeds are derived deterministically from the spec's master seed
+/// through [`SeedStream::nth_seed`], so refinements are reproducible and
+/// independent of how many probes earlier runs spent.  With a
+/// `Fixed(0)` budget (or on points outside the model's validity domain) a
+/// probe falls back to the closed-form model difference, which makes
+/// model-level refinement essentially free.
+///
+/// The driver works on any spec the sweep subsystem accepts: node counts of
+/// the Figures 8–10 scenarios (under exponential *and* Weibull clocks),
+/// MTBF or α around a base point, …  The bracket ends need not be ordered —
+/// `refine(a, b)` expects pure to hold at `a` and the composite to win at
+/// `b`, whichever side is numerically larger.
+#[derive(Debug, Clone)]
+pub struct CrossoverRefiner {
+    /// Probe template: base point or scenario, budget, failure model, seed.
+    /// Its axes and protocol list are ignored — every probe is a one-point
+    /// grid over `[PurePeriodicCkpt, AbftPeriodicCkpt]`.
+    pub spec: SweepSpec,
+    /// The bisected axis.
+    pub axis: Parameter,
+    /// Requested relative tolerance on the crossover coordinate.
+    pub rel_tolerance: f64,
+    /// Hard cap on bisection probes (bracket-verification probes included).
+    pub max_probes: usize,
+}
+
+impl CrossoverRefiner {
+    /// Creates a refiner over `spec` along `axis` with the default 1 %
+    /// tolerance and a 40-probe cap.
+    pub fn new(spec: SweepSpec, axis: Parameter) -> Self {
+        Self {
+            spec,
+            axis,
+            rel_tolerance: 0.01,
+            max_probes: 40,
+        }
+    }
+
+    /// Sets the relative tolerance.
+    pub fn tolerance(mut self, rel_tolerance: f64) -> Self {
+        self.rel_tolerance = rel_tolerance.max(1e-12);
+        self
+    }
+
+    /// Sets the probe cap.
+    pub fn max_probes(mut self, max_probes: usize) -> Self {
+        self.max_probes = max_probes.max(3);
+        self
+    }
+
+    /// Evaluates one probe at `value` (probe `index` of this refinement).
+    fn probe(&self, value: f64, index: u64) -> Result<CrossoverProbe, SweepError> {
+        let spec = SweepSpec {
+            axes: vec![Axis::values(self.axis, vec![value])],
+            protocols: vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt],
+            paired: true,
+            ..self.spec.clone()
+        };
+        let grid = spec.expand()?;
+        let point = &grid[0];
+        if let (Some(params), true) = (point.params, spec.budget.runs_simulation()) {
+            let profile = spec.sim_profile(point, &params);
+            let acc: PairedAccumulator = accumulate_paired_engine(
+                &spec.engine(point, &params),
+                &spec.protocols,
+                &profile,
+                spec.budget,
+                SeedStream::nth_seed(spec.seed ^ REFINER_SEED_TAG, index),
+            );
+            let delta = &acc.deltas[1];
+            let (mean, hw) = (delta.mean(), delta.ci95_half_width());
+            Ok(CrossoverProbe {
+                value,
+                delta: mean,
+                ci95: hw,
+                replications: acc.replications(),
+                composite_beats: mean < 0.0,
+                decided: hw < mean.abs(),
+            })
+        } else {
+            // Model probe: exact closed-form (or saturated-scenario) wastes.
+            let (pure, _) = spec.model_arm(point, Protocol::PurePeriodicCkpt);
+            let (composite, _) = spec.model_arm(point, Protocol::AbftPeriodicCkpt);
+            Ok(CrossoverProbe {
+                value,
+                delta: composite - pure,
+                ci95: 0.0,
+                replications: 0,
+                composite_beats: composite < pure,
+                decided: true,
+            })
+        }
+    }
+
+    /// Refines the crossover inside a bracket: pure must hold at
+    /// `pure_side`, the composite must win at `composite_side` (both are
+    /// verified with the first two probes).
+    pub fn refine(
+        &self,
+        pure_side: f64,
+        composite_side: f64,
+    ) -> Result<CrossoverRefinement, SweepError> {
+        if !pure_side.is_finite() || !composite_side.is_finite() {
+            return Err(SweepError(
+                "bisection brackets must be finite coordinates".into(),
+            ));
+        }
+        let mut probes = Vec::new();
+        let lo_probe = self.probe(pure_side, 0)?;
+        let hi_probe = self.probe(composite_side, 1)?;
+        let bracket_ok = !lo_probe.composite_beats && hi_probe.composite_beats;
+        probes.push(lo_probe);
+        probes.push(hi_probe);
+        if !bracket_ok {
+            return Err(SweepError(format!(
+                "not a crossover bracket: composite {} at {} and {} at {}",
+                if lo_probe.composite_beats { "wins" } else { "loses" },
+                pure_side,
+                if hi_probe.composite_beats { "wins" } else { "loses" },
+                composite_side,
+            )));
+        }
+        let (mut pure_at, mut composite_at) = (pure_side, composite_side);
+        // Wide positive brackets (node counts, MTBFs spanning decades):
+        // bisect in log space, which keeps the relative tolerance uniform
+        // across the bracket.  Narrow or zero-touching brackets (fractions
+        // like α, ρ, a Weibull shape): plain arithmetic bisection.
+        let (lo, hi) = (
+            pure_side.min(composite_side),
+            pure_side.max(composite_side),
+        );
+        let geometric = lo > 0.0 && hi / lo >= 4.0;
+        let midpoint = move |a: f64, b: f64| {
+            if geometric {
+                (a * b).sqrt()
+            } else {
+                0.5 * (a + b)
+            }
+        };
+        let width = move |a: f64, b: f64| {
+            let mid = midpoint(a, b);
+            if mid.abs() > 0.0 {
+                (a - b).abs() / mid.abs()
+            } else {
+                f64::INFINITY
+            }
+        };
+        while width(pure_at, composite_at) > self.rel_tolerance && probes.len() < self.max_probes {
+            let mid = midpoint(pure_at, composite_at);
+            let probe = self.probe(mid, probes.len() as u64)?;
+            if probe.composite_beats {
+                composite_at = mid;
+            } else {
+                pure_at = mid;
+            }
+            probes.push(probe);
+        }
+        let achieved = width(pure_at, composite_at);
+        Ok(CrossoverRefinement {
+            axis: self.axis,
+            bracket: (pure_at, composite_at),
+            crossover: midpoint(pure_at, composite_at),
+            rel_tolerance: self.rel_tolerance,
+            achieved_tolerance: achieved,
+            converged: achieved <= self.rel_tolerance,
+            probes,
+        })
+    }
+
+    /// Refines starting from a grid-level sweep's crossover bracket
+    /// ([`SweepResults::crossover_bracket`]).
+    pub fn refine_from(&self, results: &SweepResults) -> Result<CrossoverRefinement, SweepError> {
+        let (below, value) = results.crossover_bracket(self.axis).ok_or_else(|| {
+            SweepError(format!(
+                "the seeding sweep shows no crossover along `{}`",
+                self.axis.label()
+            ))
+        })?;
+        self.refine(below, value)
+    }
+}
+
 /// Formats a coordinate for display: integral values (node counts, seconds)
-/// print without a fractional part, fractions keep four digits.
-fn format_value(parameter: Parameter, v: f64) -> String {
+/// print without a fractional part, fractions keep four digits.  Shared by
+/// the grid tables, the crossover footers and the `crossover` binary.
+pub fn format_value(parameter: Parameter, v: f64) -> String {
     match parameter {
-        Parameter::Alpha | Parameter::Rho | Parameter::Phi => format!("{v:.4}"),
+        Parameter::Alpha | Parameter::Rho | Parameter::Phi | Parameter::WeibullShape => {
+            format!("{v:.4}")
+        }
         _ if v == v.trunc() && v.abs() < 1e15 => format!("{v:.0}"),
         _ => format!("{v:.4}"),
     }
 }
 
+/// Parses the shared `--failure-model`/`--weibull-shape` flags into a
+/// [`FailureSpec`]: `None` when `--failure-model` is absent, a CLI error
+/// exit on unknown models or invalid shapes.
+pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
+    let model_name = args.string("--failure-model", "");
+    if model_name.is_empty() {
+        return None;
+    }
+    let shape: f64 = args.value("--weibull-shape", 0.7);
+    let spec = FailureSpec::parse(&model_name, shape).unwrap_or_else(|| {
+        eprintln!("unknown --failure-model `{model_name}`; use exponential|weibull");
+        std::process::exit(2);
+    });
+    if spec.validate().is_err() {
+        eprintln!("--weibull-shape must be a positive finite number, got {shape}");
+        std::process::exit(2);
+    }
+    Some(spec)
+}
+
 /// Applies the shared CLI knobs (`--replications`, `--precision`,
-/// `--min-replications`, `--max-replications`, `--paired`, `--seed`,
-/// `--epochs`, `--threads`) to a spec, runs it (serially with `--serial`)
-/// and prints the header, the rendered grid
-/// (`--format table|csv|json`, with `--csv` as a shorthand) and a
-/// throughput footer.  Returns the results for binary-specific footers.
+/// `--delta-precision`, `--min-replications`, `--max-replications`,
+/// `--paired`, `--failure-model`, `--weibull-shape`, `--seed`, `--epochs`,
+/// `--threads`) to a spec, runs it (serially with `--serial`) and prints the
+/// header, the rendered grid (`--format table|csv|json`, with `--csv` as a
+/// shorthand) and a throughput footer.  Returns the results for
+/// binary-specific footers.
 ///
 /// `--precision 0.02` switches the budget to adaptive sequential stopping:
 /// each point replicates until the waste CI95 half-width falls below 2 % of
 /// the mean (bracketed by `--min-replications`/`--max-replications`).
-/// `--paired` replays the same failure traces to every protocol and adds
-/// the paired waste-difference columns.
+/// `--delta-precision 0.05` instead targets the **paired waste difference**
+/// (implies `--paired`): a point stops as soon as every protocol-versus-
+/// baseline comparison is resolved.  `--paired` replays the same failure
+/// traces to every protocol and adds the paired waste-difference columns.
+/// `--failure-model weibull --weibull-shape 0.7` swaps the simulation
+/// clock's distribution (the model arm keeps the exponential closed form).
 pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     if let Some(n) = args.maybe_value::<usize>("--replications") {
         spec.budget = ReplicationBudget::Fixed(n);
@@ -809,8 +1253,20 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
             max: args.value("--max-replications", 10_000),
         };
     }
+    let delta_precision: f64 = args.value("--delta-precision", 0.0);
+    if delta_precision > 0.0 {
+        spec.budget = ReplicationBudget::AdaptiveDelta {
+            rel_precision: delta_precision,
+            min: args.value("--min-replications", 100),
+            max: args.value("--max-replications", 10_000),
+        };
+        spec.paired = true;
+    }
     if args.flag("--paired") {
         spec.paired = true;
+    }
+    if let Some(failure) = failure_spec_from_args(args) {
+        spec.failure = failure;
     }
     spec.seed = args.value("--seed", spec.seed);
     spec.epochs = args.value("--epochs", spec.epochs).max(1);
@@ -840,11 +1296,12 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     });
     println!("# {}", results.name);
     println!(
-        "# {} grid points x {} protocols, budget {} per task{}, {} epochs",
+        "# {} grid points x {} protocols, budget {} per task{}, {} failures, {} epochs",
         results.grid_points(),
         spec.protocols.len(),
         spec.budget,
         if spec.paired { " (paired)" } else { "" },
+        spec.failure,
         spec.epochs,
     );
     print!("{}", results.render(format));
@@ -1053,6 +1510,208 @@ mod tests {
         }
         let csv = par.render(OutputFormat::Csv);
         assert!(csv.lines().next().unwrap().contains("paired_delta"));
+    }
+
+    /// A hand-built result set: `wastes[i] = (pure, composite)` per point.
+    fn synthetic(
+        axes: Vec<Parameter>,
+        points: Vec<Vec<(Parameter, f64)>>,
+        wastes: &[(f64, f64)],
+    ) -> SweepResults {
+        let results = wastes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &(pure, composite))| {
+                [
+                    (Protocol::PurePeriodicCkpt, pure),
+                    (Protocol::AbftPeriodicCkpt, composite),
+                ]
+                .map(|(protocol, waste)| PointResult {
+                    index: i,
+                    protocol,
+                    model_waste: waste,
+                    expected_failures: 0.0,
+                    sim: None,
+                    paired: None,
+                })
+            })
+            .collect();
+        SweepResults {
+            name: "synthetic".into(),
+            budget: ReplicationBudget::Fixed(0),
+            paired: false,
+            failure: FailureSpec::Exponential,
+            axes,
+            points,
+            elapsed_seconds: 0.0,
+            results,
+        }
+    }
+
+    #[test]
+    fn crossover_walks_the_axis_slice_not_raw_grid_order() {
+        // 3 MTBF x 2 alpha grid, last axis fastest.  The composite wins at
+        // (mtbf=100, alpha=0.9) — a point of a *different* alpha slice that
+        // raw grid order visits early — and genuinely crosses over on the
+        // origin slice (alpha = 0.1) between mtbf 200 and 300.  The old
+        // first-satisfying-point walk reported 100; the slice walk must
+        // report the true sign change at 300.
+        let mut points = Vec::new();
+        for mtbf in [100.0, 200.0, 300.0] {
+            for alpha in [0.1, 0.9] {
+                points.push(vec![(Parameter::Mtbf, mtbf), (Parameter::Alpha, alpha)]);
+            }
+        }
+        let wastes = [
+            (0.5, 0.6), // (100, 0.1): pure wins
+            (0.5, 0.4), // (100, 0.9): composite wins — wrong slice!
+            (0.5, 0.6), // (200, 0.1): pure wins
+            (0.5, 0.4), // (200, 0.9)
+            (0.5, 0.4), // (300, 0.1): composite wins — the real crossover
+            (0.5, 0.4), // (300, 0.9)
+        ];
+        let results = synthetic(
+            vec![Parameter::Mtbf, Parameter::Alpha],
+            points,
+            &wastes,
+        );
+        assert_eq!(results.crossover(Parameter::Mtbf), Some(300.0));
+        assert_eq!(results.crossover_bracket(Parameter::Mtbf), Some((200.0, 300.0)));
+        // The alpha axis' origin slice (mtbf = 100) has its own sign change
+        // between alpha 0.1 and 0.9.
+        assert_eq!(results.crossover(Parameter::Alpha), Some(0.9));
+        // An axis that was never swept has no slice at all.
+        assert_eq!(results.crossover(Parameter::Rho), None);
+    }
+
+    #[test]
+    fn crossover_requires_a_true_sign_change_and_sorts_the_axis() {
+        let points = |values: &[f64]| {
+            values
+                .iter()
+                .map(|&v| vec![(Parameter::Nodes, v)])
+                .collect::<Vec<_>>()
+        };
+        // Composite dominant from the first point: no sign change in range.
+        let dominant = synthetic(
+            vec![Parameter::Nodes],
+            points(&[1e3, 1e4, 1e5]),
+            &[(0.5, 0.4), (0.5, 0.4), (0.5, 0.3)],
+        );
+        assert_eq!(
+            dominant.crossover_outcome(Parameter::Nodes),
+            CrossoverOutcome::CompositeDominant
+        );
+        assert_eq!(dominant.crossover(Parameter::Nodes), None);
+        // Composite never wins.
+        let never = synthetic(
+            vec![Parameter::Nodes],
+            points(&[1e3, 1e4]),
+            &[(0.5, 0.6), (0.5, 0.7)],
+        );
+        assert_eq!(never.crossover_outcome(Parameter::Nodes), CrossoverOutcome::NoCrossover);
+        assert_eq!(never.crossover(Parameter::Nodes), None);
+        // Axis values declared in descending order: the walk is by ascending
+        // coordinate, so the crossover is still the smallest winning value.
+        let descending = synthetic(
+            vec![Parameter::Nodes],
+            points(&[1e5, 1e4, 1e3]),
+            &[(0.5, 0.4), (0.5, 0.4), (0.5, 0.6)],
+        );
+        assert_eq!(descending.crossover(Parameter::Nodes), Some(1e4));
+        assert_eq!(descending.crossover_bracket(Parameter::Nodes), Some((1e3, 1e4)));
+    }
+
+    #[test]
+    fn weibull_shape_axis_drives_the_simulation_clock() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::WeibullShape, vec![0.7, 1.0]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .replications(30);
+        let results = spec.run().unwrap();
+        assert_eq!(results.grid_points(), 2);
+        let shape07 = results.results[0].sim.unwrap();
+        let shape10 = results.results[1].sim.unwrap();
+        // Different shapes, same seed stream: genuinely different adversity.
+        assert_ne!(shape07.mean_waste, shape10.mean_waste);
+        // The model arm keeps the exponential closed form on both points.
+        assert_eq!(results.results[0].model_waste, results.results[1].model_waste);
+        // Weibull with k = 1 degenerates to the exponential clock (up to the
+        // ulp-level rounding of the Lanczos Γ(2) in the scale calibration).
+        let exponential = SweepSpec::new("t", figure7_base())
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .replications(30)
+            .run()
+            .unwrap();
+        // Seeds differ per point index; compare against a one-point weibull
+        // sweep so the indices line up.
+        let k1 = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::WeibullShape, vec![1.0]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .replications(30)
+            .run()
+            .unwrap();
+        let (a, b) = (
+            k1.results[0].sim.unwrap().mean_waste,
+            exponential.results[0].sim.unwrap().mean_waste,
+        );
+        assert!((a - b).abs() < 1e-9, "k=1 {a} vs exponential {b}");
+    }
+
+    #[test]
+    fn sweep_wide_weibull_spec_and_invalid_shapes() {
+        let weibull = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .protocols(vec![Protocol::AbftPeriodicCkpt])
+            .failure_model(FailureSpec::Weibull { shape: 0.7 })
+            .replications(25);
+        let exponential = weibull.clone().failure_model(FailureSpec::Exponential);
+        let w = weibull.run().unwrap();
+        assert_eq!(w.failure, FailureSpec::Weibull { shape: 0.7 });
+        let e = exponential.run().unwrap();
+        assert_ne!(
+            w.results[0].sim.unwrap().mean_waste,
+            e.results[0].sim.unwrap().mean_waste
+        );
+        // Invalid shapes are rejected at expansion, not mid-grid.
+        assert!(weibull
+            .clone()
+            .failure_model(FailureSpec::Weibull { shape: 0.0 })
+            .expand()
+            .is_err());
+        let bad_axis = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::WeibullShape, vec![0.7, -1.0]));
+        assert!(bad_axis.expand().is_err());
+    }
+
+    #[test]
+    fn refiner_localises_the_model_crossover_of_fig9() {
+        let spec = SweepSpec::scaling("t", WeakScalingScenario::figure9());
+        let grid = SweepSpec {
+            axes: vec![Axis::decades(Parameter::Nodes, 3, 6, 1)],
+            ..spec.clone()
+        }
+        .run()
+        .unwrap();
+        let refiner = CrossoverRefiner::new(spec, Parameter::Nodes).tolerance(0.01);
+        let refinement = refiner.refine_from(&grid).unwrap();
+        assert!(refinement.converged);
+        assert!(refinement.achieved_tolerance <= 0.01);
+        // Model probes are exact and free.
+        assert_eq!(refinement.total_replications(), 0);
+        assert!(refinement.probes.iter().all(|p| p.decided));
+        // The located coordinate separates the two regimes: the bracket ends
+        // carry opposite signs by construction.
+        let (pure_at, composite_at) = refinement.bracket;
+        assert!(pure_at < refinement.crossover && refinement.crossover < composite_at);
+        assert!(refinement.crossover > 1e5 && refinement.crossover < 2e5);
+        // A degenerate "bracket" with equal signs is rejected.
+        let refiner = CrossoverRefiner::new(
+            SweepSpec::scaling("t", WeakScalingScenario::figure9()),
+            Parameter::Nodes,
+        );
+        assert!(refiner.refine(1e3, 1e4).is_err());
+        assert!(refiner.refine(-1.0, 1e4).is_err());
     }
 
     #[test]

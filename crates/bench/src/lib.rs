@@ -14,10 +14,13 @@
 //! | `fig9` | Figure 9       | node-count axis, variable α (LIBRARY `O(n³)`, GENERAL `O(n²)`) |
 //! | `fig10`| Figure 10      | same with constant checkpoint cost; `--break-even` adds a C = R axis |
 //! | `sweep`| generic        | any one-dimensional parameter axis around the headline scenario |
+//! | `crossover` | §V-C crossover | [`CrossoverRefiner`] bisection on paired-delta adaptive probes |
 //!
-//! Every binary shares the CLI knobs `--replications`, `--seed`,
-//! `--epochs`, `--threads`, `--serial` and `--format table|csv|json`, and
-//! renders through the shared writer in [`output`].
+//! Every binary shares the CLI knobs `--replications`, `--precision`,
+//! `--delta-precision`, `--paired`, `--failure-model`/`--weibull-shape`,
+//! `--seed`, `--epochs`, `--threads`, `--serial` and
+//! `--format table|csv|json`, and renders through the shared writer in
+//! [`output`].
 //!
 //! The Criterion benches (`benches/`) measure the performance of the
 //! reproduction itself (whole-grid sweep throughput, simulator throughput,
@@ -29,7 +32,10 @@
 pub mod experiment;
 pub mod output;
 
-pub use experiment::{run_cli, Axis, Parameter, SweepResults, SweepSpec};
+pub use experiment::{
+    report_crossover, run_cli, Axis, CrossoverOutcome, CrossoverProbe, CrossoverRefinement,
+    CrossoverRefiner, Parameter, SweepResults, SweepSpec,
+};
 pub use output::{csv_line, render_table, OutputFormat, Table};
 
 use ft_composite::params::ModelParams;

@@ -112,6 +112,111 @@ impl FailureModel for WeibullFailures {
     }
 }
 
+/// A declarative choice of failure inter-arrival distribution, resolved to a
+/// concrete model once the platform MTBF is known.
+///
+/// This is the configuration-level counterpart of [`FailureModel`]: sweep
+/// specifications and CLIs carry a `FailureSpec` (cheap, serialisable,
+/// MTBF-agnostic) and [`FailureSpec::build`] turns it into an
+/// [`AnyFailureModel`] for one parameter point.  The default is the paper's
+/// exponential assumption; `Weibull` drives the robustness studies.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FailureSpec {
+    /// Memoryless failures (the paper's Section V-A assumption).
+    #[default]
+    Exponential,
+    /// Weibull failures of the given shape `k` (mean pinned to the MTBF).
+    Weibull {
+        /// Shape parameter `k` (`< 1` infant mortality, `1` exponential,
+        /// `> 1` wear-out).
+        shape: f64,
+    },
+}
+
+impl FailureSpec {
+    /// Parses the CLI spelling (`exponential`/`exp` or `weibull`); a Weibull
+    /// spec takes its shape from `shape`.
+    pub fn parse(name: &str, shape: f64) -> Option<FailureSpec> {
+        match name {
+            "exponential" | "exp" => Some(FailureSpec::Exponential),
+            "weibull" => Some(FailureSpec::Weibull { shape }),
+            _ => None,
+        }
+    }
+
+    /// Checks the spec without building a model (a Weibull shape must be a
+    /// positive finite number).
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            FailureSpec::Exponential => Ok(()),
+            FailureSpec::Weibull { shape } => ensure_positive("shape", shape).map(|_| ()),
+        }
+    }
+
+    /// Resolves the spec into a concrete model with the given mean
+    /// inter-arrival time (the platform MTBF, seconds).
+    pub fn build(&self, mtbf: f64) -> Result<AnyFailureModel> {
+        match *self {
+            FailureSpec::Exponential => {
+                Ok(AnyFailureModel::Exponential(ExponentialFailures::new(mtbf)?))
+            }
+            FailureSpec::Weibull { shape } => {
+                Ok(AnyFailureModel::Weibull(WeibullFailures::new(mtbf, shape)?))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FailureSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FailureSpec::Exponential => write!(f, "exponential"),
+            FailureSpec::Weibull { shape } => write!(f, "weibull(k={shape})"),
+        }
+    }
+}
+
+/// A runtime-selected failure model: enum dispatch over the two concrete
+/// distributions, so generic simulation code (clocks, trace buffers,
+/// executors) can switch models per parameter point without boxing or
+/// virtual calls on the sampling hot path.
+///
+/// The `Exponential` arm draws exactly the same variates as a bare
+/// [`ExponentialFailures`] with the same RNG state, so wrapping the paper's
+/// model in `AnyFailureModel` preserves bit-identical failure sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AnyFailureModel {
+    /// Exponential inter-arrival times.
+    Exponential(ExponentialFailures),
+    /// Weibull inter-arrival times.
+    Weibull(WeibullFailures),
+}
+
+impl FailureModel for AnyFailureModel {
+    #[inline]
+    fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+        match self {
+            AnyFailureModel::Exponential(m) => m.next_interarrival(rng),
+            AnyFailureModel::Weibull(m) => m.next_interarrival(rng),
+        }
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        match self {
+            AnyFailureModel::Exponential(m) => m.mean(),
+            AnyFailureModel::Weibull(m) => m.mean(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyFailureModel::Exponential(m) => m.name(),
+            AnyFailureModel::Weibull(m) => m.name(),
+        }
+    }
+}
+
 /// Lanczos approximation of the Gamma function, needed to convert a requested
 /// Weibull mean into the scale parameter (`mean = λ Γ(1 + 1/k)`).
 fn gamma(x: f64) -> f64 {
@@ -260,6 +365,57 @@ mod tests {
     fn weibull_shape_one_matches_exponential_scale() {
         let model = WeibullFailures::new(500.0, 1.0).unwrap();
         assert!((model.scale() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_spec_parses_validates_and_builds() {
+        assert_eq!(FailureSpec::parse("exponential", 0.7), Some(FailureSpec::Exponential));
+        assert_eq!(FailureSpec::parse("exp", 0.7), Some(FailureSpec::Exponential));
+        assert_eq!(
+            FailureSpec::parse("weibull", 0.7),
+            Some(FailureSpec::Weibull { shape: 0.7 })
+        );
+        assert_eq!(FailureSpec::parse("lognormal", 0.7), None);
+        assert_eq!(FailureSpec::default(), FailureSpec::Exponential);
+        assert!(FailureSpec::Exponential.validate().is_ok());
+        assert!(FailureSpec::Weibull { shape: 0.0 }.validate().is_err());
+        assert!(FailureSpec::Weibull { shape: 1.5 }.validate().is_ok());
+        assert!(FailureSpec::Weibull { shape: 1.5 }.build(0.0).is_err());
+        let m = FailureSpec::Weibull { shape: 1.5 }.build(500.0).unwrap();
+        assert_eq!(m.name(), "weibull");
+        assert!((m.mean() - 500.0).abs() < 1e-9);
+        assert_eq!(format!("{}", FailureSpec::Weibull { shape: 0.7 }), "weibull(k=0.7)");
+        assert_eq!(format!("{}", FailureSpec::Exponential), "exponential");
+    }
+
+    #[test]
+    fn any_failure_model_exponential_arm_is_bit_identical_to_the_bare_model() {
+        let bare = ExponentialFailures::new(777.0).unwrap();
+        let wrapped = FailureSpec::Exponential.build(777.0).unwrap();
+        let mut rng_a = Xoshiro256::seed_from_u64(3);
+        let mut rng_b = Xoshiro256::seed_from_u64(3);
+        for _ in 0..500 {
+            assert_eq!(
+                bare.next_interarrival(&mut rng_a).to_bits(),
+                wrapped.next_interarrival(&mut rng_b).to_bits()
+            );
+        }
+        assert_eq!(wrapped.mean(), 777.0);
+        assert_eq!(wrapped.name(), "exponential");
+    }
+
+    #[test]
+    fn any_failure_model_weibull_arm_is_bit_identical_to_the_bare_model() {
+        let bare = WeibullFailures::new(300.0, 0.7).unwrap();
+        let wrapped = FailureSpec::Weibull { shape: 0.7 }.build(300.0).unwrap();
+        let mut rng_a = Xoshiro256::seed_from_u64(9);
+        let mut rng_b = Xoshiro256::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_eq!(
+                bare.next_interarrival(&mut rng_a).to_bits(),
+                wrapped.next_interarrival(&mut rng_b).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod units;
 
 pub use cluster::Cluster;
 pub use error::PlatformError;
-pub use failure::{ExponentialFailures, FailureModel, FailureSource, FailureStream, WeibullFailures};
+pub use failure::{
+    AnyFailureModel, ExponentialFailures, FailureModel, FailureSource, FailureSpec, FailureStream,
+    WeibullFailures,
+};
 pub use grid::ProcessGrid;
 pub use memory::DatasetLayout;
 pub use node::Node;

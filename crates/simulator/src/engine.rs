@@ -33,7 +33,9 @@
 use ft_composite::params::ModelParams;
 use ft_composite::scenario::{ApplicationProfile, Epoch};
 use ft_composite::young_daly::paper_optimal_period;
-use ft_platform::failure::{ExponentialFailures, FailureSource, FailureStream};
+use ft_platform::failure::{
+    AnyFailureModel, ExponentialFailures, FailureModel, FailureSource, FailureSpec, FailureStream,
+};
 use ft_platform::trace::TraceBuffer;
 
 use crate::clock::{ActivityResult, SimClock};
@@ -329,20 +331,46 @@ impl<F: FailureSource> ProtocolExecutor<F> for CompositeExecutor {
 }
 
 /// The simulation engine for one parameter point: owns the precomputed
-/// [`PeriodPlan`] and assembles [`SimOutcome`]s from executor runs.
+/// [`PeriodPlan`], the point's failure model and assembles [`SimOutcome`]s
+/// from executor runs.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine {
     params: ModelParams,
     plan: PeriodPlan,
+    model: AnyFailureModel,
 }
 
 impl Engine {
-    /// Builds an engine (and its plan) for one parameter point.
+    /// Builds an engine (and its plan) for one parameter point, under the
+    /// paper's exponential failure assumption.
     pub fn new(params: &ModelParams) -> Self {
+        Self::with_failure_model(
+            params,
+            AnyFailureModel::Exponential(
+                ExponentialFailures::new(params.platform_mtbf).expect("validated positive MTBF"),
+            ),
+        )
+    }
+
+    /// Builds an engine whose simulation arm draws failures from an
+    /// arbitrary model (e.g. Weibull for the robustness studies).  The
+    /// model's mean should be the point's platform MTBF for the closed-form
+    /// predictions to stay comparable.
+    pub fn with_failure_model(params: &ModelParams, model: AnyFailureModel) -> Self {
         Self {
             params: *params,
             plan: PeriodPlan::new(params),
+            model,
         }
+    }
+
+    /// Builds an engine from a declarative [`FailureSpec`], resolving the
+    /// model at the point's platform MTBF.
+    pub fn with_failure_spec(
+        params: &ModelParams,
+        spec: FailureSpec,
+    ) -> ft_platform::error::Result<Self> {
+        Ok(Self::with_failure_model(params, spec.build(params.platform_mtbf)?))
     }
 
     /// The parameter point this engine simulates.
@@ -353,6 +381,11 @@ impl Engine {
     /// The precomputed plan.
     pub fn plan(&self) -> &PeriodPlan {
         &self.plan
+    }
+
+    /// The failure model the simulation arm draws from.
+    pub fn failure_model(&self) -> &AnyFailureModel {
+        &self.model
     }
 
     /// Runs a custom executor over a profile on a caller-supplied clock
@@ -376,14 +409,14 @@ impl Engine {
     }
 
     /// Simulates one of the paper's protocols over an arbitrary multi-epoch
-    /// profile, under exponential failures seeded deterministically.
+    /// profile, under the engine's failure model seeded deterministically.
     pub fn simulate_profile(
         &self,
         protocol: Protocol,
         profile: &ApplicationProfile,
         seed: u64,
     ) -> SimOutcome {
-        let clock = SimClock::new(self.params.platform_mtbf, seed);
+        let clock = SimClock::with_model(self.model, seed);
         self.dispatch(protocol, profile, clock)
     }
 
@@ -401,24 +434,25 @@ impl Engine {
         }
     }
 
-    /// A failure buffer matching this engine's parameter point, ready to be
-    /// reset once per replication and replayed to every protocol.
-    pub fn trace_buffer(&self, seed: u64) -> TraceBuffer<ExponentialFailures> {
-        let model =
-            ExponentialFailures::new(self.params.platform_mtbf).expect("validated positive MTBF");
-        TraceBuffer::new(model, seed)
+    /// A failure buffer matching this engine's parameter point and failure
+    /// model, ready to be reset once per replication and replayed to every
+    /// protocol.
+    pub fn trace_buffer(&self, seed: u64) -> TraceBuffer<AnyFailureModel> {
+        TraceBuffer::new(self.model, seed)
     }
 
     /// Simulates `protocol` over `profile`, *replaying* the failure sequence
     /// recorded in `buffer` instead of sampling a fresh one.  Replaying the
     /// same buffer (same [`TraceBuffer::reset`] seed) to several protocols
     /// gives a common-random-numbers comparison; with the buffer reset to
-    /// seed `s`, the outcome is bit-identical to `simulate_profile(p, _, s)`.
-    pub fn simulate_profile_replay(
+    /// seed `s` over the engine's own model, the outcome is bit-identical to
+    /// `simulate_profile(p, _, s)` — under exponential *and* Weibull clocks
+    /// alike (the buffer is generic over the model).
+    pub fn simulate_profile_replay<M: FailureModel>(
         &self,
         protocol: Protocol,
         profile: &ApplicationProfile,
-        buffer: &mut TraceBuffer<ExponentialFailures>,
+        buffer: &mut TraceBuffer<M>,
     ) -> SimOutcome {
         self.dispatch(protocol, profile, SimClock::with_source(buffer.cursor()))
     }
@@ -426,10 +460,10 @@ impl Engine {
     /// Single-epoch counterpart of [`Engine::simulate_profile_replay`]:
     /// replays `buffer` through the exact event sequence of
     /// [`Engine::simulate`], bit-for-bit.
-    pub fn simulate_replay(
+    pub fn simulate_replay<M: FailureModel>(
         &self,
         protocol: Protocol,
-        buffer: &mut TraceBuffer<ExponentialFailures>,
+        buffer: &mut TraceBuffer<M>,
     ) -> SimOutcome {
         match protocol {
             Protocol::PurePeriodicCkpt => {
@@ -462,11 +496,11 @@ impl Engine {
     /// sequence (reseeded from `seed`): the paired, common-random-numbers
     /// counterpart of calling [`Engine::simulate_profile`] three times.
     /// Outcomes are returned in [`Protocol::all`] order.
-    pub fn simulate_paired(
+    pub fn simulate_paired<M: FailureModel>(
         &self,
         profile: &ApplicationProfile,
         seed: u64,
-        buffer: &mut TraceBuffer<ExponentialFailures>,
+        buffer: &mut TraceBuffer<M>,
     ) -> [SimOutcome; 3] {
         buffer.reset(seed);
         Protocol::all().map(|p| self.simulate_profile_replay(p, profile, buffer))
@@ -479,7 +513,7 @@ impl Engine {
         // `epoch_duration` seconds, exactly like the closed-form model.
         match protocol {
             Protocol::PurePeriodicCkpt => {
-                let mut clock = SimClock::new(self.params.platform_mtbf, seed);
+                let mut clock = SimClock::with_model(self.model, seed);
                 checkpointed_stream(
                     &mut clock,
                     self.params.epoch_duration,
@@ -639,6 +673,28 @@ mod tests {
             assert!(out.failures > 0);
             let again = engine.run_with(executor, &profile, SimClock::with_model(model, 11));
             assert_eq!(out, again);
+        }
+    }
+
+    #[test]
+    fn weibull_engine_replays_bit_identically_and_differs_from_exponential() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let weibull =
+            Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: 0.7 }).unwrap();
+        assert_eq!(weibull.failure_model().name(), "weibull");
+        assert!(Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: -1.0 }).is_err());
+        let exponential = Engine::new(&params);
+        let profile = ApplicationProfile::from_params(&params);
+        let mut buffer = weibull.trace_buffer(0);
+        for protocol in Protocol::all() {
+            buffer.reset(9);
+            let replayed = weibull.simulate_profile_replay(protocol, &profile, &mut buffer);
+            let fresh = weibull.simulate_profile(protocol, &profile, 9);
+            assert_eq!(replayed.final_time.to_bits(), fresh.final_time.to_bits());
+            assert_eq!(replayed, fresh);
+            // Same seed, different clock distribution: genuinely different
+            // adversity, not a relabelled exponential run.
+            assert_ne!(fresh, exponential.simulate_profile(protocol, &profile, 9));
         }
     }
 

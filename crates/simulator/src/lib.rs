@@ -41,8 +41,9 @@ pub use engine::{
 };
 pub use protocols::{simulate, Protocol, SimOutcome};
 pub use replicate::{
-    accumulate, accumulate_budget, accumulate_paired, accumulate_profile,
-    accumulate_profile_budget, replicate, replicate_all, PairedAccumulator, ReplicationBudget,
+    accumulate, accumulate_budget, accumulate_engine_budget, accumulate_paired,
+    accumulate_paired_engine, accumulate_profile, accumulate_profile_budget,
+    accumulate_profile_engine, replicate, replicate_all, PairedAccumulator, ReplicationBudget,
     SimStats,
 };
 pub use stats::{OutcomeAccumulator, Welford};

@@ -13,7 +13,12 @@
 //!   guarded by the pinned-seed engine regression) or runs replications in
 //!   blocks and stops as soon as the 95 % confidence interval of the waste
 //!   is tight enough (`Adaptive`), which cuts most points of a sweep from
-//!   1000 replications down to the few hundred they actually need.
+//!   1000 replications down to the few hundred they actually need;
+//! * **Paired-delta budgets** — when only the *comparison* between
+//!   protocols matters (crossover hunting in Figures 8–10),
+//!   `AdaptiveDelta` stops as soon as the paired waste differences are
+//!   resolved (sign decided or precision met) — provably no later, and
+//!   usually far earlier, than the marginal rule on the same traces.
 //!
 //! Entry points by parallelism regime:
 //!
@@ -30,7 +35,7 @@
 
 use ft_composite::params::ModelParams;
 use ft_composite::scenario::ApplicationProfile;
-use ft_platform::failure::ExponentialFailures;
+use ft_platform::failure::AnyFailureModel;
 use ft_platform::rng::SeedStream;
 use ft_platform::trace::TraceBuffer;
 use rayon::prelude::*;
@@ -53,7 +58,8 @@ pub enum ReplicationBudget {
     /// before `min` nor beyond `max` replications).
     Adaptive {
         /// Target relative precision: stop once
-        /// `ci95_half_width ≤ rel_precision × mean_waste`.
+        /// `ci95_half_width ≤ rel_precision × mean_waste` (floored by
+        /// [`ReplicationBudget::ABS_PRECISION_FLOOR`]).
         rel_precision: f64,
         /// Minimum replications before the first stopping check (keeps the
         /// normal-approximation interval honest).
@@ -61,11 +67,45 @@ pub enum ReplicationBudget {
         /// Hard cap on replications.
         max: usize,
     },
+    /// Paired-delta sequential stopping for common-random-numbers
+    /// comparisons ([`accumulate_paired`]): instead of tightening every
+    /// protocol's *marginal* waste interval, stop as soon as each per-trace
+    /// waste **difference** against the baseline is resolved — either its
+    /// CI95 excludes zero (the sign of the comparison is decided, which is
+    /// all a crossover search needs) or the difference is localised to the
+    /// requested precision.  As a safety net the marginal rule of
+    /// [`ReplicationBudget::Adaptive`] also stops the loop, so this budget
+    /// never runs longer than the marginal rule would on the same traces —
+    /// and on clearly-ordered points it stops right after `min`.
+    ///
+    /// Outside a paired accumulation this budget degrades to the plain
+    /// `Adaptive` rule with the same parameters.
+    AdaptiveDelta {
+        /// Target relative precision on the waste difference (and the
+        /// marginal fallback): stop once
+        /// `ci95_half_width ≤ rel_precision × |mean_delta|` (floored by
+        /// [`ReplicationBudget::ABS_PRECISION_FLOOR`]).
+        rel_precision: f64,
+        /// Minimum replications before the first stopping check.
+        min: usize,
+        /// Hard cap on replications.
+        max: usize,
+    },
 }
 
 impl ReplicationBudget {
-    /// Replications run between two stopping checks of the adaptive mode.
+    /// Replications run between two stopping checks of the adaptive modes.
     pub const BLOCK: usize = 50;
+
+    /// Absolute floor on the adaptive precision targets, in waste units
+    /// (waste lives in `[0, 1]`, so `1e-4` is 0.01 % of the full scale).
+    ///
+    /// Without the floor, a point whose mean waste (or waste difference) is
+    /// ≈ 0 — a failure-free corner, or a paired delta right at a crossover —
+    /// can never satisfy `ci95 ≤ rel_precision × |mean|` and silently burns
+    /// replications up to `max`; the floor stops it as soon as the interval
+    /// is tight in absolute terms instead.
+    pub const ABS_PRECISION_FLOOR: f64 = 1e-4;
 
     /// An adaptive budget with the workspace's default bracket
     /// (`min = 100`, `max = 10_000`).
@@ -77,11 +117,22 @@ impl ReplicationBudget {
         }
     }
 
+    /// A paired-delta budget with the workspace's default bracket
+    /// (`min = 100`, `max = 10_000`).
+    pub fn adaptive_delta(rel_precision: f64) -> Self {
+        ReplicationBudget::AdaptiveDelta {
+            rel_precision,
+            min: 100,
+            max: 10_000,
+        }
+    }
+
     /// The largest number of replications this budget can spend.
     pub fn max_replications(&self) -> usize {
         match *self {
             ReplicationBudget::Fixed(n) => n,
-            ReplicationBudget::Adaptive { min, max, .. } => max.max(min),
+            ReplicationBudget::Adaptive { min, max, .. }
+            | ReplicationBudget::AdaptiveDelta { min, max, .. } => max.max(min),
         }
     }
 
@@ -90,11 +141,28 @@ impl ReplicationBudget {
         self.max_replications() > 0
     }
 
+    /// Whether this budget stops on paired per-trace deltas rather than on
+    /// marginal waste intervals.
+    pub fn is_paired_delta(&self) -> bool {
+        matches!(self, ReplicationBudget::AdaptiveDelta { .. })
+    }
+
+    /// The adaptive precision target for an estimate with mean `mean`:
+    /// relative to the magnitude, floored absolutely.
+    fn precision_target(rel_precision: f64, mean: f64) -> f64 {
+        (rel_precision * mean.abs()).max(Self::ABS_PRECISION_FLOOR)
+    }
+
     /// Whether `acc` (the waste accumulator) satisfies the stopping rule.
     fn satisfied(&self, acc: &Welford) -> bool {
         match *self {
             ReplicationBudget::Fixed(n) => acc.count() >= n as u64,
             ReplicationBudget::Adaptive {
+                rel_precision,
+                min,
+                max,
+            }
+            | ReplicationBudget::AdaptiveDelta {
                 rel_precision,
                 min,
                 max,
@@ -106,8 +174,34 @@ impl ReplicationBudget {
                 if n >= max.max(min) as u64 {
                     return true;
                 }
-                acc.ci95_half_width() <= rel_precision * acc.mean().abs()
+                acc.ci95_half_width() <= Self::precision_target(rel_precision, acc.mean())
             }
+        }
+    }
+
+    /// Whether a paired waste-difference accumulator is *resolved* under the
+    /// [`ReplicationBudget::AdaptiveDelta`] rule: its sign is decided at
+    /// 95 % (the CI excludes zero) or the difference itself meets the
+    /// requested precision.  Non-delta budgets fall back to the marginal
+    /// rule on the delta accumulator.
+    fn delta_resolved(&self, delta: &Welford) -> bool {
+        match *self {
+            ReplicationBudget::AdaptiveDelta {
+                rel_precision,
+                min,
+                max,
+            } => {
+                let n = delta.count();
+                if n < min.max(2) as u64 {
+                    return false;
+                }
+                if n >= max.max(min) as u64 {
+                    return true;
+                }
+                let hw = delta.ci95_half_width();
+                hw < delta.mean().abs() || hw <= Self::precision_target(rel_precision, delta.mean())
+            }
+            _ => self.satisfied(delta),
         }
     }
 
@@ -116,7 +210,8 @@ impl ReplicationBudget {
     fn next_block(&self, done: usize) -> usize {
         match *self {
             ReplicationBudget::Fixed(n) => n.saturating_sub(done),
-            ReplicationBudget::Adaptive { min, max, .. } => {
+            ReplicationBudget::Adaptive { min, max, .. }
+            | ReplicationBudget::AdaptiveDelta { min, max, .. } => {
                 let cap = max.max(min);
                 if done < min {
                     min - done
@@ -139,6 +234,15 @@ impl std::fmt::Display for ReplicationBudget {
             } => write!(
                 f,
                 "adaptive({:.1}% CI95, {min}..{max} reps)",
+                rel_precision * 100.0
+            ),
+            ReplicationBudget::AdaptiveDelta {
+                rel_precision,
+                min,
+                max,
+            } => write!(
+                f,
+                "paired-delta({:.1}% CI95, {min}..{max} reps)",
                 rel_precision * 100.0
             ),
         }
@@ -215,7 +319,7 @@ pub fn replicate(
 /// rule between blocks.
 fn drive<R>(engine: &Engine, budget: ReplicationBudget, master_seed: u64, mut run: R) -> OutcomeAccumulator
 where
-    R: FnMut(&Engine, &mut TraceBuffer<ExponentialFailures>) -> SimOutcome,
+    R: FnMut(&Engine, &mut TraceBuffer<AnyFailureModel>) -> SimOutcome,
 {
     let mut acc = OutcomeAccumulator::new();
     let mut seeds = SeedStream::new(master_seed);
@@ -248,8 +352,19 @@ pub fn accumulate_budget(
     budget: ReplicationBudget,
     master_seed: u64,
 ) -> OutcomeAccumulator {
-    let engine = Engine::new(params);
-    drive(&engine, budget, master_seed, |engine, buffer| {
+    accumulate_engine_budget(&Engine::new(params), protocol, budget, master_seed)
+}
+
+/// [`accumulate_budget`] over a caller-built [`Engine`] — the entry point
+/// when the failure model is not the default exponential one (Weibull
+/// robustness sweeps build the engine through `Engine::with_failure_spec`).
+pub fn accumulate_engine_budget(
+    engine: &Engine,
+    protocol: Protocol,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    drive(engine, budget, master_seed, |engine, buffer| {
         engine.simulate_replay(protocol, buffer)
     })
 }
@@ -263,8 +378,19 @@ pub fn accumulate_profile_budget(
     budget: ReplicationBudget,
     master_seed: u64,
 ) -> OutcomeAccumulator {
-    let engine = Engine::new(params);
-    drive(&engine, budget, master_seed, |engine, buffer| {
+    accumulate_profile_engine(&Engine::new(params), protocol, profile, budget, master_seed)
+}
+
+/// [`accumulate_profile_budget`] over a caller-built [`Engine`] (arbitrary
+/// failure model).
+pub fn accumulate_profile_engine(
+    engine: &Engine,
+    protocol: Protocol,
+    profile: &ApplicationProfile,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> OutcomeAccumulator {
+    drive(engine, budget, master_seed, |engine, buffer| {
         engine.simulate_profile_replay(protocol, profile, buffer)
     })
 }
@@ -349,12 +475,30 @@ impl PairedAccumulator {
 /// Runs a paired (common-random-numbers) comparison of `protocols` over
 /// `profile` under a [`ReplicationBudget`].
 ///
-/// The adaptive stopping rule applies to the *worst* waste interval across
-/// the compared protocols, so every marginal estimate meets the requested
-/// precision when the evaluation stops early.
+/// Under [`ReplicationBudget::Adaptive`] the stopping rule applies to the
+/// *worst* waste interval across the compared protocols, so every marginal
+/// estimate meets the requested precision when the evaluation stops early.
+/// Under [`ReplicationBudget::AdaptiveDelta`] the loop additionally stops —
+/// usually much earlier — as soon as every per-trace waste *difference*
+/// against the baseline is resolved (sign decided or precision met), which
+/// is the rule crossover hunting wants: only the comparison matters, not
+/// the marginals.
 pub fn accumulate_paired(
     protocols: &[Protocol],
     params: &ModelParams,
+    profile: &ApplicationProfile,
+    budget: ReplicationBudget,
+    master_seed: u64,
+) -> PairedAccumulator {
+    accumulate_paired_engine(&Engine::new(params), protocols, profile, budget, master_seed)
+}
+
+/// [`accumulate_paired`] over a caller-built [`Engine`] (arbitrary failure
+/// model): the sweep subsystem's paired path under exponential *and*
+/// Weibull clocks.
+pub fn accumulate_paired_engine(
+    engine: &Engine,
+    protocols: &[Protocol],
     profile: &ApplicationProfile,
     budget: ReplicationBudget,
     master_seed: u64,
@@ -369,7 +513,6 @@ pub fn accumulate_paired(
         // sweep path's empty task list.
         return acc;
     }
-    let engine = Engine::new(params);
     let mut seeds = SeedStream::new(master_seed);
     let mut buffer = engine.trace_buffer(master_seed);
     let mut done = 0usize;
@@ -394,11 +537,15 @@ pub fn accumulate_paired(
             }
         }
         done += block;
-        if acc
-            .outcomes
-            .iter()
-            .all(|o| budget.satisfied(&o.waste))
-        {
+        // The paired-delta rule ORs with the marginal rule, so it can only
+        // stop *earlier* than `Adaptive` on the same traces, never later.
+        // With no non-baseline protocol there is no delta to resolve and
+        // only the marginal rule applies (a vacuous `all` would otherwise
+        // stop every baseline-only run right after `min`).
+        let deltas_resolved = budget.is_paired_delta()
+            && acc.deltas.len() > 1
+            && acc.deltas[1..].iter().all(|d| budget.delta_resolved(d));
+        if deltas_resolved || acc.outcomes.iter().all(|o| budget.satisfied(&o.waste)) {
             break;
         }
     }
@@ -604,16 +751,114 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_predicate_has_an_absolute_floor_for_near_zero_means() {
+        // The degenerate case pinned: mean ≈ 0 with nonzero variance (a
+        // failure-free or near-zero-waste corner, or a paired delta right at
+        // a crossover).  The pure relative rule `hw ≤ rel × |mean|` can
+        // never be satisfied there, so without the absolute floor the
+        // budget silently burns replications up to `max`.
+        let mut acc = Welford::new();
+        for i in 0..1_000 {
+            acc.push(if i % 2 == 0 { 2e-5 } else { -2e-5 });
+        }
+        assert!(acc.mean().abs() < 1e-9);
+        let hw = acc.ci95_half_width();
+        assert!(hw > 0.0 && hw < ReplicationBudget::ABS_PRECISION_FLOOR);
+        let budget = ReplicationBudget::Adaptive {
+            rel_precision: 0.02,
+            min: 100,
+            max: 1_000_000,
+        };
+        assert!(
+            hw > 0.02 * acc.mean().abs(),
+            "the relative rule alone would never stop this point"
+        );
+        assert!(
+            budget.satisfied(&acc),
+            "the absolute floor must stop the near-zero-mean point"
+        );
+        // Far from zero the floor is inert: the relative rule decides.
+        let mut wide = Welford::new();
+        for i in 0..200 {
+            wide.push(0.5 + if i % 2 == 0 { 0.2 } else { -0.2 });
+        }
+        assert!(!budget.satisfied(&wide));
+    }
+
+    #[test]
+    fn paired_delta_budget_stops_no_later_than_the_marginal_rule() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+        let (rel, min, max) = (0.02, 50, 5_000);
+        let delta = accumulate_paired(
+            &protocols,
+            &params,
+            &profile,
+            ReplicationBudget::AdaptiveDelta { rel_precision: rel, min, max },
+            21,
+        );
+        let marginal = accumulate_paired(
+            &protocols,
+            &params,
+            &profile,
+            ReplicationBudget::Adaptive { rel_precision: rel, min, max },
+            21,
+        );
+        assert!(delta.replications() <= marginal.replications());
+        // At α = 0.8 / µ = 90 min the composite clearly beats pure, so the
+        // CRN delta's sign resolves immediately: the paired-delta rule stops
+        // right after `min` while the marginal 2 % rule keeps replicating.
+        assert_eq!(delta.replications(), min);
+        assert!(marginal.replications() > min);
+        let d = delta.delta(Protocol::AbftPeriodicCkpt).unwrap();
+        assert!(
+            d.ci95_half_width() < d.mean().abs(),
+            "sign must be resolved at stop: hw {} vs |mean| {}",
+            d.ci95_half_width(),
+            d.mean().abs()
+        );
+        // Same traces, same prefix: the delta run's marginals are the
+        // marginal run's first `min` replications, bit for bit.
+        assert_eq!(delta.deltas[1].count(), min as u64);
+    }
+
+    #[test]
+    fn paired_delta_budget_degrades_to_adaptive_outside_paired_mode() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let adaptive = accumulate_budget(
+            Protocol::AbftPeriodicCkpt,
+            &params,
+            ReplicationBudget::Adaptive { rel_precision: 0.05, min: 50, max: 2_000 },
+            3,
+        );
+        let delta = accumulate_budget(
+            Protocol::AbftPeriodicCkpt,
+            &params,
+            ReplicationBudget::AdaptiveDelta { rel_precision: 0.05, min: 50, max: 2_000 },
+            3,
+        );
+        assert_eq!(adaptive, delta);
+    }
+
+    #[test]
     fn budget_bookkeeping_helpers() {
         assert!(!ReplicationBudget::Fixed(0).runs_simulation());
         assert!(ReplicationBudget::Fixed(3).runs_simulation());
         assert_eq!(ReplicationBudget::Fixed(7).max_replications(), 7);
         let adaptive = ReplicationBudget::adaptive(0.02);
         assert!(adaptive.runs_simulation());
+        assert!(!adaptive.is_paired_delta());
         assert_eq!(adaptive.max_replications(), 10_000);
         assert_eq!(adaptive.next_block(0), 100);
         assert_eq!(adaptive.next_block(100), ReplicationBudget::BLOCK);
         assert_eq!(ReplicationBudget::Fixed(10).next_block(4), 6);
         assert_eq!(ReplicationBudget::Fixed(10).next_block(10), 0);
+        let delta = ReplicationBudget::adaptive_delta(0.05);
+        assert!(delta.runs_simulation());
+        assert!(delta.is_paired_delta());
+        assert_eq!(delta.max_replications(), 10_000);
+        assert_eq!(delta.next_block(0), 100);
+        assert_eq!(format!("{delta}"), "paired-delta(5.0% CI95, 100..10000 reps)");
     }
 }

@@ -55,11 +55,15 @@ proptest! {
         prop_assert!(n >= 30, "stopped below min: {n}");
         prop_assert!(n <= 400, "exceeded max: {n}");
         if n < 400 {
-            // Early stop: the requested relative precision was reached.
+            // Early stop: the requested relative precision was reached (or
+            // the absolute floor, which protects near-zero-mean points from
+            // burning to `max` on an unreachable relative target).
+            let target = (rel * acc.waste.mean().abs())
+                .max(ReplicationBudget::ABS_PRECISION_FLOOR);
             prop_assert!(
-                acc.waste.ci95_half_width() <= rel * acc.waste.mean().abs() + 1e-15,
-                "stopped at {n} with ci {} > {} * mean {}",
-                acc.waste.ci95_half_width(), rel, acc.waste.mean()
+                acc.waste.ci95_half_width() <= target + 1e-15,
+                "stopped at {n} with ci {} > target {}",
+                acc.waste.ci95_half_width(), target
             );
         }
     }

@@ -1,0 +1,219 @@
+//! Property tests for the crossover-refinement subsystem (ISSUE 4):
+//!
+//! * the paired-delta budget (`ReplicationBudget::AdaptiveDelta`) stops **no
+//!   later** than the marginal-CI rule on the same traces, and `Fixed`
+//!   pairing stays bit-compatible with unpaired accumulation;
+//! * the bisection driver localises a known analytic crossover of the §IV
+//!   waste model to the requested relative tolerance;
+//! * Weibull failure sequences replay bit-identically through `TraceCursor`,
+//!   so common-random-numbers comparisons are exact under non-exponential
+//!   clocks too.
+
+use abft_ckpt_composite::bench::{Axis, CrossoverRefiner, Parameter, SweepSpec};
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::scaling::WeakScalingScenario;
+use abft_ckpt_composite::composite::scenario::ApplicationProfile;
+use abft_ckpt_composite::platform::failure::{
+    FailureSource, FailureSpec, FailureStream, WeibullFailures,
+};
+use abft_ckpt_composite::platform::trace::TraceBuffer;
+use abft_ckpt_composite::platform::units::hours;
+use abft_ckpt_composite::sim::{
+    accumulate_paired, accumulate_profile_engine, Engine, Protocol, ReplicationBudget,
+};
+use proptest::prelude::*;
+
+/// Parameter points around the paper's Figure-7 study.
+fn arb_params() -> impl Strategy<Value = ModelParams> {
+    (0.0f64..=1.0, 1.0f64..=4.0)
+        .prop_filter_map("paper parameters must validate", |(alpha, mtbf)| {
+            ModelParams::paper_figure7(alpha, hours(mtbf)).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn paired_delta_budget_stops_no_later_than_the_marginal_rule(
+        params in arb_params(),
+        seed in 0u64..1_000,
+        rel in 0.02f64..0.10,
+    ) {
+        // Identical seed stream → identical traces: the only difference is
+        // the stopping rule, and AdaptiveDelta ORs the marginal rule with
+        // the delta-resolution rule, so it can never run longer.
+        let profile = ApplicationProfile::from_params(&params);
+        let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+        let (min, max) = (30, 600);
+        let delta = accumulate_paired(
+            &protocols, &params, &profile,
+            ReplicationBudget::AdaptiveDelta { rel_precision: rel, min, max },
+            seed,
+        );
+        let marginal = accumulate_paired(
+            &protocols, &params, &profile,
+            ReplicationBudget::Adaptive { rel_precision: rel, min, max },
+            seed,
+        );
+        prop_assert!(delta.replications() >= min);
+        prop_assert!(delta.replications() <= max);
+        prop_assert!(
+            delta.replications() <= marginal.replications(),
+            "paired-delta used {} replications, marginal rule {}",
+            delta.replications(),
+            marginal.replications()
+        );
+        // Shared seed stream: the delta run's traces are a prefix of the
+        // marginal run's, so the delta means agree over that prefix.
+        let d = delta.delta(Protocol::AbftPeriodicCkpt).unwrap();
+        prop_assert_eq!(d.count() as usize, delta.replications());
+    }
+
+    #[test]
+    fn fixed_pairing_is_bit_compatible_with_unpaired_accumulation(
+        params in arb_params(),
+        seed in 0u64..1_000,
+        n in 5usize..30,
+    ) {
+        // `Fixed` pairing replays the shared buffer through the same engine
+        // path as unpaired accumulation: marginals must match bit for bit,
+        // under the exponential *and* the Weibull clock.
+        let profile = ApplicationProfile::from_params(&params);
+        for spec in [FailureSpec::Exponential, FailureSpec::Weibull { shape: 0.7 }] {
+            let engine = Engine::with_failure_spec(&params, spec).unwrap();
+            let paired = abft_ckpt_composite::sim::accumulate_paired_engine(
+                &engine,
+                &Protocol::all(),
+                &profile,
+                ReplicationBudget::Fixed(n),
+                seed,
+            );
+            for (i, &protocol) in Protocol::all().iter().enumerate() {
+                let unpaired = accumulate_profile_engine(
+                    &engine, protocol, &profile, ReplicationBudget::Fixed(n), seed,
+                );
+                prop_assert_eq!(&paired.outcomes[i], &unpaired);
+            }
+        }
+    }
+
+    #[test]
+    fn weibull_traces_replay_bit_identically_through_the_cursor(
+        shape in 0.5f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        // A trace buffer over a Weibull model yields exactly the sequence a
+        // fresh stream samples — the CRN contract is distribution-agnostic.
+        let model = WeibullFailures::new(hours(2.0), shape).unwrap();
+        let mut stream = FailureStream::new(model, seed);
+        let mut buffer = TraceBuffer::new(model, seed);
+        let mut cursor = buffer.cursor();
+        for _ in 0..200 {
+            prop_assert_eq!(
+                stream.next_failure().to_bits(),
+                FailureSource::next_failure(&mut cursor).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_engine_replay_matches_fresh_simulation(
+        params in arb_params(),
+        shape in 0.5f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let engine =
+            Engine::with_failure_spec(&params, FailureSpec::Weibull { shape }).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let mut buffer = engine.trace_buffer(seed);
+        for protocol in Protocol::all() {
+            buffer.reset(seed);
+            let replayed = engine.simulate_profile_replay(protocol, &profile, &mut buffer);
+            let fresh = engine.simulate_profile(protocol, &profile, seed);
+            prop_assert_eq!(replayed.final_time.to_bits(), fresh.final_time.to_bits());
+            prop_assert_eq!(replayed, fresh);
+        }
+    }
+}
+
+#[test]
+fn bisection_localises_the_analytic_fig9_crossover_to_the_requested_tolerance() {
+    // Ground truth: a fine log-spaced scan of the §IV waste model around the
+    // crossover region of the Figure-9 scenario.
+    let scenario = WeakScalingScenario::figure9();
+    let truth = {
+        let steps = 4_000;
+        let (lo, hi) = (1e5f64, 2e5f64);
+        let value = |i: usize| lo * (hi / lo).powf(i as f64 / steps as f64);
+        let beats = |x: f64| {
+            let p = scenario.point(x).unwrap();
+            p.composite.waste.value() < p.pure.waste.value()
+        };
+        (1..=steps)
+            .find(|&i| !beats(value(i - 1)) && beats(value(i)))
+            .map(value)
+            .expect("the model crossover lies inside [1e5, 2e5]")
+    };
+    // The refiner, seeded from the paper's decade grid, must land within the
+    // requested relative tolerance of that analytic value (plus the fine
+    // scan's own resolution, ~1.7e-4 relative).
+    let tol = 0.005;
+    let spec = SweepSpec::scaling("fig9", scenario);
+    let grid = SweepSpec {
+        axes: vec![Axis::decades(Parameter::Nodes, 3, 6, 1)],
+        ..spec.clone()
+    }
+    .run()
+    .unwrap();
+    let refinement = CrossoverRefiner::new(spec, Parameter::Nodes)
+        .tolerance(tol)
+        .refine_from(&grid)
+        .unwrap();
+    assert!(refinement.converged, "refinement must converge: {refinement:?}");
+    assert!(refinement.achieved_tolerance <= tol);
+    let rel_err = (refinement.crossover - truth).abs() / truth;
+    assert!(
+        rel_err <= tol + 2e-4,
+        "refined {} vs analytic {truth}: relative error {rel_err}",
+        refinement.crossover
+    );
+}
+
+#[test]
+fn simulated_refinement_agrees_with_the_model_and_runs_under_weibull() {
+    // A small simulated refinement (paired-delta probes) lands near the
+    // model crossover, and the same driver completes under a Weibull clock.
+    let budget = ReplicationBudget::AdaptiveDelta {
+        rel_precision: 0.05,
+        min: 40,
+        max: 200,
+    };
+    let spec = SweepSpec::scaling("fig9", WeakScalingScenario::figure9()).budget(budget);
+    let model_spec = SweepSpec {
+        budget: ReplicationBudget::Fixed(0),
+        ..spec.clone()
+    };
+    let model = CrossoverRefiner::new(model_spec, Parameter::Nodes)
+        .tolerance(0.02)
+        .refine(1e5, 1e6)
+        .unwrap();
+    let simulated = CrossoverRefiner::new(spec.clone(), Parameter::Nodes)
+        .tolerance(0.02)
+        .refine(1e5, 1e6)
+        .unwrap();
+    assert!(simulated.converged);
+    assert!(simulated.total_replications() > 0);
+    let gap = (simulated.crossover - model.crossover).abs() / model.crossover;
+    assert!(gap < 0.10, "simulated {} vs model {}", simulated.crossover, model.crossover);
+
+    let weibull = CrossoverRefiner::new(
+        spec.failure_model(FailureSpec::Weibull { shape: 0.7 }),
+        Parameter::Nodes,
+    )
+    .tolerance(0.02)
+    .refine(1e5, 1e6)
+    .unwrap();
+    assert!(weibull.converged);
+    assert!(weibull.crossover > 1e5 && weibull.crossover < 1e6);
+}
