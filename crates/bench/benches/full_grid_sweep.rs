@@ -25,6 +25,12 @@ fn smoke() -> bool {
     std::env::var_os("FT_BENCH_SMOKE").is_some_and(|v| v != "0")
 }
 
+/// Logical cores of the host, recorded in every JSON payload so the
+/// BENCH files are interpretable (single-core containers vs real hosts).
+fn host_logical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// A reduced Figure-7 grid: 4 MTBF x 3 alpha points, 3 protocols, 25
 /// replications per task = 36 tasks, 900 simulated executions.
 fn reduced_fig7() -> SweepSpec {
@@ -69,10 +75,11 @@ fn report_json(c: &mut Criterion) {
         * spec.protocols.len()) as f64;
     println!(
         "{{\"bench\": \"full_grid_sweep\", \"grid\": \"fig7 4x3, 3 protocols, 25 replications\", \
-         \"tasks\": {tasks}, \"threads\": {}, \
+         \"tasks\": {tasks}, \"host_logical_cores\": {}, \"threads\": {}, \
          \"serial_seconds\": {serial:.4}, \"parallel_seconds\": {parallel:.4}, \
          \"serial_tasks_per_s\": {:.1}, \"parallel_tasks_per_s\": {:.1}, \
          \"speedup\": {:.2}}}",
+        host_logical_cores(),
         rayon::current_num_threads(),
         tasks / serial,
         tasks / parallel,
@@ -155,12 +162,14 @@ fn report_adaptive_json(c: &mut Criterion) {
     };
     println!(
         "{{\"bench\": \"adaptive_vs_fixed\", \"grid\": \"{grid_label}\", \
+         \"host_logical_cores\": {}, \
          \"threads\": 1, \"fixed_replications\": {fixed_reps}, \
          \"target_rel_ci95\": {target:.5}, \
          \"fixed_seconds\": {fixed_seconds:.4}, \"adaptive_seconds\": {adaptive_seconds:.4}, \
          \"fixed_total_replications\": {}, \"adaptive_total_replications\": {}, \
          \"adaptive_reps_per_task\": [{reps_list}], \
          \"wall_clock_speedup\": {:.2}}}",
+        host_logical_cores(),
         fixed.total_replications(),
         adaptive.total_replications(),
         fixed_seconds / adaptive_seconds,
@@ -170,5 +179,52 @@ fn report_adaptive_json(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_grid_execution, report_json, report_adaptive_json);
+/// Model−simulation gap across the failure-shape variants, the
+/// `BENCH_model_gap.json` payload: for each Weibull shape `k` (1.0 is the
+/// exponential identity) the headline-point sweep runs with the matching
+/// Weibull-corrected model arm and reports the mean and worst absolute gap —
+/// the quantity the ISSUE-5 waste-model subsystem exists to shrink.
+fn report_model_gap_json(c: &mut Criterion) {
+    use ft_platform::failure::FailureSpec;
+    let reps = if smoke() { 40 } else { 300 };
+    let variants: Vec<String> = [1.0, 0.7, 0.5]
+        .iter()
+        .map(|&shape| {
+            let results = SweepSpec::new("model gap", figure7_base())
+                .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+                .failure_model(FailureSpec::Weibull { shape })
+                .replications(reps)
+                .model_gap(true)
+                .run_serial()
+                .unwrap();
+            let (significant, total) = results.significant_gap_counts();
+            format!(
+                "{{\"weibull_shape\": {shape}, \"model\": \"{}\", \
+                 \"mean_abs_gap\": {:.5}, \"worst_abs_gap\": {:.5}, \
+                 \"significant_gaps\": {significant}, \"tasks\": {total}}}",
+                results.model_label(0),
+                results.mean_abs_model_sim_gap().unwrap(),
+                results.worst_model_sim_gap().unwrap(),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\": \"model_gap\", \"grid\": \"fig7 headline point (alpha 0.5, mtbf 120 min), 3 protocols\", \
+         \"host_logical_cores\": {}, \"replications\": {reps}, \
+         \"variants\": [{}]}}",
+        host_logical_cores(),
+        variants.join(", "),
+    );
+    c.bench_function("sweep/model_gap_report_overhead", |b| {
+        b.iter(|| black_box(variants.len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grid_execution,
+    report_json,
+    report_adaptive_json,
+    report_model_gap_json
+);
 criterion_main!(benches);

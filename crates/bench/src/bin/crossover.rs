@@ -4,8 +4,12 @@
 //! resolution the figure binaries report.
 //!
 //! A cheap model-arm seeding sweep brackets the crossover at grid
-//! resolution, then a [`CrossoverRefiner`] bisects the bracket with
-//! paired-delta adaptive probes: each probe replays common failure traces to
+//! resolution, then a [`CrossoverRefiner`] bisects the bracket: a free
+//! analytic-model bisection first shrinks it to a window around the
+//! model-predicted crossover (the model arm follows the failure spec —
+//! Weibull-corrected under a Weibull clock — so this works on every axis,
+//! `weibull_shape` included), and paired-delta adaptive probes bisect only
+//! that window: each probe replays common failure traces to
 //! `PurePeriodicCkpt` and `AbftPeriodicCkpt` and stops as soon as the sign
 //! of the waste difference is resolved, so the whole refinement costs far
 //! fewer simulated executions than re-scanning a finer grid with a fixed
@@ -17,11 +21,14 @@
 //!     [--tolerance 0.01] [--precision 0.05] \
 //!     [--min-replications 100] [--max-replications 1000] [--max-probes 40] \
 //!     [--failure-model exponential|weibull --weibull-shape 0.7] \
-//!     [--model-only] [--compare-fixed 1000] [--json] [--seed 42]
+//!     [--model-only] [--model-gap] [--compare-fixed 1000] [--json] [--seed 42]
 //! ```
 //!
 //! `--model-only` probes the closed-form model instead of simulating
-//! (exact and essentially free).  `--compare-fixed N` additionally runs the
+//! (exact and essentially free).  `--model-gap` also simulates the seeding
+//! grid and prints the model−simulation gap columns and summary — a
+//! validation of the model arm the seeded bisection trusts.
+//! `--compare-fixed N` additionally runs the
 //! seeding grid as a paired fixed-`N` scan and reports both execution
 //! counts — the `BENCH_crossover.json` payload.  `--json` prints the
 //! machine-readable summary line.
@@ -77,13 +84,9 @@ fn main() {
     }
 
     // Probe budget: paired-delta adaptive stopping unless the caller asked
-    // for exact model probes.
-    if args.flag("--model-only") && axis == Parameter::WeibullShape {
-        eprintln!(
-            "--model-only cannot refine along weibull_shape: the closed-form model keeps the exponential assumption and is shape-blind"
-        );
-        std::process::exit(2);
-    }
+    // for exact model probes.  (Model probes work on every axis, including
+    // weibull_shape: the model arm dispatches to the Weibull-corrected
+    // closed form, so it is no longer shape-blind.)
     spec.budget = if args.flag("--model-only") {
         ReplicationBudget::Fixed(0)
     } else {
@@ -94,17 +97,14 @@ fn main() {
         }
     };
 
-    // 1. Seed: a grid sweep brackets the crossover — via the free model arm,
-    // except on the Weibull-shape axis, which the exponential closed form is
-    // blind to and only the simulation arm can bracket.
-    let model_blind = axis == Parameter::WeibullShape;
+    // 1. Seed: a free model-arm grid sweep brackets the crossover.  The
+    // model arm follows the failure spec (Weibull-corrected closed form
+    // under a Weibull clock), so every axis — including weibull_shape —
+    // brackets analytically; the refinement then bisects with model probes
+    // first and simulated probes only inside the model-located window.
     let seeding = SweepSpec {
-        budget: if model_blind {
-            spec.budget
-        } else {
-            ReplicationBudget::Fixed(0)
-        },
-        paired: model_blind,
+        budget: ReplicationBudget::Fixed(0),
+        paired: false,
         axes: vec![grid_axis],
         protocols: vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt],
         ..spec.clone()
@@ -115,13 +115,31 @@ fn main() {
     });
     println!("# {}", spec.name);
     println!(
-        "# seeding grid: {} points along `{}`, {} arm, {} failures",
+        "# seeding grid: {} points along `{}`, model arm ({} failures)",
         grid.grid_points(),
         axis.label(),
-        if model_blind { "simulation" } else { "model" },
         spec.failure,
     );
     report_crossover(&grid, axis);
+
+    // `--model-gap`: validate the model arm the refinement trusts by also
+    // simulating the seeding grid and printing the gap columns + summary.
+    if args.flag("--model-gap") {
+        let gap_grid = ft_bench::SweepSpec {
+            budget: spec.budget,
+            ..seeding.clone()
+        }
+        .model_gap(true)
+        .with_simulation_arm();
+        let results = gap_grid.run().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        print!("{}", results.render(ft_bench::output::OutputFormat::Table));
+        if let Some(summary) = results.model_gap_summary() {
+            println!("# model-simulation gap along the seeding grid: {summary}");
+        }
+    }
     let Some((below, above)) = grid.crossover_bracket(axis) else {
         println!("# nothing to refine — widen the grid or change the scenario");
         return;
@@ -158,6 +176,13 @@ fn main() {
         refinement.rel_tolerance,
         if refinement.converged { "" } else { "NOT " },
     );
+    if let Some(model_crossover) = refinement.model_crossover {
+        println!(
+            "# model-seeded: free analytic bisection located {} ~= {} first; simulated probes only bisected a window around it",
+            axis.label(),
+            format_value(axis, model_crossover),
+        );
+    }
     println!(
         "# refinement cost: {} probes, {} shared traces, {} simulated executions (budget {})",
         refinement.probes.len(),
@@ -195,6 +220,7 @@ fn main() {
              \"axis\": \"{}\", \"failure_model\": \"{}\", \"budget\": \"{}\", \
              \"seed\": {}, \"grid_bracket\": [{below}, {above}], \
              \"crossover\": {}, \"bracket\": [{}, {}], \
+             \"model_crossover\": {}, \
              \"rel_tolerance\": {}, \"achieved_tolerance\": {:.6}, \
              \"converged\": {}, \"probes\": {probes}, \
              \"refiner_executions\": {}, \"fixed_scan_replications\": {compare_fixed}, \
@@ -206,11 +232,14 @@ fn main() {
             refinement.crossover,
             refinement.bracket.0,
             refinement.bracket.1,
+            refinement
+                .model_crossover
+                .map_or("null".to_string(), |x| format!("{x}")),
             refinement.rel_tolerance,
             refinement.achieved_tolerance,
             refinement.converged,
             refinement.total_replications(),
-            fixed_crossover.map_or("null".to_string(), |x| format!("{x:.1}")),
+            fixed_crossover.map_or("null".to_string(), |x| format!("{x}")),
         );
     }
 }

@@ -8,7 +8,7 @@
 //! cargo run -p ft-bench --release --bin fig10 -- \
 //!     [--points-per-decade 3] [--break-even] [--format table|csv|json] \
 //!     [--replications N | --precision 0.02 | --delta-precision 0.05] \
-//!     [--paired] [--failure-model weibull --weibull-shape 0.7]
+//!     [--paired] [--antithetic] [--model-gap] [--failure-model weibull --weibull-shape 0.7]
 //! ```
 
 use ft_bench::{report_crossover, run_cli, Args, Axis, Parameter, SweepSpec};

@@ -8,7 +8,8 @@
 //! cargo run -p ft-bench --release --bin fig7 -- \
 //!     [--protocol pure|bi|abft|all] [--mtbf-points 7] [--alpha-points 6] \
 //!     [--replications 200 | --precision 0.02 [--min-replications 100] [--max-replications 10000]] \
-//!     [--paired] [--seed 42] [--threads N] [--format table|csv|json]
+//!     [--paired] [--antithetic] [--model-gap] [--failure-model weibull --weibull-shape 0.7] \
+//!     [--seed 42] [--threads N] [--format table|csv|json]
 //! ```
 //!
 //! `--precision` switches to adaptive sequential stopping (each point stops

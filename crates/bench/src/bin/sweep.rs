@@ -8,7 +8,7 @@
 //!     --parameter rho|phi|checkpoint|downtime|recons|alpha|mtbf|weibull_shape \
 //!     [--from 0.1] [--to 1.0] [--steps 10] \
 //!     [--replications 100 | --precision 0.02 | --delta-precision 0.05] \
-//!     [--paired] [--failure-model weibull --weibull-shape 0.7] \
+//!     [--paired] [--antithetic] [--model-gap] [--failure-model weibull --weibull-shape 0.7] \
 //!     [--epochs 1] [--threads N] [--format table|csv|json]
 //! ```
 //!

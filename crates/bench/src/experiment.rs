@@ -33,6 +33,7 @@
 
 use std::time::Instant;
 
+use ft_composite::model::analytic::{AnyWasteModel, WasteModel};
 use ft_composite::params::ModelParams;
 use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
@@ -40,9 +41,9 @@ use ft_platform::failure::FailureSpec;
 use ft_platform::rng::{SeedStream, SplitMix64};
 use ft_sim::replicate::{
     accumulate_paired_engine, accumulate_profile_engine, PairedAccumulator, ReplicationBudget,
-    SimStats,
+    ReplicationPlan, SimStats,
 };
-use ft_sim::validate::model_waste;
+use ft_sim::validate::model_waste_with;
 use ft_sim::{Engine, Protocol};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -71,9 +72,11 @@ pub enum Parameter {
     /// [`SweepSpec::scaling`]).
     Nodes,
     /// Weibull shape `k` of the failure clock (`k = 1` is exponential): the
-    /// robustness-study axis.  Only the simulation arm reacts — the
-    /// closed-form model keeps its first-order exponential assumption, which
-    /// is exactly the comparison the robustness study makes.
+    /// robustness-study axis.  Both arms react: the simulation clock draws
+    /// shape-`k` inter-arrivals and the model arm switches to the
+    /// Weibull-corrected closed form
+    /// ([`ft_composite::model::analytic::WeibullCorrected`]), so the output
+    /// reports a genuine model−simulation gap per shape.
     WeibullShape,
 }
 
@@ -203,11 +206,23 @@ pub struct SweepSpec {
     /// failure traces (common random numbers) and per-trace waste
     /// differences against the first protocol are reported.
     pub paired: bool,
-    /// Failure clock of the simulation arm (exponential by default; Weibull
-    /// for the robustness studies).  A [`Parameter::WeibullShape`] axis
-    /// overrides this per point.  The model arm always keeps the paper's
-    /// exponential closed form.
+    /// Failure clock of the experiment (exponential by default; Weibull for
+    /// the robustness studies).  A [`Parameter::WeibullShape`] axis
+    /// overrides this per point.  **Both arms** follow the spec: the
+    /// simulation clock draws from it and the model arm uses the matching
+    /// analytic waste model ([`AnyWasteModel::from_spec`]), so model and
+    /// simulation always share one failure description.
     pub failure: FailureSpec,
+    /// Run every replication seed together with its antithetic partner
+    /// (`1 − u` uniforms) and accumulate pair means — variance reduction on
+    /// smooth waste responses (CLI: `--antithetic`).  A budget of `n` then
+    /// spends `2n` simulated executions per task.
+    pub antithetic: bool,
+    /// Emphasise model-versus-simulation gap reporting: the output gains the
+    /// per-point model label, relative gap and gap-significance columns, and
+    /// [`SweepResults`] carries the grid-level gap summary (CLI:
+    /// `--model-gap`).
+    pub model_gap: bool,
     /// Number of epochs of the simulated application profile.  Ignored in
     /// scenario mode, where the simulation arm unfolds the scenario's own
     /// epoch count to stay commensurable with the model arm.
@@ -228,6 +243,8 @@ impl SweepSpec {
             budget: ReplicationBudget::Fixed(0),
             paired: false,
             failure: FailureSpec::Exponential,
+            antithetic: false,
+            model_gap: false,
             epochs: 1,
             seed: 42,
         }
@@ -276,10 +293,45 @@ impl SweepSpec {
         self
     }
 
-    /// Sets the failure clock of the simulation arm.
+    /// Sets the failure clock of both arms (simulation distribution and
+    /// matching analytic model).
     pub fn failure_model(mut self, failure: FailureSpec) -> Self {
         self.failure = failure;
         self
+    }
+
+    /// Enables (or disables) antithetic-variate pairing of the replication
+    /// seeds.
+    pub fn antithetic(mut self, antithetic: bool) -> Self {
+        self.antithetic = antithetic;
+        self
+    }
+
+    /// Enables (or disables) the model−simulation gap columns and summary.
+    pub fn model_gap(mut self, model_gap: bool) -> Self {
+        self.model_gap = model_gap;
+        self
+    }
+
+    /// Default simulation budget of gap reporting: a gap needs both arms,
+    /// so model-only specs asked for `--model-gap` fall back to this.
+    pub const DEFAULT_GAP_REPLICATIONS: usize = 100;
+
+    /// Ensures the spec runs a simulation arm, falling back to
+    /// [`SweepSpec::DEFAULT_GAP_REPLICATIONS`] fixed replications — the
+    /// shared `--model-gap` budget rule of `run_cli` and the `crossover`
+    /// binary.
+    pub fn with_simulation_arm(mut self) -> Self {
+        if !self.budget.runs_simulation() {
+            self.budget = ReplicationBudget::Fixed(Self::DEFAULT_GAP_REPLICATIONS);
+        }
+        self
+    }
+
+    /// The replication plan of one task: the budget plus the
+    /// variance-reduction knobs.
+    pub fn plan(&self) -> ReplicationPlan {
+        ReplicationPlan::new(self.budget).antithetic(self.antithetic)
     }
 
     /// Sets the number of epochs of the simulated profile.
@@ -448,6 +500,8 @@ impl SweepSpec {
             budget: self.budget,
             paired: self.paired,
             failure: self.failure,
+            antithetic: self.antithetic,
+            model_gap: self.model_gap,
             axes: self.axes.iter().map(|a| a.parameter).collect(),
             points,
             elapsed_seconds,
@@ -456,10 +510,18 @@ impl SweepSpec {
     }
 
     /// The model arm of one `(point, protocol)` task: predicted waste and
-    /// expected failure count.
+    /// expected failure count, under the analytic waste model matching the
+    /// point's failure clock (exponential first-order, or Weibull-corrected
+    /// when the spec — or a [`Parameter::WeibullShape`] coordinate — selects
+    /// a Weibull clock).
+    ///
+    /// The expected failure count is model-independent: a renewal failure
+    /// process of mean `µ` fires at long-run rate `1/µ` regardless of its
+    /// shape, so only the (model-predicted) execution time matters.
     fn model_arm(&self, point: &GridPoint, protocol: Protocol) -> (f64, f64) {
+        let model = point.waste_model(self.failure);
         match point.scenario {
-            Some((scenario, nodes)) => match scenario.point(nodes) {
+            Some((scenario, nodes)) => match scenario.point_with(&model, nodes) {
                 Ok(sp) => {
                     let pp = match protocol {
                         Protocol::PurePeriodicCkpt => sp.pure,
@@ -472,7 +534,7 @@ impl SweepSpec {
             },
             None => {
                 let params = point.params.expect("non-scenario points always resolve");
-                let waste = model_waste(protocol, &params);
+                let waste = model_waste_with(&model, protocol, &params);
                 let expected = if waste < 1.0 {
                     let total_work = params.epoch_duration * self.epochs as f64;
                     total_work / (1.0 - waste) / params.platform_mtbf
@@ -518,7 +580,7 @@ impl SweepSpec {
                     &self.engine(point, &params),
                     protocol,
                     &profile,
-                    self.budget,
+                    self.plan(),
                     task_seed(self.seed, point.index as u64, Some(protocol)),
                 );
                 Some(SimStats::from_accumulator(protocol, &acc))
@@ -546,7 +608,7 @@ impl SweepSpec {
                     &self.engine(point, &params),
                     &self.protocols,
                     &profile,
-                    self.budget,
+                    self.plan(),
                     task_seed(self.seed, point.index as u64, None),
                 ))
             }
@@ -635,14 +697,29 @@ pub struct GridPoint {
     pub scenario: Option<(WeakScalingScenario, f64)>,
 }
 
+/// The failure clock of one grid point: a [`Parameter::WeibullShape`]
+/// coordinate overrides the sweep-wide `base` spec.  The single resolution
+/// rule shared by the arms ([`GridPoint::failure_spec`]) and the output
+/// labels ([`SweepResults::model_label`]).
+fn coordinates_failure_spec(coordinates: &[(Parameter, f64)], base: FailureSpec) -> FailureSpec {
+    coordinates
+        .iter()
+        .find(|(p, _)| *p == Parameter::WeibullShape)
+        .map_or(base, |&(_, shape)| FailureSpec::Weibull { shape })
+}
+
 impl GridPoint {
     /// The failure clock of this point: a [`Parameter::WeibullShape`]
     /// coordinate overrides the sweep-wide `base` spec.
     pub fn failure_spec(&self, base: FailureSpec) -> FailureSpec {
-        self.coordinates
-            .iter()
-            .find(|(p, _)| *p == Parameter::WeibullShape)
-            .map_or(base, |&(_, shape)| FailureSpec::Weibull { shape })
+        coordinates_failure_spec(&self.coordinates, base)
+    }
+
+    /// The analytic waste model matching this point's failure clock — the
+    /// model arm's dispatch (shapes are validated at expansion).
+    pub fn waste_model(&self, base: FailureSpec) -> AnyWasteModel {
+        AnyWasteModel::from_spec(self.failure_spec(base))
+            .expect("failure specs are validated at expansion")
     }
 }
 
@@ -689,6 +766,22 @@ impl PointResult {
     pub fn model_sim_gap(&self) -> Option<f64> {
         self.sim.map(|s| s.mean_waste - self.model_waste)
     }
+
+    /// The 95 % confidence half-width of the model−simulation gap.  The
+    /// model prediction is deterministic, so the gap inherits the simulated
+    /// waste's Welford interval unchanged.
+    pub fn model_sim_gap_ci95(&self) -> Option<f64> {
+        self.sim.map(|s| s.ci95_waste)
+    }
+
+    /// Whether the model−simulation gap is statistically resolved: the gap's
+    /// CI95 excludes zero, i.e. the residual model bias at this point is
+    /// larger than the remaining sampling noise.
+    pub fn model_sim_gap_significant(&self) -> Option<bool> {
+        self.model_sim_gap()
+            .zip(self.model_sim_gap_ci95())
+            .map(|(gap, hw)| gap.abs() > hw)
+    }
 }
 
 /// The executed sweep: every task outcome plus timing metadata.
@@ -700,8 +793,12 @@ pub struct SweepResults {
     pub budget: ReplicationBudget,
     /// Whether protocols were paired on common failure traces.
     pub paired: bool,
-    /// Failure clock of the simulation arm.
+    /// Failure clock of the experiment (both arms).
     pub failure: FailureSpec,
+    /// Whether replication seeds ran with their antithetic partners.
+    pub antithetic: bool,
+    /// Whether the gap columns/summary were requested.
+    pub model_gap: bool,
     /// The swept parameters, in axis order — the first `axes.len()`
     /// coordinates of every point; anything after them is derived (e.g. the
     /// realised α of a scenario sweep).
@@ -730,13 +827,21 @@ impl SweepResults {
         }
     }
 
-    /// Total simulated executions across the grid (replications actually
-    /// used — the quantity the adaptive budget shrinks).
+    /// Total samples accumulated across the grid (replications actually
+    /// used — the quantity the adaptive budget shrinks).  In antithetic mode
+    /// a sample is a pair mean; see [`SweepResults::total_executions`].
     pub fn total_replications(&self) -> usize {
         self.results
             .iter()
             .filter_map(|r| r.sim.map(|s| s.replications))
             .sum()
+    }
+
+    /// Total simulated executions across the grid: equals
+    /// [`SweepResults::total_replications`] except in antithetic mode, where
+    /// every sample cost two executions (the seed and its partner).
+    pub fn total_executions(&self) -> usize {
+        self.total_replications() * if self.antithetic { 2 } else { 1 }
     }
 
     /// The coordinate value of grid point `index` on `parameter`.
@@ -849,6 +954,63 @@ impl SweepResults {
             .fold(None, |acc, g| Some(acc.map_or(g, |a: f64| a.max(g))))
     }
 
+    /// Mean `|WASTE_simul − WASTE_model|` across the grid, when a simulation
+    /// arm ran — the headline number of a model-validation sweep.
+    pub fn mean_abs_model_sim_gap(&self) -> Option<f64> {
+        let gaps: Vec<f64> = self
+            .results
+            .iter()
+            .filter_map(|r| r.model_sim_gap().map(f64::abs))
+            .collect();
+        if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+        }
+    }
+
+    /// How many tasks show a statistically resolved model−simulation gap
+    /// (CI95 excluding zero), and how many carried a simulation arm at all.
+    pub fn significant_gap_counts(&self) -> (usize, usize) {
+        let mut significant = 0;
+        let mut total = 0;
+        for r in &self.results {
+            if let Some(sig) = r.model_sim_gap_significant() {
+                total += 1;
+                if sig {
+                    significant += 1;
+                }
+            }
+        }
+        (significant, total)
+    }
+
+    /// The grid-level gap summary line (`--model-gap` footers): mean and
+    /// worst `|WASTE_simul − WASTE_model|` plus how many tasks resolved
+    /// their gap beyond the CI95.  `None` when no simulation arm ran.
+    pub fn model_gap_summary(&self) -> Option<String> {
+        let (mean, worst) = (self.mean_abs_model_sim_gap()?, self.worst_model_sim_gap()?);
+        let (significant, total) = self.significant_gap_counts();
+        Some(format!(
+            "mean |gap| {mean:.4}, worst |gap| {worst:.4}, {significant}/{total} tasks resolved beyond CI95"
+        ))
+    }
+
+    /// The analytic-model label of grid point `index` (a
+    /// [`Parameter::WeibullShape`] coordinate overrides the sweep-wide
+    /// failure spec, exactly like the arms themselves).
+    pub fn model_label(&self, index: usize) -> String {
+        let spec = self
+            .points
+            .get(index)
+            .map_or(self.failure, |coords| {
+                coordinates_failure_spec(coords, self.failure)
+            });
+        AnyWasteModel::from_spec(spec)
+            .map(|m| m.label())
+            .unwrap_or_else(|_| "invalid".to_string())
+    }
+
     /// Renders the results as a [`Table`] for the shared output writer.
     pub fn to_table(&self) -> Table {
         let has_sim = self.budget.runs_simulation();
@@ -864,6 +1026,9 @@ impl SweepResults {
         }
         if self.paired {
             headers.extend(["paired_delta", "paired_ci95"]);
+        }
+        if self.model_gap {
+            headers.extend(["model", "gap_rel", "gap_sig"]);
         }
         let mut table = Table::new(&headers);
         for r in &self.results {
@@ -893,6 +1058,24 @@ impl SweepResults {
                         row.push(format!("{:.4}", d.ci95));
                     }
                     None => row.extend(std::iter::repeat_n(String::new(), 2)),
+                }
+            }
+            if self.model_gap {
+                // The analytic model the prediction came from, the gap as a
+                // fraction of it, and whether the gap's CI95 (the `ci95`
+                // column — the model is deterministic) excludes zero.
+                row.push(self.model_label(r.index));
+                match (r.model_sim_gap(), r.model_sim_gap_significant()) {
+                    (Some(gap), Some(sig)) => {
+                        let rel = if r.model_waste.abs() > 0.0 {
+                            gap / r.model_waste
+                        } else {
+                            f64::INFINITY
+                        };
+                        row.push(format!("{rel:+.4}"));
+                        row.push(sig.to_string());
+                    }
+                    _ => row.extend(std::iter::repeat_n(String::new(), 2)),
                 }
             }
             table.push_row(row);
@@ -987,7 +1170,16 @@ pub struct CrossoverRefinement {
     pub achieved_tolerance: f64,
     /// Whether the requested tolerance was reached within the probe budget.
     pub converged: bool,
-    /// Every probe, in bisection order (the first two verify the bracket).
+    /// The crossover the free analytic-model bisection located before the
+    /// simulated probes ran (`None` when the refinement was not model-seeded
+    /// or the seeded window was rejected and the full bracket used instead).
+    pub model_crossover: Option<f64>,
+    /// Every simulated probe, in order: a rejected model-seed window's two
+    /// verification probes first (when that happened — their cost is real
+    /// and stays accounted), then the used bracket's two verification
+    /// probes, then the bisection steps.  The model-seeding bisection itself
+    /// is free and not recorded; every entry here cost `2 × replications`
+    /// simulated executions (0 for model-only probes).
     pub probes: Vec<CrossoverProbe>,
 }
 
@@ -1031,19 +1223,30 @@ pub struct CrossoverRefiner {
     pub axis: Parameter,
     /// Requested relative tolerance on the crossover coordinate.
     pub rel_tolerance: f64,
-    /// Hard cap on bisection probes (bracket-verification probes included).
+    /// Hard cap on bisection probes — bracket-verification probes included,
+    /// as are probes spent verifying a rejected model-seed window (the cap
+    /// bounds the refinement's total simulated cost).
     pub max_probes: usize,
+    /// Seed the simulated bisection from the analytic model: a free
+    /// model-probe bisection first localises the *model* crossover inside
+    /// the bracket, and the simulated probes start from a window around it
+    /// instead of the full grid bracket — typically several simulated probes
+    /// fewer.  On by default; inert for model-only (`Fixed(0)`) budgets; the
+    /// refiner falls back to the full bracket when the simulation disagrees
+    /// with the model about either end of the seeded window.
+    pub model_seed: bool,
 }
 
 impl CrossoverRefiner {
     /// Creates a refiner over `spec` along `axis` with the default 1 %
-    /// tolerance and a 40-probe cap.
+    /// tolerance, a 40-probe cap and model seeding on.
     pub fn new(spec: SweepSpec, axis: Parameter) -> Self {
         Self {
             spec,
             axis,
             rel_tolerance: 0.01,
             max_probes: 40,
+            model_seed: true,
         }
     }
 
@@ -1056,6 +1259,12 @@ impl CrossoverRefiner {
     /// Sets the probe cap.
     pub fn max_probes(mut self, max_probes: usize) -> Self {
         self.max_probes = max_probes.max(3);
+        self
+    }
+
+    /// Enables (or disables) model seeding of the simulated bisection.
+    pub fn model_seed(mut self, model_seed: bool) -> Self {
+        self.model_seed = model_seed;
         self
     }
 
@@ -1075,7 +1284,7 @@ impl CrossoverRefiner {
                 &spec.engine(point, &params),
                 &spec.protocols,
                 &profile,
-                spec.budget,
+                spec.plan(),
                 SeedStream::nth_seed(spec.seed ^ REFINER_SEED_TAG, index),
             );
             let delta = &acc.deltas[1];
@@ -1106,30 +1315,120 @@ impl CrossoverRefiner {
     /// Refines the crossover inside a bracket: pure must hold at
     /// `pure_side`, the composite must win at `composite_side` (both are
     /// verified with the first two probes).
+    ///
+    /// With [`CrossoverRefiner::model_seed`] on (the default) and a
+    /// simulating budget, a free analytic-model bisection first shrinks the
+    /// bracket to a window around the model-predicted crossover, and the
+    /// simulated probes bisect only that window; when the simulation
+    /// disagrees with the model about an end of the window (model bias
+    /// larger than the safety margin), the refiner transparently falls back
+    /// to the full bracket.
     pub fn refine(
         &self,
         pure_side: f64,
         composite_side: f64,
     ) -> Result<CrossoverRefinement, SweepError> {
+        if self.model_seed && self.spec.budget.runs_simulation() {
+            let model_refiner = CrossoverRefiner {
+                spec: SweepSpec {
+                    budget: ReplicationBudget::Fixed(0),
+                    ..self.spec.clone()
+                },
+                model_seed: false,
+                ..self.clone()
+            };
+            if let Ok(model) = model_refiner.bisect(pure_side, composite_side) {
+                // Window around the model crossover: a few model-bracket
+                // widths, floored at 5 % of the coordinate, clamped to the
+                // original bracket — wide enough to absorb the typical
+                // model bias, narrow enough to save most of the decade-wide
+                // grid bracket's bisection steps.
+                let (mp, mc) = model.bracket;
+                let shift = (3.0 * (mc - mp).abs()).max(0.05 * model.crossover.abs());
+                let toward = |from: f64, limit: f64| {
+                    let d = limit - from;
+                    if d.abs() <= shift {
+                        limit
+                    } else {
+                        from + shift * d.signum()
+                    }
+                };
+                match self.bisect_with(
+                    toward(mp, pure_side),
+                    toward(mc, composite_side),
+                    Vec::new(),
+                ) {
+                    Ok(mut refinement) => {
+                        refinement.model_crossover = Some(model.crossover);
+                        return Ok(refinement);
+                    }
+                    // The simulation rejected the seeded window (model bias
+                    // larger than the safety margin): fall back to the full
+                    // bracket, *carrying the spent window probes* so the
+                    // refinement's probe list and execution accounting stay
+                    // honest about the seeding attempt's cost.
+                    Err((_, wasted)) => {
+                        return self
+                            .bisect_with(pure_side, composite_side, wasted)
+                            .map_err(|(e, _)| e);
+                    }
+                }
+            }
+        }
+        self.bisect(pure_side, composite_side)
+    }
+
+    /// The bisection core of [`CrossoverRefiner::refine`], always working on
+    /// the bracket it is given.
+    fn bisect(
+        &self,
+        pure_side: f64,
+        composite_side: f64,
+    ) -> Result<CrossoverRefinement, SweepError> {
+        self.bisect_with(pure_side, composite_side, Vec::new())
+            .map_err(|(e, _)| e)
+    }
+
+    /// [`CrossoverRefiner::bisect`] with previously spent probes carried
+    /// into the accounting: `carried` probes are prepended to the
+    /// refinement's probe list (and probe-seed indices continue after them),
+    /// and on error the probes spent so far ride along so the caller can
+    /// keep charging them.
+    fn bisect_with(
+        &self,
+        pure_side: f64,
+        composite_side: f64,
+        carried: Vec<CrossoverProbe>,
+    ) -> Result<CrossoverRefinement, (SweepError, Vec<CrossoverProbe>)> {
         if !pure_side.is_finite() || !composite_side.is_finite() {
-            return Err(SweepError(
-                "bisection brackets must be finite coordinates".into(),
+            return Err((
+                SweepError("bisection brackets must be finite coordinates".into()),
+                carried,
             ));
         }
-        let mut probes = Vec::new();
-        let lo_probe = self.probe(pure_side, 0)?;
-        let hi_probe = self.probe(composite_side, 1)?;
-        let bracket_ok = !lo_probe.composite_beats && hi_probe.composite_beats;
+        let mut probes = carried;
+        let lo_probe = match self.probe(pure_side, probes.len() as u64) {
+            Ok(p) => p,
+            Err(e) => return Err((e, probes)),
+        };
         probes.push(lo_probe);
+        let hi_probe = match self.probe(composite_side, probes.len() as u64) {
+            Ok(p) => p,
+            Err(e) => return Err((e, probes)),
+        };
         probes.push(hi_probe);
+        let bracket_ok = !lo_probe.composite_beats && hi_probe.composite_beats;
         if !bracket_ok {
-            return Err(SweepError(format!(
-                "not a crossover bracket: composite {} at {} and {} at {}",
-                if lo_probe.composite_beats { "wins" } else { "loses" },
-                pure_side,
-                if hi_probe.composite_beats { "wins" } else { "loses" },
-                composite_side,
-            )));
+            return Err((
+                SweepError(format!(
+                    "not a crossover bracket: composite {} at {} and {} at {}",
+                    if lo_probe.composite_beats { "wins" } else { "loses" },
+                    pure_side,
+                    if hi_probe.composite_beats { "wins" } else { "loses" },
+                    composite_side,
+                )),
+                probes,
+            ));
         }
         let (mut pure_at, mut composite_at) = (pure_side, composite_side);
         // Wide positive brackets (node counts, MTBFs spanning decades):
@@ -1158,7 +1457,10 @@ impl CrossoverRefiner {
         };
         while width(pure_at, composite_at) > self.rel_tolerance && probes.len() < self.max_probes {
             let mid = midpoint(pure_at, composite_at);
-            let probe = self.probe(mid, probes.len() as u64)?;
+            let probe = match self.probe(mid, probes.len() as u64) {
+                Ok(p) => p,
+                Err(e) => return Err((e, probes)),
+            };
             if probe.composite_beats {
                 composite_at = mid;
             } else {
@@ -1174,6 +1476,7 @@ impl CrossoverRefiner {
             rel_tolerance: self.rel_tolerance,
             achieved_tolerance: achieved,
             converged: achieved <= self.rel_tolerance,
+            model_crossover: None,
             probes,
         })
     }
@@ -1226,11 +1529,11 @@ pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
 
 /// Applies the shared CLI knobs (`--replications`, `--precision`,
 /// `--delta-precision`, `--min-replications`, `--max-replications`,
-/// `--paired`, `--failure-model`, `--weibull-shape`, `--seed`, `--epochs`,
-/// `--threads`) to a spec, runs it (serially with `--serial`) and prints the
-/// header, the rendered grid (`--format table|csv|json`, with `--csv` as a
-/// shorthand) and a throughput footer.  Returns the results for
-/// binary-specific footers.
+/// `--paired`, `--antithetic`, `--model-gap`, `--failure-model`,
+/// `--weibull-shape`, `--seed`, `--epochs`, `--threads`) to a spec, runs it
+/// (serially with `--serial`) and prints the header, the rendered grid
+/// (`--format table|csv|json`, with `--csv` as a shorthand) and a
+/// throughput footer.  Returns the results for binary-specific footers.
 ///
 /// `--precision 0.02` switches the budget to adaptive sequential stopping:
 /// each point replicates until the waste CI95 half-width falls below 2 % of
@@ -1239,8 +1542,15 @@ pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
 /// (implies `--paired`): a point stops as soon as every protocol-versus-
 /// baseline comparison is resolved.  `--paired` replays the same failure
 /// traces to every protocol and adds the paired waste-difference columns.
-/// `--failure-model weibull --weibull-shape 0.7` swaps the simulation
-/// clock's distribution (the model arm keeps the exponential closed form).
+/// `--antithetic` runs every replication seed together with its antithetic
+/// partner (`1 − u` uniforms) and accumulates pair means — tighter CIs per
+/// simulated execution on smooth responses.  `--failure-model weibull
+/// --weibull-shape 0.7` swaps the failure description of **both** arms: the
+/// simulation clock draws Weibull inter-arrivals and the model arm uses the
+/// Weibull-corrected closed form, so the `diff`/`ci95` columns report a
+/// genuine model−simulation gap.  `--model-gap` adds the per-point model
+/// label, relative-gap and gap-significance columns plus a grid-level gap
+/// summary footer (and gives model-only specs a default simulation budget).
 pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     if let Some(n) = args.maybe_value::<usize>("--replications") {
         spec.budget = ReplicationBudget::Fixed(n);
@@ -1265,8 +1575,19 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     if args.flag("--paired") {
         spec.paired = true;
     }
+    if args.flag("--antithetic") {
+        spec.antithetic = true;
+    }
     if let Some(failure) = failure_spec_from_args(args) {
         spec.failure = failure;
+    }
+    if args.flag("--model-gap") {
+        // A gap needs both arms: give model-only specs the default
+        // simulation budget instead of printing empty gap columns.  (A
+        // fixed default, not `--replications` again — an explicit
+        // `--replications 0` would otherwise defeat exactly the fallback
+        // this branch exists for.)
+        spec = spec.model_gap(true).with_simulation_arm();
     }
     spec.seed = args.value("--seed", spec.seed);
     spec.epochs = args.value("--epochs", spec.epochs).max(1);
@@ -1299,16 +1620,23 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
         "# {} grid points x {} protocols, budget {} per task{}, {} failures, {} epochs",
         results.grid_points(),
         spec.protocols.len(),
-        spec.budget,
+        spec.plan(),
         if spec.paired { " (paired)" } else { "" },
         spec.failure,
         spec.epochs,
     );
     print!("{}", results.render(format));
+    if spec.model_gap {
+        if let Some(summary) = results.model_gap_summary() {
+            println!(
+                "# model-simulation gap: {summary} (model arm per row in the `model` column)"
+            );
+        }
+    }
     println!(
         "# {} tasks ({} simulated executions) in {:.2} s ({:.0} tasks/s) on {} threads",
         results.results.len(),
-        results.total_replications(),
+        results.total_executions(),
         results.elapsed_seconds,
         results.tasks_per_second(),
         rayon::current_num_threads(),
@@ -1541,6 +1869,8 @@ mod tests {
             budget: ReplicationBudget::Fixed(0),
             paired: false,
             failure: FailureSpec::Exponential,
+            antithetic: false,
+            model_gap: false,
             axes,
             points,
             elapsed_seconds: 0.0,
@@ -1634,8 +1964,16 @@ mod tests {
         let shape10 = results.results[1].sim.unwrap();
         // Different shapes, same seed stream: genuinely different adversity.
         assert_ne!(shape07.mean_waste, shape10.mean_waste);
-        // The model arm keeps the exponential closed form on both points.
-        assert_eq!(results.results[0].model_waste, results.results[1].model_waste);
+        // The model arm follows the clock: the k = 0.7 point carries the
+        // Weibull-corrected (lower) prediction, the k = 1 point the
+        // exponential one, bit for bit.
+        assert!(results.results[0].model_waste < results.results[1].model_waste);
+        assert_eq!(results.model_label(0), "weibull-corrected(k=0.7)");
+        let exponential_model = ft_sim::validate::model_waste(
+            Protocol::AbftPeriodicCkpt,
+            &figure7_base(),
+        );
+        assert_eq!(results.results[1].model_waste.to_bits(), exponential_model.to_bits());
         // Weibull with k = 1 degenerates to the exponential clock (up to the
         // ulp-level rounding of the Lanczos Γ(2) in the scale calibration).
         let exponential = SweepSpec::new("t", figure7_base())
@@ -1682,6 +2020,117 @@ mod tests {
         let bad_axis = SweepSpec::new("t", figure7_base())
             .axis(Axis::values(Parameter::WeibullShape, vec![0.7, -1.0]));
         assert!(bad_axis.expand().is_err());
+    }
+
+    #[test]
+    fn antithetic_sweeps_pair_seeds_and_tighten_intervals() {
+        let base = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .protocols(vec![Protocol::PurePeriodicCkpt]);
+        let anti = base.clone().replications(100).antithetic(true).run().unwrap();
+        let plain = base.replications(200).run().unwrap();
+        assert!(anti.antithetic);
+        // 100 pair samples = 200 executions, matching the plain run.
+        assert_eq!(anti.total_replications(), 100);
+        assert_eq!(anti.total_executions(), 200);
+        assert_eq!(plain.total_executions(), 200);
+        let (a, p) = (anti.results[0].sim.unwrap(), plain.results[0].sim.unwrap());
+        assert!((a.mean_waste - p.mean_waste).abs() < 0.01);
+        assert!(
+            a.ci95_waste < p.ci95_waste,
+            "antithetic {} vs plain {}",
+            a.ci95_waste,
+            p.ci95_waste
+        );
+        // Reproducible, and paired mode composes with antithetic pairing.
+        assert_eq!(anti.results, anti.clone().results);
+        let paired = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .replications(40)
+            .paired(true)
+            .antithetic(true)
+            .run()
+            .unwrap();
+        assert_eq!(paired.results.len(), 3);
+        for r in &paired.results[1..] {
+            assert!(r.paired.is_some());
+        }
+    }
+
+    #[test]
+    fn model_gap_columns_and_summary_follow_the_failure_spec() {
+        let spec = SweepSpec::new("t", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .protocols(vec![Protocol::PurePeriodicCkpt])
+            .replications(150)
+            .model_gap(true);
+        let exponential = spec.clone().run().unwrap();
+        let weibull = spec
+            .failure_model(FailureSpec::Weibull { shape: 0.7 })
+            .run()
+            .unwrap();
+        // Gap bookkeeping: gap, its CI (the simulated waste's Welford CI)
+        // and significance are exposed per task.
+        let r = &exponential.results[0];
+        assert_eq!(r.model_sim_gap_ci95(), Some(r.sim.unwrap().ci95_waste));
+        assert!(r.model_sim_gap_significant().is_some());
+        // The Weibull-corrected model arm tracks the Weibull clock far
+        // better than the exponential formula would: its |gap| must be
+        // well below the correction it applies.
+        let exp_model = r.model_waste;
+        let weibull_r = &weibull.results[0];
+        assert!(weibull_r.model_waste < exp_model);
+        let corrected_gap = weibull_r.model_sim_gap().unwrap().abs();
+        let uncorrected_gap = (weibull_r.sim.unwrap().mean_waste - exp_model).abs();
+        assert!(
+            corrected_gap < uncorrected_gap,
+            "corrected {corrected_gap} vs uncorrected {uncorrected_gap}"
+        );
+        // Rendered output carries the gap columns and the model label.
+        let csv = weibull.render(OutputFormat::Csv);
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("model") && header.contains("gap_rel") && header.contains("gap_sig"));
+        assert!(csv.contains("weibull-corrected(k=0.7)"));
+        assert_eq!(weibull.model_label(0), "weibull-corrected(k=0.7)");
+        assert!(weibull.mean_abs_model_sim_gap().is_some());
+        let (significant, total) = weibull.significant_gap_counts();
+        assert_eq!(total, 1);
+        assert!(significant <= total);
+    }
+
+    #[test]
+    fn model_seeded_refinement_spends_fewer_simulated_probes() {
+        let budget = ReplicationBudget::AdaptiveDelta {
+            rel_precision: 0.05,
+            min: 40,
+            max: 400,
+        };
+        let spec = SweepSpec::scaling("t", WeakScalingScenario::figure9()).budget(budget);
+        let seeded = CrossoverRefiner::new(spec.clone(), Parameter::Nodes)
+            .tolerance(0.02)
+            .refine(1e5, 1e6)
+            .unwrap();
+        let unseeded = CrossoverRefiner::new(spec, Parameter::Nodes)
+            .tolerance(0.02)
+            .model_seed(false)
+            .refine(1e5, 1e6)
+            .unwrap();
+        assert!(seeded.converged && unseeded.converged);
+        assert!(seeded.model_crossover.is_some());
+        assert!(unseeded.model_crossover.is_none());
+        // Both land on compatible crossovers…
+        let gap = (seeded.crossover - unseeded.crossover).abs() / unseeded.crossover;
+        assert!(gap < 0.05, "seeded {} vs unseeded {}", seeded.crossover, unseeded.crossover);
+        // …but the seeded run bisects a window around the model crossover
+        // instead of the full decade bracket: fewer simulated probes and
+        // fewer simulated executions.
+        assert!(
+            seeded.probes.len() < unseeded.probes.len(),
+            "seeded {} probes vs unseeded {}",
+            seeded.probes.len(),
+            unseeded.probes.len()
+        );
+        assert!(seeded.total_replications() < unseeded.total_replications());
     }
 
     #[test]

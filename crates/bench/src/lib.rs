@@ -17,10 +17,11 @@
 //! | `crossover` | §V-C crossover | [`CrossoverRefiner`] bisection on paired-delta adaptive probes |
 //!
 //! Every binary shares the CLI knobs `--replications`, `--precision`,
-//! `--delta-precision`, `--paired`, `--failure-model`/`--weibull-shape`,
-//! `--seed`, `--epochs`, `--threads`, `--serial` and
-//! `--format table|csv|json`, and renders through the shared writer in
-//! [`output`].
+//! `--delta-precision`, `--paired`, `--antithetic`, `--model-gap`,
+//! `--failure-model`/`--weibull-shape`, `--seed`, `--epochs`, `--threads`,
+//! `--serial` and `--format table|csv|json`, and renders through the shared
+//! writer in [`output`] (the full flag-reference table lives in the
+//! top-level `README.md`).
 //!
 //! The Criterion benches (`benches/`) measure the performance of the
 //! reproduction itself (whole-grid sweep throughput, simulator throughput,

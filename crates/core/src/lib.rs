@@ -11,7 +11,9 @@
 //! * [`model`] — closed-form expected execution times and waste for the three
 //!   protocols of the paper: [`model::pure`] (PurePeriodicCkpt),
 //!   [`model::bi`] (BiPeriodicCkpt) and [`model::composite`]
-//!   (ABFT&PeriodicCkpt) — Equations (1)–(14);
+//!   (ABFT&PeriodicCkpt) — Equations (1)–(14) — generic over the
+//!   [`model::analytic::WasteModel`] failure law (exponential first-order or
+//!   Weibull-corrected, dispatched from a `FailureSpec`);
 //! * [`safeguard`] — the runtime rule of Section III-B that skips ABFT when
 //!   the projected library-call duration is below the optimal checkpoint
 //!   period;
@@ -37,6 +39,7 @@ pub mod young_daly;
 
 pub use composite_runtime::{CompositeRuntime, RuntimeEvent};
 pub use error::ModelError;
+pub use model::analytic::{AnyWasteModel, FirstOrderExponential, WasteModel, WeibullCorrected};
 pub use model::waste::Waste;
 pub use params::ModelParams;
 pub use scenario::{ApplicationProfile, Epoch};

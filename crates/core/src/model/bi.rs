@@ -9,13 +9,24 @@
 //! image).
 
 use crate::error::Result;
-use crate::model::phase::{checkpointed_phase, PhaseParams};
+use crate::model::analytic::{FirstOrderExponential, WasteModel};
+use crate::model::phase::{checkpointed_phase_with, PhaseParams};
 use crate::model::waste::{Prediction, Waste};
 use crate::params::ModelParams;
 
-/// Full prediction for one epoch under BiPeriodicCkpt.
+/// Full prediction for one epoch under BiPeriodicCkpt, under the paper's
+/// exponential first-order model.
 pub fn prediction(params: &ModelParams) -> Result<Prediction> {
-    let general = checkpointed_phase(&PhaseParams {
+    prediction_with(&FirstOrderExponential, params)
+}
+
+/// [`prediction`] under an arbitrary [`WasteModel`] (e.g. the
+/// Weibull-corrected formulas of a `--failure-model weibull` sweep).
+pub fn prediction_with<M: WasteModel + ?Sized>(
+    model: &M,
+    params: &ModelParams,
+) -> Result<Prediction> {
+    let general = checkpointed_phase_with(model, &PhaseParams {
         work: params.general_duration(),
         periodic_checkpoint: params.checkpoint_cost,
         trailing_checkpoint: params.checkpoint_cost,
@@ -23,7 +34,7 @@ pub fn prediction(params: &ModelParams) -> Result<Prediction> {
         downtime: params.downtime,
         mtbf: params.platform_mtbf,
     })?;
-    let library = checkpointed_phase(&PhaseParams {
+    let library = checkpointed_phase_with(model, &PhaseParams {
         work: params.library_duration(),
         periodic_checkpoint: params.checkpoint_cost_library(),
         trailing_checkpoint: params.checkpoint_cost_library(),

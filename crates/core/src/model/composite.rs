@@ -11,11 +11,11 @@
 //!   checkpoint period.
 
 use crate::error::{ModelError, Result};
-use crate::model::phase::{checkpointed_phase, PhaseParams};
+use crate::model::analytic::{FirstOrderExponential, WasteModel};
+use crate::model::phase::{checkpointed_phase_with, PhaseParams};
 use crate::model::waste::{Prediction, Waste};
 use crate::model::{bi, pure};
 use crate::params::ModelParams;
-use crate::young_daly::paper_optimal_period;
 
 /// Expected execution time of the LIBRARY phase under ABFT protection
 /// (Equation 8).
@@ -38,7 +38,15 @@ pub fn library_final_time(params: &ModelParams) -> Result<f64> {
 /// Expected execution time of the GENERAL phase of the composite protocol
 /// (Equations (1), (9), (10)).
 pub fn general_final_time(params: &ModelParams) -> Result<(f64, Option<f64>)> {
-    let outcome = checkpointed_phase(&PhaseParams {
+    general_final_time_with(&FirstOrderExponential, params)
+}
+
+/// [`general_final_time`] under an arbitrary [`WasteModel`].
+pub fn general_final_time_with<M: WasteModel + ?Sized>(
+    model: &M,
+    params: &ModelParams,
+) -> Result<(f64, Option<f64>)> {
+    let outcome = checkpointed_phase_with(model, &PhaseParams {
         work: params.general_duration(),
         periodic_checkpoint: params.checkpoint_cost,
         // When the GENERAL phase is short, only the forced entry checkpoint
@@ -54,7 +62,19 @@ pub fn general_final_time(params: &ModelParams) -> Result<(f64, Option<f64>)> {
 /// Full prediction for one epoch under ABFT&PeriodicCkpt (safeguard not
 /// applied — ABFT is always used for the LIBRARY phase).
 pub fn prediction(params: &ModelParams) -> Result<Prediction> {
-    let (general_time, general_period) = general_final_time(params)?;
+    prediction_with(&FirstOrderExponential, params)
+}
+
+/// [`prediction`] under an arbitrary [`WasteModel`].  Only the GENERAL
+/// (checkpoint-protected) phase depends on the rework law; the
+/// ABFT-protected LIBRARY phase loses no work to failures (Equation (8)'s
+/// per-failure cost is `D + R_L̄ + Recons`, no half-period term), so its
+/// formula is identical under every failure model of the same MTBF.
+pub fn prediction_with<M: WasteModel + ?Sized>(
+    model: &M,
+    params: &ModelParams,
+) -> Result<Prediction> {
+    let (general_time, general_period) = general_final_time_with(model, params)?;
     let library_time = library_final_time(params)?;
     let final_time = general_time + library_time;
     Ok(Prediction {
@@ -99,7 +119,19 @@ pub fn prediction_with_safeguard(
     params: &ModelParams,
     incremental: bool,
 ) -> Result<(Prediction, SafeguardChoice)> {
-    let period = paper_optimal_period(
+    prediction_with_safeguard_model(&FirstOrderExponential, params, incremental)
+}
+
+/// [`prediction_with_safeguard`] under an arbitrary [`WasteModel`]: the
+/// safeguard threshold is that model's optimal period (a Weibull-corrected
+/// model checkpoints at its own period, so the activation rule compares
+/// against it).
+pub fn prediction_with_safeguard_model<M: WasteModel + ?Sized>(
+    model: &M,
+    params: &ModelParams,
+    incremental: bool,
+) -> Result<(Prediction, SafeguardChoice)> {
+    let period = model.optimal_period(
         params.checkpoint_cost,
         params.platform_mtbf,
         params.downtime,
@@ -108,13 +140,13 @@ pub fn prediction_with_safeguard(
     let projected = params.phi * params.library_duration() + params.checkpoint_cost_library();
     if projected < period {
         let fallback = if incremental {
-            bi::prediction(params)?
+            bi::prediction_with(model, params)?
         } else {
-            pure::prediction(params)?
+            pure::prediction_with(model, params)?
         };
         Ok((fallback, SafeguardChoice::CheckpointOnly))
     } else {
-        Ok((prediction(params)?, SafeguardChoice::Abft))
+        Ok((prediction_with(model, params)?, SafeguardChoice::Abft))
     }
 }
 

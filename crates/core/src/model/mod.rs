@@ -9,12 +9,19 @@
 //!
 //! The shared machinery (the periodic-checkpointing phase formula and the
 //! [`waste::Waste`] / [`waste::Prediction`] types) lives in [`phase`] and
-//! [`waste`].
+//! [`waste`]; the failure-law-dependent pieces (expected rework, optimal
+//! period) live behind the [`analytic::WasteModel`] trait, with the paper's
+//! exponential first-order formulas ([`analytic::FirstOrderExponential`])
+//! and a Weibull-corrected variant ([`analytic::WeibullCorrected`]) as the
+//! two implementations — each protocol module also exposes a
+//! `prediction_with(model, params)` entry point.
 
+pub mod analytic;
 pub mod bi;
 pub mod composite;
 pub mod phase;
 pub mod pure;
 pub mod waste;
 
+pub use analytic::{AnyWasteModel, FirstOrderExponential, WasteModel, WeibullCorrected};
 pub use waste::{Prediction, Waste};

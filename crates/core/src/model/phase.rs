@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ModelError, Result};
-use crate::young_daly::paper_optimal_period;
+use crate::model::analytic::{FirstOrderExponential, WasteModel};
 
 /// Outcome of the phase formula.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,11 +46,28 @@ pub struct PhaseParams {
     pub mtbf: f64,
 }
 
-/// Evaluates the phase formula.
+/// Evaluates the phase formula under the paper's exponential first-order
+/// model — the historical entry point, bit-identical to
+/// `checkpointed_phase_with(&FirstOrderExponential, p)`.
 ///
 /// A phase with zero work contributes nothing (not even a trailing
 /// checkpoint), matching the degenerate `α = 0` / `α = 1` cases of the paper.
 pub fn checkpointed_phase(p: &PhaseParams) -> Result<PhaseOutcome> {
+    checkpointed_phase_with(&FirstOrderExponential, p)
+}
+
+/// Evaluates the phase formula under an arbitrary [`WasteModel`]: the model
+/// supplies the optimal period and the expected rework per failure, the
+/// regime split and the efficiency factors are the paper's.
+///
+/// With [`FirstOrderExponential`] the rework is `extent/2` and this is
+/// exactly Equations (9)–(11); with
+/// [`crate::model::analytic::WeibullCorrected`] the rework carries the
+/// incomplete-Gamma conditional-age correction of the shape-`k` clock.
+pub fn checkpointed_phase_with<M: WasteModel + ?Sized>(
+    model: &M,
+    p: &PhaseParams,
+) -> Result<PhaseOutcome> {
     if p.work <= 0.0 {
         return Ok(PhaseOutcome {
             final_time: 0.0,
@@ -58,11 +75,12 @@ pub fn checkpointed_phase(p: &PhaseParams) -> Result<PhaseOutcome> {
             period: None,
         });
     }
-    let period = paper_optimal_period(p.periodic_checkpoint, p.mtbf, p.downtime, p.recovery)?;
+    let period = model.optimal_period(p.periodic_checkpoint, p.mtbf, p.downtime, p.recovery)?;
     if p.work < period {
         // Short phase: Equation (9).
         let fault_free = p.work + p.trailing_checkpoint;
-        let loss_rate = (p.downtime + p.recovery + fault_free / 2.0) / p.mtbf;
+        let loss_rate =
+            (p.downtime + p.recovery + model.expected_rework(fault_free, p.mtbf)) / p.mtbf;
         if loss_rate >= 1.0 {
             return Err(ModelError::OutsideValidityDomain {
                 what: "short-phase final time",
@@ -78,7 +96,8 @@ pub fn checkpointed_phase(p: &PhaseParams) -> Result<PhaseOutcome> {
         // positive on its own: a negative "time left after checkpointing" and
         // a negative "time left after failures" would otherwise cancel out.
         let f_checkpoint = 1.0 - p.periodic_checkpoint / period;
-        let f_failures = 1.0 - (p.downtime + p.recovery + period / 2.0) / p.mtbf;
+        let f_failures =
+            1.0 - (p.downtime + p.recovery + model.expected_rework(period, p.mtbf)) / p.mtbf;
         if f_checkpoint <= 0.0 || f_failures <= 0.0 {
             return Err(ModelError::OutsideValidityDomain {
                 what: "periodic-regime efficiency factor X",
@@ -151,6 +170,39 @@ mod tests {
             assert!(out.final_time < previous);
             previous = out.final_time;
         }
+    }
+
+    #[test]
+    fn generic_phase_with_first_order_is_bit_identical() {
+        use crate::model::analytic::WeibullCorrected;
+        for work in [minutes(5.0), weeks(1.0)] {
+            let mut p = long_phase();
+            p.work = work;
+            let direct = checkpointed_phase(&p).unwrap();
+            let generic = checkpointed_phase_with(&FirstOrderExponential, &p).unwrap();
+            assert_eq!(direct.final_time.to_bits(), generic.final_time.to_bits());
+            assert_eq!(direct.fault_free_time.to_bits(), generic.fault_free_time.to_bits());
+            assert_eq!(direct.period, generic.period);
+            // And the Weibull model at k = 1 degenerates to the same bits.
+            let k1 = checkpointed_phase_with(&WeibullCorrected::new(1.0).unwrap(), &p).unwrap();
+            assert_eq!(direct.final_time.to_bits(), k1.final_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn weibull_phase_predicts_less_waste_for_bursty_clocks() {
+        use crate::model::analytic::WeibullCorrected;
+        let p = long_phase();
+        let exponential = checkpointed_phase(&p).unwrap();
+        let bursty =
+            checkpointed_phase_with(&WeibullCorrected::new(0.7).unwrap(), &p).unwrap();
+        // Clustered failures destroy less work per failure: the corrected
+        // final time is shorter (the waste smaller).
+        assert!(bursty.final_time < exponential.final_time);
+        // Wear-out clocks go the other way.
+        let wearout =
+            checkpointed_phase_with(&WeibullCorrected::new(1.5).unwrap(), &p).unwrap();
+        assert!(wearout.final_time > exponential.final_time);
     }
 
     #[test]

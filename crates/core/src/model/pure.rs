@@ -5,13 +5,24 @@
 //! optimal period `P_opt = √(2C(µ − D − R))`.
 
 use crate::error::Result;
-use crate::model::phase::{checkpointed_phase, PhaseParams};
+use crate::model::analytic::{FirstOrderExponential, WasteModel};
+use crate::model::phase::{checkpointed_phase_with, PhaseParams};
 use crate::model::waste::{Prediction, Waste};
 use crate::params::ModelParams;
 
-/// Expected execution time of one epoch under PurePeriodicCkpt.
+/// Expected execution time of one epoch under PurePeriodicCkpt, under the
+/// paper's exponential first-order model.
 pub fn prediction(params: &ModelParams) -> Result<Prediction> {
-    let outcome = checkpointed_phase(&PhaseParams {
+    prediction_with(&FirstOrderExponential, params)
+}
+
+/// [`prediction`] under an arbitrary [`WasteModel`] (e.g. the
+/// Weibull-corrected formulas of a `--failure-model weibull` sweep).
+pub fn prediction_with<M: WasteModel + ?Sized>(
+    model: &M,
+    params: &ModelParams,
+) -> Result<Prediction> {
+    let outcome = checkpointed_phase_with(model, &PhaseParams {
         work: params.epoch_duration,
         periodic_checkpoint: params.checkpoint_cost,
         trailing_checkpoint: params.checkpoint_cost,

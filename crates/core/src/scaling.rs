@@ -18,8 +18,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_positive, Result};
+use crate::model::analytic::{FirstOrderExponential, WasteModel};
 use crate::model::composite;
-use crate::model::phase::{checkpointed_phase, PhaseOutcome, PhaseParams};
+use crate::model::phase::{checkpointed_phase_with, PhaseOutcome, PhaseParams};
 use crate::model::waste::Waste;
 use crate::params::ModelParams;
 use ft_platform::units::{days, minutes};
@@ -222,6 +223,19 @@ impl WeakScalingScenario {
     /// reported as *saturated* (waste 1, infinite expected execution) rather
     /// than as an error.
     pub fn point(&self, nodes: f64) -> Result<ScalingPoint> {
+        self.point_with(&FirstOrderExponential, nodes)
+    }
+
+    /// [`WeakScalingScenario::point`] under an arbitrary
+    /// [`WasteModel`] — the entry point of the model arm of a
+    /// `--failure-model weibull` scenario sweep, where the analytic
+    /// predictions carry the same shape-`k` correction as the simulation
+    /// clock.
+    pub fn point_with<M: WasteModel + ?Sized>(
+        &self,
+        model: &M,
+        nodes: f64,
+    ) -> Result<ScalingPoint> {
         ensure_positive("nodes", nodes)?;
         // Model parameters describing one epoch. When the MTBF falls below
         // D + R even ABFT-protected execution is hopeless; build the raw
@@ -236,7 +250,7 @@ impl WeakScalingScenario {
 
         // A phase evaluation that saturates instead of failing.
         let saturating = |p: PhaseParams| -> f64 {
-            match checkpointed_phase(&p) {
+            match checkpointed_phase_with(model, &p) {
                 Ok(PhaseOutcome { final_time, .. }) => final_time,
                 Err(_) => f64::INFINITY,
             }
@@ -273,8 +287,8 @@ impl WeakScalingScenario {
 
         // Composite: per-epoch costs, multiplied by the number of epochs.
         let composite_total = match self.params_at(nodes) {
-            Ok(params) => match composite::final_time(&params) {
-                Ok(t) => epochs * t,
+            Ok(params) => match composite::prediction_with(model, &params) {
+                Ok(p) => epochs * p.final_time(),
                 Err(_) => f64::INFINITY,
             },
             Err(_) => f64::INFINITY,

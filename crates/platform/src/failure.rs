@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_positive, Result};
 use crate::rng::{DeterministicRng, Xoshiro256};
+use crate::special::{gamma, lower_incomplete_gamma};
 
 /// A source of failure inter-arrival times (seconds).
 pub trait FailureModel {
@@ -165,6 +166,87 @@ impl FailureSpec {
             }
         }
     }
+
+    /// The shape parameter of the inter-arrival distribution: `k` for a
+    /// Weibull spec, exactly `1` for the exponential (its Weibull
+    /// degenerate).
+    #[inline]
+    pub fn shape(&self) -> f64 {
+        match *self {
+            FailureSpec::Exponential => 1.0,
+            FailureSpec::Weibull { shape } => shape,
+        }
+    }
+
+    /// The scale parameter λ of the distribution calibrated to mean `mtbf`:
+    /// `λ = µ` for the exponential, `λ = µ / Γ(1 + 1/k)` for a Weibull.
+    pub fn scale(&self, mtbf: f64) -> f64 {
+        match *self {
+            FailureSpec::Exponential => mtbf,
+            FailureSpec::Weibull { shape } => mtbf / gamma(1.0 + 1.0 / shape),
+        }
+    }
+
+    /// The raw moment `E[Xᵐ]` of the inter-arrival time at mean `mtbf`:
+    /// `λᵐ Γ(1 + m/k)` (so `raw_moment(mtbf, 1) = mtbf` up to the Γ
+    /// round-trip).
+    pub fn raw_moment(&self, mtbf: f64, m: f64) -> f64 {
+        let shape = self.shape();
+        self.scale(mtbf).powf(m) * gamma(1.0 + m / shape)
+    }
+
+    /// The coefficient of variation `σ/µ` of the inter-arrival time: exactly
+    /// `1` for the exponential, `> 1` for bursty Weibull clocks (`k < 1`),
+    /// `< 1` for wear-out clocks (`k > 1`).  Scale-free, so no MTBF is
+    /// needed.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        match *self {
+            FailureSpec::Exponential => 1.0,
+            FailureSpec::Weibull { shape } => {
+                let g1 = gamma(1.0 + 1.0 / shape);
+                let g2 = gamma(1.0 + 2.0 / shape);
+                (g2 / (g1 * g1) - 1.0).max(0.0).sqrt()
+            }
+        }
+    }
+
+    /// The cumulative distribution `F(t) = P(X ≤ t)` of the inter-arrival
+    /// time at mean `mtbf`.
+    pub fn cdf(&self, mtbf: f64, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let shape = self.shape();
+        1.0 - (-(t / self.scale(mtbf)).powf(shape)).exp()
+    }
+
+    /// The conditional mean inter-arrival time below a cutoff,
+    /// `E[X | X ≤ τ]` — the incomplete-gamma moment behind the
+    /// Weibull-corrected expected-rework term of the analytic waste model:
+    ///
+    /// `E[X·1{X ≤ τ}] = λ γ(1 + 1/k, (τ/λ)^k)` with `γ` the lower incomplete
+    /// Gamma function, divided by `F(τ)`.
+    ///
+    /// Returns `0` for `τ ≤ 0`.  The exponential spec evaluates the same
+    /// expression at `k = 1` (where it reduces to `µ − τ/(e^{τ/µ} − 1)`), so
+    /// ratios of Weibull to exponential conditional means are exactly `1`
+    /// at `k = 1`.
+    pub fn conditional_mean_below(&self, mtbf: f64, tau: f64) -> f64 {
+        if tau <= 0.0 {
+            return 0.0;
+        }
+        let shape = self.shape();
+        let scale = self.scale(mtbf);
+        let x = (tau / scale).powf(shape);
+        let mass = 1.0 - (-x).exp();
+        if mass <= 0.0 {
+            // τ far below the distribution's support resolution: the
+            // conditional mean degenerates to τ/2-like smallness; return τ/2
+            // as the uniform-limit value.
+            return tau / 2.0;
+        }
+        scale * lower_incomplete_gamma(1.0 + 1.0 / shape, x) / mass
+    }
 }
 
 impl std::fmt::Display for FailureSpec {
@@ -192,6 +274,20 @@ pub enum AnyFailureModel {
     Weibull(WeibullFailures),
 }
 
+impl AnyFailureModel {
+    /// The declarative spec this model realises — the inverse of
+    /// [`FailureSpec::build`].  Lets consumers that only hold the resolved
+    /// model (e.g. the simulation engine) recover the distribution family
+    /// and shape, so the analytic waste model can be matched to the clock.
+    #[inline]
+    pub fn spec(&self) -> FailureSpec {
+        match self {
+            AnyFailureModel::Exponential(_) => FailureSpec::Exponential,
+            AnyFailureModel::Weibull(w) => FailureSpec::Weibull { shape: w.shape() },
+        }
+    }
+}
+
 impl FailureModel for AnyFailureModel {
     #[inline]
     fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
@@ -214,36 +310,6 @@ impl FailureModel for AnyFailureModel {
             AnyFailureModel::Exponential(m) => m.name(),
             AnyFailureModel::Weibull(m) => m.name(),
         }
-    }
-}
-
-/// Lanczos approximation of the Gamma function, needed to convert a requested
-/// Weibull mean into the scale parameter (`mean = λ Γ(1 + 1/k)`).
-fn gamma(x: f64) -> f64 {
-    // Coefficients for g = 7, n = 9 (Numerical Recipes style Lanczos).
-    const G: f64 = 7.0;
-    const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_9,
-        676.520_368_121_885_1,
-        -1_259.139_216_722_402_8,
-        771.323_428_777_653_1,
-        -176.615_029_162_140_6,
-        12.507_343_278_686_905,
-        -0.138_571_095_265_720_12,
-        9.984_369_578_019_572e-6,
-        1.505_632_735_149_311_6e-7,
-    ];
-    if x < 0.5 {
-        // Reflection formula.
-        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
-    } else {
-        let x = x - 1.0;
-        let mut a = COEFFS[0];
-        let t = x + G + 0.5;
-        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
-            a += c / (x + i as f64);
-        }
-        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
     }
 }
 
@@ -338,12 +404,78 @@ mod tests {
     }
 
     #[test]
-    fn gamma_known_values() {
-        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
-        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
-        assert!((gamma(3.0) - 2.0).abs() < 1e-10);
-        assert!((gamma(4.0) - 6.0).abs() < 1e-9);
-        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    fn spec_moment_helpers_match_the_distributions() {
+        let mtbf = 500.0;
+        // Exponential: shape 1, scale µ, CV 1, mean moment µ.
+        let exp = FailureSpec::Exponential;
+        assert_eq!(exp.shape(), 1.0);
+        assert_eq!(exp.scale(mtbf), mtbf);
+        assert!((exp.coefficient_of_variation() - 1.0).abs() < 1e-12);
+        assert!((exp.raw_moment(mtbf, 1.0) - mtbf).abs() / mtbf < 1e-10);
+        // E[X²] = 2µ² for the exponential.
+        assert!((exp.raw_moment(mtbf, 2.0) - 2.0 * mtbf * mtbf).abs() / (mtbf * mtbf) < 1e-9);
+        assert!((exp.cdf(mtbf, mtbf) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(exp.cdf(mtbf, -1.0), 0.0);
+
+        // Weibull: scale matches the built model, first moment returns the
+        // requested mean, CV > 1 below k = 1 and < 1 above.
+        for shape in [0.6, 0.8, 1.0, 1.4, 2.0] {
+            let spec = FailureSpec::Weibull { shape };
+            let model = WeibullFailures::new(mtbf, shape).unwrap();
+            assert!((spec.scale(mtbf) - model.scale()).abs() < 1e-9, "shape {shape}");
+            assert!(
+                (spec.raw_moment(mtbf, 1.0) - mtbf).abs() / mtbf < 1e-9,
+                "shape {shape}: first moment {}",
+                spec.raw_moment(mtbf, 1.0)
+            );
+            let cv = spec.coefficient_of_variation();
+            if shape < 1.0 {
+                assert!(cv > 1.0, "shape {shape}: cv {cv}");
+            } else if shape > 1.0 {
+                assert!(cv < 1.0, "shape {shape}: cv {cv}");
+            } else {
+                assert!((cv - 1.0).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_mean_below_matches_monte_carlo() {
+        let mtbf = 1_000.0;
+        for (spec, seed) in [
+            (FailureSpec::Exponential, 5u64),
+            (FailureSpec::Weibull { shape: 0.7 }, 6),
+            (FailureSpec::Weibull { shape: 1.6 }, 7),
+        ] {
+            let tau = 700.0;
+            let model = spec.build(mtbf).unwrap();
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let (mut sum, mut n) = (0.0, 0u64);
+            for _ in 0..400_000 {
+                let x = model.next_interarrival(&mut rng);
+                if x <= tau {
+                    sum += x;
+                    n += 1;
+                }
+            }
+            let empirical = sum / n as f64;
+            let analytic = spec.conditional_mean_below(mtbf, tau);
+            assert!(
+                (empirical - analytic).abs() / analytic < 0.01,
+                "{spec}: empirical {empirical} vs analytic {analytic}"
+            );
+            // Bounded by the cutoff and by the unconditional mean.
+            assert!(analytic > 0.0 && analytic < tau);
+            assert_eq!(spec.conditional_mean_below(mtbf, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn any_failure_model_recovers_its_spec() {
+        let exp = FailureSpec::Exponential.build(100.0).unwrap();
+        assert_eq!(exp.spec(), FailureSpec::Exponential);
+        let weibull = FailureSpec::Weibull { shape: 0.7 }.build(100.0).unwrap();
+        assert_eq!(weibull.spec(), FailureSpec::Weibull { shape: 0.7 });
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`grid`] — the virtual 2-D process grid used by the ABFT substrate;
 //! * [`rng`] — small, fully deterministic random number generators so that
 //!   every simulation in the workspace is reproducible from a `u64` seed;
+//! * [`special`] — the Gamma-function family backing the Weibull moment
+//!   helpers ([`failure::FailureSpec::conditional_mean_below`] and friends);
 //! * [`units`] — readable constructors for durations and memory sizes.
 //!
 //! Everything here is a *model* of a platform: no MPI, no real I/O.  The
@@ -32,6 +34,7 @@ pub mod grid;
 pub mod memory;
 pub mod node;
 pub mod rng;
+pub mod special;
 pub mod storage;
 pub mod trace;
 pub mod units;
@@ -45,6 +48,6 @@ pub use failure::{
 pub use grid::ProcessGrid;
 pub use memory::DatasetLayout;
 pub use node::Node;
-pub use rng::{DeterministicRng, SeedStream, SplitMix64, Xoshiro256};
+pub use rng::{AntitheticRng, DeterministicRng, SeedStream, SplitMix64, Xoshiro256};
 pub use storage::{BandwidthBound, ConstantCost, Hierarchical, StorageModel};
 pub use trace::{FailureEvent, FailureTrace, TraceBuffer, TraceCursor};

@@ -202,6 +202,28 @@ impl DeterministicRng for Xoshiro256 {
     }
 }
 
+/// Antithetic view of another generator: every raw output is bitwise
+/// complemented, which maps each uniform `u = next_f64()` of the inner
+/// generator to `1 − 2⁻⁵³ − u` — the antithetic partner `1 − u` on the
+/// 53-bit uniform grid (and `next_f64_open`'s `1 − u` to `u + 2⁻⁵³`).
+///
+/// Running a Monte-Carlo replication once with the plain generator and once
+/// through this wrapper yields a *negatively correlated* pair of samples for
+/// any outcome that responds monotonically to the underlying uniforms
+/// (waste does: larger uniforms → longer failure inter-arrivals → less
+/// waste); averaging each pair cancels first-order sampling noise.  The
+/// wrapper is an involution: the antithetic view of an antithetic view
+/// replays the original sequence bit for bit.
+#[derive(Debug)]
+pub struct AntitheticRng<'a, R: DeterministicRng>(pub &'a mut R);
+
+impl<R: DeterministicRng> DeterministicRng for AntitheticRng<'_, R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        !self.0.next_u64()
+    }
+}
+
 /// An allocation-free stream of independent seeds derived from a master seed.
 ///
 /// This is how the simulator hands one seed to each Monte-Carlo replication:
@@ -321,6 +343,51 @@ mod tests {
                 assert!(rng.next_below(bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn antithetic_rng_complements_the_uniforms_and_is_an_involution() {
+        let mut plain = Xoshiro256::seed_from_u64(4);
+        let mut inner = Xoshiro256::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let u = plain.next_f64();
+            let v = AntitheticRng(&mut inner).next_f64();
+            // v = 1 − 2⁻⁵³ − u exactly on the 53-bit grid.
+            assert_eq!(v.to_bits(), (1.0 - (1.0 / (1u64 << 53) as f64) - u).to_bits());
+            assert!((0.0..1.0).contains(&v));
+        }
+        // Involution: double complement replays the original stream.
+        let mut a = Xoshiro256::seed_from_u64(9);
+        let mut b = Xoshiro256::seed_from_u64(9);
+        for _ in 0..100 {
+            let mut anti = AntitheticRng(&mut b);
+            assert_eq!(a.next_u64(), AntitheticRng(&mut anti).next_u64());
+        }
+    }
+
+    #[test]
+    fn antithetic_exponential_variates_are_negatively_correlated() {
+        let mean = 100.0;
+        let mut plain = Xoshiro256::seed_from_u64(11);
+        let mut inner = Xoshiro256::seed_from_u64(11);
+        let n = 50_000;
+        let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = plain.exponential(mean);
+            let y = AntitheticRng(&mut inner).exponential(mean);
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+        let nf = n as f64;
+        let cov = sxy / nf - (sx / nf) * (sy / nf);
+        let corr = cov / ((sxx / nf - (sx / nf).powi(2)).sqrt() * (syy / nf - (sy / nf).powi(2)).sqrt());
+        assert!(corr < -0.5, "correlation {corr} should be strongly negative");
+        // Both streams still have the right mean.
+        assert!((sx / nf - mean).abs() / mean < 0.05);
+        assert!((sy / nf - mean).abs() / mean < 0.05);
     }
 
     #[test]

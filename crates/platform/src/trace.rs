@@ -164,11 +164,20 @@ impl FailureTrace {
 /// so a whole parameter point (a thousand replications × three protocols)
 /// touches the allocator only when a replication sees more failures than any
 /// one before it.
+///
+/// [`TraceBuffer::reset_antithetic`] starts the **antithetic partner** of a
+/// seed's sequence instead: every uniform feeding the inter-arrival sampler
+/// is replaced by `1 − u` (see [`crate::rng::AntitheticRng`]), so the
+/// partner sees long gaps exactly where the original saw short ones.
+/// Averaging each `(seed, antithetic-seed)` outcome pair cancels first-order
+/// sampling noise on smooth waste responses — the antithetic-variates
+/// variance reduction behind the sweep subsystem's `--antithetic` flag.
 #[derive(Debug, Clone)]
 pub struct TraceBuffer<M: FailureModel> {
     model: M,
     rng: Xoshiro256,
     seed: u64,
+    antithetic: bool,
     times: Vec<f64>,
     last: f64,
 }
@@ -180,6 +189,7 @@ impl<M: FailureModel> TraceBuffer<M> {
             model,
             rng: Xoshiro256::seed_from_u64(seed),
             seed,
+            antithetic: false,
             times: Vec::new(),
             last: 0.0,
         }
@@ -190,15 +200,36 @@ impl<M: FailureModel> TraceBuffer<M> {
     pub fn reset(&mut self, seed: u64) {
         self.rng = Xoshiro256::seed_from_u64(seed);
         self.seed = seed;
+        self.antithetic = false;
         self.times.clear();
         self.last = 0.0;
+    }
+
+    /// Starts the **antithetic partner** of `seed`'s failure sequence: the
+    /// same generator states, but every uniform flipped to `1 − u` before it
+    /// reaches the inter-arrival transform.
+    pub fn reset_antithetic(&mut self, seed: u64) {
+        self.reset(seed);
+        self.antithetic = true;
+    }
+
+    /// Whether the current sequence is an antithetic replay.
+    #[inline]
+    pub fn is_antithetic(&self) -> bool {
+        self.antithetic
     }
 
     /// Absolute time of the `index`-th failure of the current sequence,
     /// sampling (and recording) any failures not yet drawn.
     pub fn time(&mut self, index: usize) -> f64 {
         while self.times.len() <= index {
-            self.last += self.model.next_interarrival(&mut self.rng);
+            let gap = if self.antithetic {
+                self.model
+                    .next_interarrival(&mut crate::rng::AntitheticRng(&mut self.rng))
+            } else {
+                self.model.next_interarrival(&mut self.rng)
+            };
+            self.last += gap;
             self.times.push(self.last);
         }
         self.times[index]
@@ -428,6 +459,44 @@ mod tests {
         buffer.reset(1);
         assert_eq!(buffer.time(99).to_bits(), a.to_bits());
         assert!(buffer.sampled().len() >= cap.min(100));
+    }
+
+    #[test]
+    fn antithetic_replay_flips_the_sequence_and_keeps_the_mean() {
+        let mtbf = units::hours(2.0);
+        let m = exp_model(mtbf);
+        let mut buffer = TraceBuffer::new(m, 42);
+        assert!(!buffer.is_antithetic());
+        let n = 20_000;
+        let plain_last = buffer.time(n - 1);
+        let plain: Vec<f64> = buffer.sampled().to_vec();
+        buffer.reset_antithetic(42);
+        assert!(buffer.is_antithetic());
+        let anti_last = buffer.time(n - 1);
+        let anti: Vec<f64> = buffer.sampled().to_vec();
+        // Different sequences drawn from the same seed…
+        assert_ne!(plain[0].to_bits(), anti[0].to_bits());
+        // …with per-gap negative association: a short plain gap pairs with a
+        // long antithetic gap (compare against the exponential median).
+        let median = mtbf * std::f64::consts::LN_2;
+        let mut opposite = 0usize;
+        let gap = |times: &[f64], i: usize| times[i] - if i == 0 { 0.0 } else { times[i - 1] };
+        for i in 0..n {
+            if (gap(&plain, i) < median) != (gap(&anti, i) < median) {
+                opposite += 1;
+            }
+        }
+        assert!(
+            opposite as f64 / n as f64 > 0.95,
+            "only {opposite}/{n} gaps on opposite sides of the median"
+        );
+        // Both sequences still realise the model's mean inter-arrival.
+        assert!((plain_last / n as f64 - mtbf).abs() / mtbf < 0.05);
+        assert!((anti_last / n as f64 - mtbf).abs() / mtbf < 0.05);
+        // A plain reset leaves antithetic mode.
+        buffer.reset(42);
+        assert!(!buffer.is_antithetic());
+        assert_eq!(buffer.time(0).to_bits(), plain[0].to_bits());
     }
 
     #[test]

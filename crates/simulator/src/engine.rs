@@ -30,9 +30,9 @@
 //! `simulate()` results on the same seed (see the pinned-seed regression
 //! test in `tests/engine_regression.rs`).
 
+use ft_composite::model::analytic::{AnyWasteModel, WasteModel};
 use ft_composite::params::ModelParams;
 use ft_composite::scenario::{ApplicationProfile, Epoch};
-use ft_composite::young_daly::paper_optimal_period;
 use ft_platform::failure::{
     AnyFailureModel, ExponentialFailures, FailureModel, FailureSource, FailureSpec, FailureStream,
 };
@@ -69,16 +69,28 @@ pub struct PeriodPlan {
 }
 
 impl PeriodPlan {
-    /// Precomputes the plan for one parameter point.
+    /// Precomputes the plan for one parameter point under the paper's
+    /// exponential first-order periods (Equation 11) — bit-identical to
+    /// `with_model(params, &AnyWasteModel::first_order())`.
     pub fn new(params: &ModelParams) -> Self {
+        Self::with_model(params, &ft_composite::model::analytic::FirstOrderExponential)
+    }
+
+    /// Precomputes the plan with the checkpoint periods an arbitrary
+    /// [`WasteModel`] prescribes: a protocol tuned for a Weibull clock
+    /// checkpoints at the Weibull-corrected optimal period, not at the
+    /// exponential one.  Everything besides the two periods is
+    /// model-independent.
+    pub fn with_model<M: WasteModel + ?Sized>(params: &ModelParams, model: &M) -> Self {
         let period_for = |ckpt: f64| {
-            paper_optimal_period(
-                ckpt,
-                params.platform_mtbf,
-                params.downtime,
-                params.recovery_cost,
-            )
-            .unwrap_or(f64::INFINITY)
+            model
+                .optimal_period(
+                    ckpt,
+                    params.platform_mtbf,
+                    params.downtime,
+                    params.recovery_cost,
+                )
+                .unwrap_or(f64::INFINITY)
         };
         Self {
             full_period: period_for(params.checkpoint_cost),
@@ -356,10 +368,20 @@ impl Engine {
     /// arbitrary model (e.g. Weibull for the robustness studies).  The
     /// model's mean should be the point's platform MTBF for the closed-form
     /// predictions to stay comparable.
+    ///
+    /// The plan is derived from the **matching analytic waste model**
+    /// ([`Engine::waste_model`]): under a Weibull clock the simulated
+    /// protocols checkpoint at the Weibull-corrected optimal period, so the
+    /// model arm and the simulation arm always describe the same protocol
+    /// tuned for the same failure law.  (At `k = 1`, and for every
+    /// exponential engine, the corrected periods are bit-identical to the
+    /// paper's Equation 11 — the historical behaviour.)
     pub fn with_failure_model(params: &ModelParams, model: AnyFailureModel) -> Self {
+        let waste_model = AnyWasteModel::from_spec(model.spec())
+            .expect("a built failure model always has a valid spec");
         Self {
             params: *params,
-            plan: PeriodPlan::new(params),
+            plan: PeriodPlan::with_model(params, &waste_model),
             model,
         }
     }
@@ -386,6 +408,18 @@ impl Engine {
     /// The failure model the simulation arm draws from.
     pub fn failure_model(&self) -> &AnyFailureModel {
         &self.model
+    }
+
+    /// The declarative spec of the engine's failure clock.
+    pub fn failure_spec(&self) -> FailureSpec {
+        self.model.spec()
+    }
+
+    /// The analytic waste model matching the engine's failure clock — the
+    /// model arm of a model-versus-simulation pairing over this engine.
+    pub fn waste_model(&self) -> AnyWasteModel {
+        AnyWasteModel::from_spec(self.model.spec())
+            .expect("a built failure model always has a valid spec")
     }
 
     /// Runs a custom executor over a profile on a caller-supplied clock
@@ -542,6 +576,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_composite::young_daly::paper_optimal_period;
     use ft_platform::failure::WeibullFailures;
     use ft_platform::units::{hours, minutes, weeks};
 
@@ -574,6 +609,33 @@ mod tests {
         assert_eq!(plan.full_period, expected_full);
         assert!(plan.library_period < plan.full_period);
         assert!((plan.ckpt_library + plan.ckpt_remainder - plan.ckpt_full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_engines_checkpoint_at_the_corrected_period() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let exponential = Engine::new(&params);
+        assert_eq!(exponential.failure_spec(), FailureSpec::Exponential);
+        // Bursty clock: less rework per failure, longer corrected period.
+        let bursty =
+            Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: 0.7 }).unwrap();
+        assert_eq!(bursty.failure_spec(), FailureSpec::Weibull { shape: 0.7 });
+        assert!(bursty.plan().full_period > exponential.plan().full_period);
+        assert!(bursty.plan().library_period > exponential.plan().library_period);
+        // k = 1 degenerates to the exponential plan bit for bit.
+        let k1 = Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: 1.0 }).unwrap();
+        assert_eq!(
+            k1.plan().full_period.to_bits(),
+            exponential.plan().full_period.to_bits()
+        );
+        assert_eq!(
+            k1.plan().library_period.to_bits(),
+            exponential.plan().library_period.to_bits()
+        );
+        // The paired waste model follows the clock.
+        use ft_composite::model::analytic::AnyWasteModel;
+        assert!(matches!(exponential.waste_model(), AnyWasteModel::FirstOrder(_)));
+        assert!(matches!(bursty.waste_model(), AnyWasteModel::Weibull(_)));
     }
 
     #[test]

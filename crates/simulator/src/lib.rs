@@ -44,7 +44,7 @@ pub use replicate::{
     accumulate, accumulate_budget, accumulate_engine_budget, accumulate_paired,
     accumulate_paired_engine, accumulate_profile, accumulate_profile_budget,
     accumulate_profile_engine, replicate, replicate_all, PairedAccumulator, ReplicationBudget,
-    SimStats,
+    ReplicationPlan, SimStats,
 };
 pub use stats::{OutcomeAccumulator, Welford};
-pub use validate::{validation_grid, ValidationCell};
+pub use validate::{model_waste_with, validation_grid, ValidationCell};

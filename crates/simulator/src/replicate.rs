@@ -223,6 +223,63 @@ impl ReplicationBudget {
     }
 }
 
+/// A replication budget plus the variance-reduction knobs that ride along
+/// with it — currently antithetic variates.
+///
+/// Every `*_engine` accumulation entry point takes `impl Into<ReplicationPlan>`,
+/// so call sites that only care about the budget keep passing a bare
+/// [`ReplicationBudget`] unchanged.
+///
+/// With `antithetic` set, each seed of the replication stream runs **twice**
+/// — once on its recorded failure sequence and once on the antithetic
+/// partner sequence ([`TraceBuffer::reset_antithetic`]: every uniform
+/// flipped to `1 − u`) — and the pair *average* enters the accumulators as
+/// one sample ([`OutcomeAccumulator::push_pair`]).  A budget of `n` then
+/// means `n` pair-samples (2·`n` simulated executions); on smooth waste
+/// responses the pair averaging cancels first-order sampling noise, so the
+/// same execution count buys a tighter confidence interval (and adaptive
+/// budgets stop earlier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationPlan {
+    /// The stopping rule (fixed or adaptive), counted in samples — pair
+    /// averages when `antithetic` is set.
+    pub budget: ReplicationBudget,
+    /// Run each seed with its antithetic partner and accumulate pair means.
+    pub antithetic: bool,
+}
+
+impl ReplicationPlan {
+    /// A plan with the given budget and no variance-reduction extras.
+    pub fn new(budget: ReplicationBudget) -> Self {
+        Self {
+            budget,
+            antithetic: false,
+        }
+    }
+
+    /// Enables (or disables) antithetic pairing.
+    pub fn antithetic(mut self, antithetic: bool) -> Self {
+        self.antithetic = antithetic;
+        self
+    }
+}
+
+impl From<ReplicationBudget> for ReplicationPlan {
+    fn from(budget: ReplicationBudget) -> Self {
+        Self::new(budget)
+    }
+}
+
+impl std::fmt::Display for ReplicationPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.antithetic {
+            write!(f, "{} x antithetic pairs", self.budget)
+        } else {
+            write!(f, "{}", self.budget)
+        }
+    }
+}
+
 impl std::fmt::Display for ReplicationBudget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
@@ -313,11 +370,11 @@ pub fn replicate(
     SimStats::from_accumulator(protocol, &acc)
 }
 
-/// Drives one parameter point's replications under a budget: every
-/// replication reseeds the shared trace buffer from the seed stream and
-/// pushes the outcome of `run` into the accumulator, checking the stopping
-/// rule between blocks.
-fn drive<R>(engine: &Engine, budget: ReplicationBudget, master_seed: u64, mut run: R) -> OutcomeAccumulator
+/// Drives one parameter point's replications under a plan: every sample
+/// reseeds the shared trace buffer from the seed stream (twice, in
+/// antithetic mode) and pushes the outcome(s) of `run` into the
+/// accumulator, checking the stopping rule between blocks.
+fn drive<R>(engine: &Engine, plan: ReplicationPlan, master_seed: u64, mut run: R) -> OutcomeAccumulator
 where
     R: FnMut(&Engine, &mut TraceBuffer<AnyFailureModel>) -> SimOutcome,
 {
@@ -326,17 +383,24 @@ where
     let mut buffer = engine.trace_buffer(master_seed);
     let mut done = 0usize;
     loop {
-        let block = budget.next_block(done);
+        let block = plan.budget.next_block(done);
         if block == 0 {
             break;
         }
         for _ in 0..block {
             let seed = seeds.next().expect("seed streams are infinite");
             buffer.reset(seed);
-            acc.push(&run(engine, &mut buffer));
+            let outcome = run(engine, &mut buffer);
+            if plan.antithetic {
+                buffer.reset_antithetic(seed);
+                let partner = run(engine, &mut buffer);
+                acc.push_pair(&outcome, &partner);
+            } else {
+                acc.push(&outcome);
+            }
         }
         done += block;
-        if budget.satisfied(&acc.waste) {
+        if plan.budget.satisfied(&acc.waste) {
             break;
         }
     }
@@ -358,13 +422,15 @@ pub fn accumulate_budget(
 /// [`accumulate_budget`] over a caller-built [`Engine`] — the entry point
 /// when the failure model is not the default exponential one (Weibull
 /// robustness sweeps build the engine through `Engine::with_failure_spec`).
+/// Accepts a bare [`ReplicationBudget`] or a full [`ReplicationPlan`]
+/// (budget + antithetic pairing).
 pub fn accumulate_engine_budget(
     engine: &Engine,
     protocol: Protocol,
-    budget: ReplicationBudget,
+    plan: impl Into<ReplicationPlan>,
     master_seed: u64,
 ) -> OutcomeAccumulator {
-    drive(engine, budget, master_seed, |engine, buffer| {
+    drive(engine, plan.into(), master_seed, |engine, buffer| {
         engine.simulate_replay(protocol, buffer)
     })
 }
@@ -382,15 +448,16 @@ pub fn accumulate_profile_budget(
 }
 
 /// [`accumulate_profile_budget`] over a caller-built [`Engine`] (arbitrary
-/// failure model).
+/// failure model).  Accepts a bare [`ReplicationBudget`] or a full
+/// [`ReplicationPlan`] (budget + antithetic pairing).
 pub fn accumulate_profile_engine(
     engine: &Engine,
     protocol: Protocol,
     profile: &ApplicationProfile,
-    budget: ReplicationBudget,
+    plan: impl Into<ReplicationPlan>,
     master_seed: u64,
 ) -> OutcomeAccumulator {
-    drive(engine, budget, master_seed, |engine, buffer| {
+    drive(engine, plan.into(), master_seed, |engine, buffer| {
         engine.simulate_profile_replay(protocol, profile, buffer)
     })
 }
@@ -495,14 +562,21 @@ pub fn accumulate_paired(
 
 /// [`accumulate_paired`] over a caller-built [`Engine`] (arbitrary failure
 /// model): the sweep subsystem's paired path under exponential *and*
-/// Weibull clocks.
+/// Weibull clocks.  Accepts a bare [`ReplicationBudget`] or a full
+/// [`ReplicationPlan`]; with antithetic pairing enabled, every protocol
+/// replays the seed's failure sequence **and** its antithetic partner, and
+/// the pair means enter the marginal and delta accumulators as one sample —
+/// common random numbers across protocols, antithetic variates across the
+/// pair, composable because both act on the shared trace buffer.
 pub fn accumulate_paired_engine(
     engine: &Engine,
     protocols: &[Protocol],
     profile: &ApplicationProfile,
-    budget: ReplicationBudget,
+    plan: impl Into<ReplicationPlan>,
     master_seed: u64,
 ) -> PairedAccumulator {
+    let plan: ReplicationPlan = plan.into();
+    let budget = plan.budget;
     let mut acc = PairedAccumulator {
         protocols: protocols.to_vec(),
         outcomes: vec![OutcomeAccumulator::new(); protocols.len()],
@@ -515,6 +589,9 @@ pub fn accumulate_paired_engine(
     }
     let mut seeds = SeedStream::new(master_seed);
     let mut buffer = engine.trace_buffer(master_seed);
+    // First-pass outcomes of an antithetic sample, reused across
+    // replications (three protocols — no per-replication allocation).
+    let mut first_pass: Vec<SimOutcome> = Vec::with_capacity(protocols.len());
     let mut done = 0usize;
     loop {
         let block = budget.next_block(done);
@@ -523,16 +600,36 @@ pub fn accumulate_paired_engine(
         }
         for _ in 0..block {
             let seed = seeds.next().expect("seed streams are infinite");
-            buffer.reset(seed);
-            let mut baseline_waste = 0.0;
-            for (i, &protocol) in protocols.iter().enumerate() {
-                let out = engine.simulate_profile_replay(protocol, profile, &mut buffer);
-                let waste = out.waste();
-                acc.outcomes[i].push(&out);
-                if i == 0 {
-                    baseline_waste = waste;
-                } else {
-                    acc.deltas[i].push(waste - baseline_waste);
+            if plan.antithetic {
+                first_pass.clear();
+                buffer.reset(seed);
+                for &protocol in protocols {
+                    first_pass.push(engine.simulate_profile_replay(protocol, profile, &mut buffer));
+                }
+                buffer.reset_antithetic(seed);
+                let mut baseline_waste = 0.0;
+                for (i, &protocol) in protocols.iter().enumerate() {
+                    let partner = engine.simulate_profile_replay(protocol, profile, &mut buffer);
+                    let pair_waste = (first_pass[i].waste() + partner.waste()) / 2.0;
+                    acc.outcomes[i].push_pair(&first_pass[i], &partner);
+                    if i == 0 {
+                        baseline_waste = pair_waste;
+                    } else {
+                        acc.deltas[i].push(pair_waste - baseline_waste);
+                    }
+                }
+            } else {
+                buffer.reset(seed);
+                let mut baseline_waste = 0.0;
+                for (i, &protocol) in protocols.iter().enumerate() {
+                    let out = engine.simulate_profile_replay(protocol, profile, &mut buffer);
+                    let waste = out.waste();
+                    acc.outcomes[i].push(&out);
+                    if i == 0 {
+                        baseline_waste = waste;
+                    } else {
+                        acc.deltas[i].push(waste - baseline_waste);
+                    }
                 }
             }
         }
@@ -839,6 +936,89 @@ mod tests {
             3,
         );
         assert_eq!(adaptive, delta);
+    }
+
+    #[test]
+    fn antithetic_pairs_tighten_the_interval_at_equal_execution_count() {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let engine = Engine::new(&params);
+        // n antithetic pairs = 2n executions; compare against 2n plain
+        // samples so both sides simulate the same number of executions.
+        let n = 150;
+        let anti = accumulate_engine_budget(
+            &engine,
+            Protocol::PurePeriodicCkpt,
+            ReplicationPlan::new(ReplicationBudget::Fixed(n)).antithetic(true),
+            7,
+        );
+        let plain = accumulate_engine_budget(
+            &engine,
+            Protocol::PurePeriodicCkpt,
+            ReplicationBudget::Fixed(2 * n),
+            7,
+        );
+        assert_eq!(anti.count(), n as u64);
+        assert_eq!(plain.count(), 2 * n as u64);
+        // Means agree (both unbiased estimators of the same waste)…
+        assert!((anti.waste.mean() - plain.waste.mean()).abs() < 0.01);
+        // …but the pair averaging cancels first-order sampling noise: the
+        // antithetic interval is tighter on the same execution count.
+        assert!(
+            anti.waste.ci95_half_width() < plain.waste.ci95_half_width(),
+            "antithetic {} vs plain {}",
+            anti.waste.ci95_half_width(),
+            plain.waste.ci95_half_width()
+        );
+        // And the whole accumulation is reproducible.
+        let again = accumulate_engine_budget(
+            &engine,
+            Protocol::PurePeriodicCkpt,
+            ReplicationPlan::new(ReplicationBudget::Fixed(n)).antithetic(true),
+            7,
+        );
+        assert_eq!(anti, again);
+    }
+
+    #[test]
+    fn paired_antithetic_marginals_match_the_unpaired_antithetic_path() {
+        let params = ModelParams::paper_figure7(0.8, minutes(90.0)).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        let engine = Engine::new(&params);
+        let plan = ReplicationPlan::new(ReplicationBudget::Fixed(40)).antithetic(true);
+        let paired = accumulate_paired_engine(&engine, &Protocol::all(), &profile, plan, 3);
+        assert_eq!(paired.replications(), 40);
+        for (i, &protocol) in Protocol::all().iter().enumerate() {
+            let unpaired = accumulate_profile_engine(&engine, protocol, &profile, plan, 3);
+            assert_eq!(paired.outcomes[i], unpaired, "{protocol:?}");
+        }
+        // Delta bookkeeping: one delta sample per pair, mean consistent with
+        // the marginal pair means.
+        let d = paired.delta(Protocol::AbftPeriodicCkpt).unwrap();
+        assert_eq!(d.count(), 40);
+        let marginal = paired.outcomes[2].waste.mean() - paired.outcomes[0].waste.mean();
+        assert!((d.mean() - marginal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_plan_conversions_and_display() {
+        let plan: ReplicationPlan = ReplicationBudget::Fixed(10).into();
+        assert!(!plan.antithetic);
+        assert_eq!(plan.budget, ReplicationBudget::Fixed(10));
+        assert_eq!(format!("{plan}"), "fixed(10)");
+        let anti = plan.antithetic(true);
+        assert_eq!(format!("{anti}"), "fixed(10) x antithetic pairs");
+        // A non-antithetic plan is bit-compatible with the bare budget path.
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let engine = Engine::new(&params);
+        let via_budget =
+            accumulate_engine_budget(&engine, Protocol::BiPeriodicCkpt, ReplicationBudget::Fixed(25), 9);
+        let via_plan = accumulate_engine_budget(
+            &engine,
+            Protocol::BiPeriodicCkpt,
+            ReplicationPlan::new(ReplicationBudget::Fixed(25)),
+            9,
+        );
+        assert_eq!(via_budget, via_plan);
     }
 
     #[test]

@@ -116,6 +116,21 @@ impl OutcomeAccumulator {
         self.failures.push(outcome.failures as f64);
     }
 
+    /// Adds an **antithetic pair** of outcomes as a single sample: each
+    /// tracked quantity records the pair average.
+    ///
+    /// The two halves of an antithetic pair are negatively correlated by
+    /// construction, so pushing them separately would leave the reported
+    /// variance (and the confidence intervals driving the adaptive budgets)
+    /// blind to the variance reduction; the pair mean is one genuinely
+    /// independent observation whose spread the Welford machinery estimates
+    /// correctly.
+    pub fn push_pair(&mut self, a: &SimOutcome, b: &SimOutcome) {
+        self.waste.push((a.waste() + b.waste()) / 2.0);
+        self.final_time.push((a.final_time + b.final_time) / 2.0);
+        self.failures.push((a.failures + b.failures) as f64 / 2.0);
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OutcomeAccumulator) {
         self.waste.merge(&other.waste);

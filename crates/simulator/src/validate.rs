@@ -38,7 +38,8 @@ impl ValidationCell {
     }
 }
 
-/// Computes the model waste of `protocol` for the given parameters.
+/// Computes the model waste of `protocol` for the given parameters under the
+/// paper's exponential first-order model.
 pub fn model_waste(protocol: Protocol, params: &ModelParams) -> f64 {
     let w = match protocol {
         Protocol::PurePeriodicCkpt => model::pure::waste(params),
@@ -46,6 +47,24 @@ pub fn model_waste(protocol: Protocol, params: &ModelParams) -> f64 {
         Protocol::AbftPeriodicCkpt => model::composite::waste(params),
     };
     w.map(|w| w.value()).unwrap_or(1.0)
+}
+
+/// [`model_waste`] under an arbitrary analytic
+/// [`WasteModel`](ft_composite::model::analytic::WasteModel) — the entry
+/// point of a sweep's model arm, where the model is dispatched from the same
+/// `FailureSpec` as the simulation clock.  Points outside the model's
+/// validity domain report a saturated waste of `1`.
+pub fn model_waste_with<M: ft_composite::model::analytic::WasteModel + ?Sized>(
+    waste_model: &M,
+    protocol: Protocol,
+    params: &ModelParams,
+) -> f64 {
+    let p = match protocol {
+        Protocol::PurePeriodicCkpt => model::pure::prediction_with(waste_model, params),
+        Protocol::BiPeriodicCkpt => model::bi::prediction_with(waste_model, params),
+        Protocol::AbftPeriodicCkpt => model::composite::prediction_with(waste_model, params),
+    };
+    p.map(|p| p.waste.value()).unwrap_or(1.0)
 }
 
 /// Evaluates one `(MTBF, α)` cell: model prediction plus `replications`
@@ -188,6 +207,30 @@ mod tests {
             23,
         );
         assert!(calm.difference().abs() < cell.difference().abs());
+    }
+
+    #[test]
+    fn model_waste_with_first_order_matches_the_historical_entry_point() {
+        use ft_composite::model::analytic::{FirstOrderExponential, WeibullCorrected};
+        let params = base();
+        for protocol in Protocol::all() {
+            assert_eq!(
+                model_waste_with(&FirstOrderExponential, protocol, &params).to_bits(),
+                model_waste(protocol, &params).to_bits(),
+                "{protocol:?}"
+            );
+            // The Weibull-corrected model predicts less waste for bursty
+            // clocks (clustered failures destroy less work per failure).
+            let bursty = model_waste_with(
+                &WeibullCorrected::new(0.7).unwrap(),
+                protocol,
+                &params,
+            );
+            assert!(
+                bursty < model_waste(protocol, &params),
+                "{protocol:?}: {bursty}"
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,13 @@
 #[doc = include_str!("../README.md")]
 pub struct ReadmeDoctests;
 
+/// Compile-checks the derivation examples in `docs/MODEL.md` as doc-tests:
+/// the waste-model formulas documented there are executed against the
+/// implementation on every `cargo test`.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/MODEL.md")]
+pub struct ModelDoctests;
+
 pub use ft_abft as abft;
 pub use ft_bench as bench;
 pub use ft_ckpt as ckpt;

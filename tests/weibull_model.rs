@@ -1,0 +1,237 @@
+//! Property tests for the Weibull-corrected analytic waste model (ISSUE 5):
+//!
+//! * at `k = 1` the Weibull-corrected model is **bit-close** (≤ 1e-12
+//!   relative — in fact bit-equal by construction) to the exponential
+//!   first-order model, across the Figure 8–10 weak-scaling grids and
+//!   random perturbations of the Figure-7 base point;
+//! * the model−simulation gap under a Weibull clock is smaller with the
+//!   corrected model than with the exponential formula it replaces;
+//! * antithetic variates compose with the sweep layer: pair-averaged
+//!   accumulation reproduces the mean and tightens the interval at equal
+//!   execution count;
+//! * the model-seeded crossover refinement spends no more simulated
+//!   executions than the unseeded bisection of the same bracket.
+
+use abft_ckpt_composite::bench::{figure7_base, Axis, Parameter, SweepSpec};
+use abft_ckpt_composite::composite::model::analytic::{AnyWasteModel, WeibullCorrected};
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::scaling::{paper_node_counts, WeakScalingScenario};
+use abft_ckpt_composite::platform::failure::FailureSpec;
+use abft_ckpt_composite::platform::units::hours;
+use abft_ckpt_composite::sim::validate::{model_waste, model_waste_with};
+use abft_ckpt_composite::sim::Protocol;
+use proptest::prelude::*;
+
+/// Relative bit-closeness required of the `k = 1` limit.
+const K1_REL_TOL: f64 = 1e-12;
+
+fn assert_bit_close(weibull: f64, exponential: f64, context: &str) {
+    let denom = exponential.abs().max(f64::MIN_POSITIVE);
+    let rel = (weibull - exponential).abs() / denom;
+    assert!(
+        rel <= K1_REL_TOL,
+        "{context}: weibull(k=1) {weibull} vs exponential {exponential} (rel {rel})"
+    );
+}
+
+#[test]
+fn k1_limit_is_bit_close_on_the_figure_8_9_10_grids() {
+    let k1 = WeibullCorrected::new(1.0).unwrap();
+    for (name, scenario) in [
+        ("fig8", WeakScalingScenario::figure8()),
+        ("fig8-literal", WeakScalingScenario::figure8_literal()),
+        ("fig9", WeakScalingScenario::figure9()),
+        ("fig10", WeakScalingScenario::figure10()),
+    ] {
+        for nodes in paper_node_counts() {
+            let w = scenario.point_with(&k1, nodes).unwrap();
+            let e = scenario.point(nodes).unwrap();
+            for (arm, wv, ev) in [
+                ("pure", w.pure.waste.value(), e.pure.waste.value()),
+                ("bi", w.bi.waste.value(), e.bi.waste.value()),
+                ("composite", w.composite.waste.value(), e.composite.waste.value()),
+            ] {
+                assert_bit_close(wv, ev, &format!("{name} {arm} at {nodes} nodes"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn k1_limit_is_bit_close_on_random_parameter_points(
+        alpha in 0.0f64..=1.0,
+        mtbf_hours in 1.0f64..8.0,
+    ) {
+        let params = ModelParams::paper_figure7(alpha, hours(mtbf_hours)).unwrap();
+        let k1 = WeibullCorrected::new(1.0).unwrap();
+        for protocol in Protocol::all() {
+            let w = model_waste_with(&k1, protocol, &params);
+            let e = model_waste(protocol, &params);
+            assert_bit_close(w, e, &format!("{protocol:?} alpha={alpha} mtbf={mtbf_hours}h"));
+        }
+    }
+
+    #[test]
+    fn shapes_converge_to_the_exponential_model_as_k_approaches_one(
+        alpha in 0.1f64..=0.9,
+        mtbf_hours in 1.5f64..4.0,
+    ) {
+        // Continuity in k, not just the k = 1 identity: the deviation from
+        // the exponential prediction shrinks monotonically-ish as k → 1.
+        let params = ModelParams::paper_figure7(alpha, hours(mtbf_hours)).unwrap();
+        let e = model_waste(Protocol::PurePeriodicCkpt, &params);
+        let mut previous = f64::INFINITY;
+        for k in [0.6, 0.8, 0.95, 0.999] {
+            let w = model_waste_with(
+                &WeibullCorrected::new(k).unwrap(),
+                Protocol::PurePeriodicCkpt,
+                &params,
+            );
+            let deviation = (w - e).abs();
+            assert!(
+                deviation <= previous + 1e-12,
+                "k={k}: deviation {deviation} grew past {previous}"
+            );
+            previous = deviation;
+        }
+        assert!(previous < 1e-3, "k=0.999 should be within 0.1 waste points");
+    }
+
+    #[test]
+    fn weibull_spec_dispatch_matches_direct_construction(
+        shape in 0.4f64..2.5,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let params = ModelParams::paper_figure7(alpha, hours(2.0)).unwrap();
+        let via_spec = AnyWasteModel::from_spec(FailureSpec::Weibull { shape }).unwrap();
+        let direct = WeibullCorrected::new(shape).unwrap();
+        for protocol in Protocol::all() {
+            prop_assert_eq!(
+                model_waste_with(&via_spec, protocol, &params).to_bits(),
+                model_waste_with(&direct, protocol, &params).to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrected_model_shrinks_the_gap_for_bursty_clocks() {
+    // The point of the whole subsystem: under an infant-mortality clock
+    // (k < 1 — the regime real failure logs show and the robustness studies
+    // target) the corrected model tracks the simulation far better than the
+    // exponential formula, whose gap grows to ~8 waste points at k = 0.5.
+    let params = figure7_base().with_alpha(0.5).unwrap();
+    for shape in [0.5, 0.7] {
+        let results = SweepSpec::new("gap", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .failure_model(FailureSpec::Weibull { shape })
+            .replications(300)
+            .model_gap(true)
+            .run()
+            .unwrap();
+        for r in &results.results {
+            let sim = r.sim.unwrap().mean_waste;
+            let corrected_gap = (sim - r.model_waste).abs();
+            let uncorrected_gap = (sim - model_waste(r.protocol, &params)).abs();
+            assert!(
+                corrected_gap < uncorrected_gap,
+                "k={shape} {:?}: corrected {corrected_gap} vs uncorrected {uncorrected_gap}",
+                r.protocol
+            );
+        }
+    }
+}
+
+#[test]
+fn corrected_model_tracks_the_direction_of_the_shape_dependence() {
+    // Across the whole shape range the correction must move the prediction
+    // the way the simulation moves: less waste for k < 1, more for k > 1.
+    // (For wear-out clocks the conditional-age correction is known to
+    // overshoot in magnitude — see docs/MODEL.md — but the direction is
+    // pinned here.)
+    let run = |shape: f64| {
+        let spec = SweepSpec::new("dir", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .protocols(vec![Protocol::PurePeriodicCkpt])
+            .replications(300);
+        let spec = if shape == 1.0 {
+            spec
+        } else {
+            spec.failure_model(FailureSpec::Weibull { shape })
+        };
+        let results = spec.run().unwrap();
+        let r = &results.results[0];
+        (r.model_waste, r.sim.unwrap().mean_waste)
+    };
+    let (model_1, sim_1) = run(1.0);
+    for shape in [0.5, 0.7, 1.3, 1.8] {
+        let (model_k, sim_k) = run(shape);
+        assert_eq!(
+            (model_k - model_1).signum(),
+            (sim_k - sim_1).signum(),
+            "k={shape}: model moved {} while simulation moved {}",
+            model_k - model_1,
+            sim_k - sim_1
+        );
+    }
+}
+
+#[test]
+fn antithetic_sweep_matches_plain_mean_and_tightens_ci_at_equal_cost() {
+    let base = SweepSpec::new("anti", figure7_base())
+        .axis(Axis::values(Parameter::Mtbf, vec![hours(2.0)]))
+        .protocols(vec![Protocol::AbftPeriodicCkpt]);
+    let anti = base.clone().replications(200).antithetic(true).run().unwrap();
+    let plain = base.replications(400).run().unwrap();
+    assert_eq!(anti.total_executions(), plain.total_executions());
+    let (a, p) = (anti.results[0].sim.unwrap(), plain.results[0].sim.unwrap());
+    assert!((a.mean_waste - p.mean_waste).abs() < 0.01);
+    assert!(
+        a.ci95_waste < p.ci95_waste,
+        "antithetic {} !< plain {}",
+        a.ci95_waste,
+        p.ci95_waste
+    );
+}
+
+#[test]
+fn model_seeding_never_costs_more_simulated_executions() {
+    use abft_ckpt_composite::bench::CrossoverRefiner;
+    use abft_ckpt_composite::sim::ReplicationBudget;
+    let budget = ReplicationBudget::AdaptiveDelta {
+        rel_precision: 0.05,
+        min: 30,
+        max: 300,
+    };
+    for failure in [FailureSpec::Exponential, FailureSpec::Weibull { shape: 0.7 }] {
+        let spec = SweepSpec::scaling("seed", WeakScalingScenario::figure9())
+            .budget(budget)
+            .failure_model(failure);
+        let seeded = CrossoverRefiner::new(spec.clone(), Parameter::Nodes)
+            .tolerance(0.02)
+            .refine(1e5, 1e6)
+            .unwrap();
+        let unseeded = CrossoverRefiner::new(spec, Parameter::Nodes)
+            .tolerance(0.02)
+            .model_seed(false)
+            .refine(1e5, 1e6)
+            .unwrap();
+        assert!(seeded.converged && unseeded.converged, "{failure}");
+        // Seeding either helps (model window holds: strictly fewer sim
+        // probes) or falls back after the two window-verification probes —
+        // never more than that overhead.
+        assert!(
+            seeded.total_replications()
+                <= unseeded.total_replications() + 4 * budget.max_replications(),
+            "{failure}: seeded {} vs unseeded {}",
+            seeded.total_replications(),
+            unseeded.total_replications()
+        );
+        // Both land in the same region.
+        let gap = (seeded.crossover - unseeded.crossover).abs() / unseeded.crossover;
+        assert!(gap < 0.05, "{failure}: {gap}");
+    }
+}
