@@ -124,6 +124,7 @@ fn main() {
 
     // `--model-gap`: validate the model arm the refinement trusts by also
     // simulating the seeding grid and printing the gap columns + summary.
+    let mut measured_bias = None;
     if args.flag("--model-gap") {
         let gap_grid = ft_bench::SweepSpec {
             budget: spec.budget,
@@ -139,6 +140,14 @@ fn main() {
         if let Some(summary) = results.model_gap_summary() {
             println!("# model-simulation gap along the seeding grid: {summary}");
         }
+        measured_bias = results.crossover_model_sim_bias(axis);
+        if let Some(bias) = measured_bias {
+            println!(
+                "# measured crossover bias |sim - model| ~= {} along `{}`; sizing the model-seed window from it",
+                format_value(axis, bias),
+                axis.label(),
+            );
+        }
     }
     let Some((below, above)) = grid.crossover_bracket(axis) else {
         println!("# nothing to refine — widen the grid or change the scenario");
@@ -149,10 +158,12 @@ fn main() {
     let refiner = CrossoverRefiner::new(spec.clone(), axis)
         .tolerance(args.value("--tolerance", 0.01))
         .max_probes(args.value("--max-probes", 40));
-    let refinement = refiner.refine(below, above).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
+    let refinement = refiner
+        .refine_with_bias(below, above, measured_bias)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
 
     let mut table = Table::new(&[axis.label(), "delta", "ci95", "traces", "winner", "decided"]);
     for p in &refinement.probes {

@@ -39,6 +39,9 @@ use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
 use ft_platform::failure::FailureSpec;
 use ft_platform::rng::{SeedStream, SplitMix64};
+use ft_sim::batch::{
+    accumulate_paired_engine_batch, accumulate_profile_engine_batch, DEFAULT_BATCH_LANES,
+};
 use ft_sim::replicate::{
     accumulate_paired_engine, accumulate_profile_engine, PairedAccumulator, ReplicationBudget,
     ReplicationPlan, SimStats,
@@ -229,6 +232,12 @@ pub struct SweepSpec {
     pub epochs: usize,
     /// Master seed; per-task seeds are derived deterministically from it.
     pub seed: u64,
+    /// Lane width of the batched SoA simulation engine the sweep fast path
+    /// dispatches to (`0` or `1` = the scalar engine).  Purely a throughput
+    /// knob: the batch engine is bit-exact with the scalar one (proven by
+    /// the differential oracle harness), so every reported figure is
+    /// identical at any width (CLI: `--batch-lanes`).
+    pub batch_lanes: usize,
 }
 
 impl SweepSpec {
@@ -247,6 +256,7 @@ impl SweepSpec {
             model_gap: false,
             epochs: 1,
             seed: 42,
+            batch_lanes: DEFAULT_BATCH_LANES,
         }
     }
 
@@ -343,6 +353,13 @@ impl SweepSpec {
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the lane width of the batched simulation engine (`0` or `1` =
+    /// scalar engine).  Results are bit-identical at any width.
+    pub fn batch_lanes(mut self, lanes: usize) -> Self {
+        self.batch_lanes = lanes;
         self
     }
 
@@ -576,13 +593,22 @@ impl SweepSpec {
         let sim = match point.params {
             Some(params) if self.budget.runs_simulation() => {
                 let profile = self.sim_profile(point, &params);
-                let acc = accumulate_profile_engine(
-                    &self.engine(point, &params),
-                    protocol,
-                    &profile,
-                    self.plan(),
-                    task_seed(self.seed, point.index as u64, Some(protocol)),
-                );
+                let engine = self.engine(point, &params);
+                let seed = task_seed(self.seed, point.index as u64, Some(protocol));
+                // The batch engine is bit-exact with the scalar one, so the
+                // dispatch is purely a throughput decision.
+                let acc = if self.batch_lanes > 1 {
+                    accumulate_profile_engine_batch(
+                        &engine,
+                        protocol,
+                        &profile,
+                        self.plan(),
+                        seed,
+                        self.batch_lanes,
+                    )
+                } else {
+                    accumulate_profile_engine(&engine, protocol, &profile, self.plan(), seed)
+                };
                 Some(SimStats::from_accumulator(protocol, &acc))
             }
             _ => None,
@@ -604,13 +630,20 @@ impl SweepSpec {
         let sim = match point.params {
             Some(params) if self.budget.runs_simulation() => {
                 let profile = self.sim_profile(point, &params);
-                Some(accumulate_paired_engine(
-                    &self.engine(point, &params),
-                    &self.protocols,
-                    &profile,
-                    self.plan(),
-                    task_seed(self.seed, point.index as u64, None),
-                ))
+                let engine = self.engine(point, &params);
+                let seed = task_seed(self.seed, point.index as u64, None);
+                Some(if self.batch_lanes > 1 {
+                    accumulate_paired_engine_batch(
+                        &engine,
+                        &self.protocols,
+                        &profile,
+                        self.plan(),
+                        seed,
+                        self.batch_lanes,
+                    )
+                } else {
+                    accumulate_paired_engine(&engine, &self.protocols, &profile, self.plan(), seed)
+                })
             }
             _ => None,
         };
@@ -943,6 +976,54 @@ impl SweepResults {
             CrossoverOutcome::At { value, below } => Some((below, value)),
             _ => None,
         }
+    }
+
+    /// How far the *simulated* crossover sits from the *model* crossover
+    /// along `axis`, measured on this grid: each arm's waste difference
+    /// `composite − pure` is walked along the origin slice, the sign-change
+    /// root of each arm located by linear interpolation, and the distance
+    /// between the two roots returned.  `None` when either arm lacks a
+    /// sign change in range (or no simulation ran).
+    ///
+    /// This is the measured model bias a [`CrossoverRefiner`] uses to size
+    /// its model-seeded bisection window: a fixed safety margin either
+    /// wastes probes re-verifying an over-wide window or gets rejected when
+    /// the bias exceeds it, while `2 ×` the measured bias tracks the actual
+    /// disagreement of the two curves.
+    pub fn crossover_model_sim_bias(&self, axis: Parameter) -> Option<f64> {
+        let mut wastes: Vec<[Option<f64>; 4]> = vec![[None; 4]; self.points.len()];
+        for r in &self.results {
+            let slot = match r.protocol {
+                Protocol::PurePeriodicCkpt => 0,
+                Protocol::AbftPeriodicCkpt => 2,
+                _ => continue,
+            };
+            wastes[r.index][slot] = Some(r.model_waste);
+            wastes[r.index][slot + 1] = r.sim.as_ref().map(|s| s.mean_waste);
+        }
+        let mut curve: Vec<(f64, f64, f64)> = Vec::new();
+        for i in self.axis_slice(axis) {
+            let [pm, ps, cm, cs] = wastes[i];
+            if let (Some(x), Some(pm), Some(ps), Some(cm), Some(cs)) =
+                (self.coordinate(i, axis), pm, ps, cm, cs)
+            {
+                curve.push((x, cm - pm, cs - ps));
+            }
+        }
+        // The composite wins where its waste difference turns negative; the
+        // root of each delta curve is its crossover estimate.
+        let root = |deltas: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            curve.windows(2).find_map(|w| {
+                let (da, db) = (deltas(&w[0]), deltas(&w[1]));
+                (da >= 0.0 && db < 0.0).then(|| {
+                    let (xa, xb) = (w[0].0, w[1].0);
+                    xa + (xb - xa) * da / (da - db)
+                })
+            })
+        };
+        let model_root = root(&|p| p.1)?;
+        let sim_root = root(&|p| p.2)?;
+        Some((sim_root - model_root).abs())
     }
 
     /// Largest `|WASTE_simul − WASTE_model|` across the grid, when a
@@ -1328,6 +1409,23 @@ impl CrossoverRefiner {
         pure_side: f64,
         composite_side: f64,
     ) -> Result<CrossoverRefinement, SweepError> {
+        self.refine_with_bias(pure_side, composite_side, None)
+    }
+
+    /// [`CrossoverRefiner::refine`] with a measured model−simulation bias
+    /// (typically [`SweepResults::crossover_model_sim_bias`] from the
+    /// seeding grid) sizing the model-seeded window: the window reaches `2 ×
+    /// bias` beyond the model crossover instead of the fixed 5 % fallback
+    /// margin.  A window sized from the measured disagreement is verified
+    /// and accepted where a fixed margin smaller than the bias would be
+    /// rejected — wasting its two verification probes — and is narrower
+    /// than a fixed margin much larger than the bias.
+    pub fn refine_with_bias(
+        &self,
+        pure_side: f64,
+        composite_side: f64,
+        bias: Option<f64>,
+    ) -> Result<CrossoverRefinement, SweepError> {
         if self.model_seed && self.spec.budget.runs_simulation() {
             let model_refiner = CrossoverRefiner {
                 spec: SweepSpec {
@@ -1339,12 +1437,15 @@ impl CrossoverRefiner {
             };
             if let Ok(model) = model_refiner.bisect(pure_side, composite_side) {
                 // Window around the model crossover: a few model-bracket
-                // widths, floored at 5 % of the coordinate, clamped to the
-                // original bracket — wide enough to absorb the typical
-                // model bias, narrow enough to save most of the decade-wide
+                // widths, floored at twice the measured model−simulation
+                // bias (or 5 % of the coordinate when no bias was
+                // measured), clamped to the original bracket — wide enough
+                // to absorb the model's actual disagreement with the
+                // simulation, narrow enough to save most of the decade-wide
                 // grid bracket's bisection steps.
                 let (mp, mc) = model.bracket;
-                let shift = (3.0 * (mc - mp).abs()).max(0.05 * model.crossover.abs());
+                let floor = bias.map_or(0.05 * model.crossover.abs(), |b| 2.0 * b);
+                let shift = (3.0 * (mc - mp).abs()).max(floor);
                 let toward = |from: f64, limit: f64| {
                     let d = limit - from;
                     if d.abs() <= shift {
@@ -1482,7 +1583,10 @@ impl CrossoverRefiner {
     }
 
     /// Refines starting from a grid-level sweep's crossover bracket
-    /// ([`SweepResults::crossover_bracket`]).
+    /// ([`SweepResults::crossover_bracket`]).  When the seeding sweep also
+    /// carried a simulation arm, its measured model−simulation bias
+    /// ([`SweepResults::crossover_model_sim_bias`]) sizes the model-seeded
+    /// window.
     pub fn refine_from(&self, results: &SweepResults) -> Result<CrossoverRefinement, SweepError> {
         let (below, value) = results.crossover_bracket(self.axis).ok_or_else(|| {
             SweepError(format!(
@@ -1490,7 +1594,7 @@ impl CrossoverRefiner {
                 self.axis.label()
             ))
         })?;
-        self.refine(below, value)
+        self.refine_with_bias(below, value, results.crossover_model_sim_bias(self.axis))
     }
 }
 
@@ -1530,7 +1634,8 @@ pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
 /// Applies the shared CLI knobs (`--replications`, `--precision`,
 /// `--delta-precision`, `--min-replications`, `--max-replications`,
 /// `--paired`, `--antithetic`, `--model-gap`, `--failure-model`,
-/// `--weibull-shape`, `--seed`, `--epochs`, `--threads`) to a spec, runs it
+/// `--weibull-shape`, `--seed`, `--epochs`, `--threads`, `--batch-lanes`)
+/// to a spec, runs it
 /// (serially with `--serial`) and prints the header, the rendered grid
 /// (`--format table|csv|json`, with `--csv` as a shorthand) and a
 /// throughput footer.  Returns the results for binary-specific footers.
@@ -1551,6 +1656,10 @@ pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
 /// genuine model−simulation gap.  `--model-gap` adds the per-point model
 /// label, relative-gap and gap-significance columns plus a grid-level gap
 /// summary footer (and gives model-only specs a default simulation budget).
+/// `--batch-lanes` resizes the batched SoA simulation engine (`1` falls
+/// back to the scalar engine) — a pure throughput knob: the batch engine is
+/// bit-exact with the scalar one, so every reported figure is identical at
+/// any width.
 pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     if let Some(n) = args.maybe_value::<usize>("--replications") {
         spec.budget = ReplicationBudget::Fixed(n);
@@ -1591,6 +1700,7 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     }
     spec.seed = args.value("--seed", spec.seed);
     spec.epochs = args.value("--epochs", spec.epochs).max(1);
+    spec.batch_lanes = args.value("--batch-lanes", spec.batch_lanes);
     let threads: usize = args.value("--threads", 0);
     if threads > 0 {
         let _ = rayon::ThreadPoolBuilder::new()
@@ -2131,6 +2241,68 @@ mod tests {
             unseeded.probes.len()
         );
         assert!(seeded.total_replications() < unseeded.total_replications());
+    }
+
+    #[test]
+    fn bias_aware_window_survives_the_fig9_weibull_model_bias() {
+        // Regression: under a Weibull k=0.7 clock the fig9 model crossover
+        // sits far enough from the simulated one that the fixed 5 % seed
+        // window gets rejected, wasting its two verification probes.  The
+        // window sized from the seeding grid's measured bias must survive.
+        let mut spec = SweepSpec::scaling("t", WeakScalingScenario::figure9()).seed(42);
+        spec.failure = FailureSpec::Weibull { shape: 0.7 };
+        spec.budget = ReplicationBudget::AdaptiveDelta {
+            rel_precision: 0.05,
+            min: 100,
+            max: 1000,
+        };
+        let seeding = SweepSpec {
+            budget: ReplicationBudget::Fixed(0),
+            paired: false,
+            axes: vec![Axis::decades(Parameter::Nodes, 3, 6, 1)],
+            protocols: vec![Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt],
+            ..spec.clone()
+        };
+        let (below, above) = seeding
+            .run()
+            .unwrap()
+            .crossover_bracket(Parameter::Nodes)
+            .unwrap();
+        let gap = SweepSpec {
+            budget: spec.budget,
+            ..seeding
+        }
+        .model_gap(true)
+        .with_simulation_arm()
+        .run()
+        .unwrap();
+        let bias = gap
+            .crossover_model_sim_bias(Parameter::Nodes)
+            .expect("the simulated seeding grid measures a crossover bias");
+
+        let refiner = CrossoverRefiner::new(spec, Parameter::Nodes);
+        let fixed = refiner.refine_with_bias(below, above, None).unwrap();
+        assert!(
+            fixed.model_crossover.is_none(),
+            "the fixed 5% window should be rejected on this case — if it \
+             survives, the regression this test pins no longer exists"
+        );
+        let aware = refiner.refine_with_bias(below, above, Some(bias)).unwrap();
+        assert!(aware.model_crossover.is_some(), "bias-sized window rejected");
+        // The accepted window skips the rejected attempt's wasted probes.
+        assert!(
+            aware.probes.len() < fixed.probes.len(),
+            "bias-aware {} probes vs fixed-window {}",
+            aware.probes.len(),
+            fixed.probes.len()
+        );
+        assert!(aware.total_replications() < fixed.total_replications());
+        // Both still localise compatible crossovers inside the bracket.
+        let gap_rel = (aware.crossover - fixed.crossover).abs() / fixed.crossover;
+        assert!(gap_rel < 0.05, "aware {} vs fixed {}", aware.crossover, fixed.crossover);
+        // refine_from wires the measured bias through end to end.
+        let from_grid = refiner.refine_from(&gap).unwrap();
+        assert!(from_grid.model_crossover.is_some());
     }
 
     #[test]

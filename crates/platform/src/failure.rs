@@ -470,6 +470,39 @@ mod tests {
         }
     }
 
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `E[X | X ≤ τ]` is monotone non-decreasing in the cutoff τ and
+        /// bounded by both the cutoff and the unconditional mean — across
+        /// the whole (shape, MTBF, τ) space the Weibull-corrected waste
+        /// model evaluates it on, including the mass-underflow τ → 0 branch.
+        #[test]
+        fn conditional_mean_below_is_monotone_and_bounded(
+            kind in 0usize..2,
+            shape in 0.15f64..4.0,
+            mtbf in 1.0f64..100_000.0,
+            tau_rel in 1e-6f64..10.0,
+            step_rel in 1e-6f64..2.0,
+        ) {
+            let spec = if kind == 0 {
+                FailureSpec::Exponential
+            } else {
+                FailureSpec::Weibull { shape }
+            };
+            let tau = tau_rel * mtbf;
+            let at = spec.conditional_mean_below(mtbf, tau);
+            let further = spec.conditional_mean_below(mtbf, tau + step_rel * mtbf);
+            // Monotone in τ (up to accumulated rounding of the two
+            // independent incomplete-gamma evaluations).
+            prop_assert!(further >= at - 1e-9 * at.abs());
+            // Bounded: 0 < E[X | X ≤ τ] ≤ τ, and never above E[X] = MTBF.
+            prop_assert!(at > 0.0);
+            prop_assert!(at <= tau * (1.0 + 1e-12));
+            prop_assert!(at <= mtbf * (1.0 + 1e-9));
+        }
+    }
+
     #[test]
     fn any_failure_model_recovers_its_spec() {
         let exp = FailureSpec::Exponential.build(100.0).unwrap();

@@ -9,6 +9,9 @@
 //!   with deterministic seeding;
 //! * [`trace`] — concrete failure traces that can be generated, replayed,
 //!   merged and summarised;
+//! * [`batch`] — lane-indexed batch failure sampling (independent streams,
+//!   antithetic partners and trace replay per lane) for the
+//!   structure-of-arrays simulation engine;
 //! * [`storage`] — checkpoint-storage cost models (bandwidth-bound remote
 //!   storage, constant-cost buddy/NVRAM storage, hierarchical storage);
 //! * [`memory`] — the LIBRARY / REMAINDER dataset split (the paper's `ρ`);
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cluster;
 pub mod error;
 pub mod failure;
@@ -39,6 +43,7 @@ pub mod storage;
 pub mod trace;
 pub mod units;
 
+pub use batch::{BatchFailureSource, BatchFailureStream, BatchTraceBuffer, BatchTraceCursor};
 pub use cluster::Cluster;
 pub use error::PlatformError;
 pub use failure::{

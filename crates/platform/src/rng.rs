@@ -255,6 +255,16 @@ impl SeedStream {
         let state = master.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
         SplitMix64::new(state).derive_seed()
     }
+
+    /// Fills `out` with the next `out.len()` seeds of the stream — the batch
+    /// engine's lane-seeding primitive.  Equivalent to (and bit-identical
+    /// with) calling `next()` once per slot, in order.
+    #[inline]
+    pub fn fill(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.sm.derive_seed();
+        }
+    }
 }
 
 impl Iterator for SeedStream {

@@ -205,6 +205,103 @@ mod tests {
     }
 
     #[test]
+    fn series_and_continued_fraction_agree_at_the_split() {
+        // P(s, x) switches from the series (x < s + 1) to the Lentz
+        // continued fraction at x = s + 1; the two branches must join
+        // continuously there, across the whole range of shapes the Weibull
+        // helpers produce (s = 1 + 1/k or 1 + m/k for k ∈ [0.1, 10]).
+        for s in [0.3, 0.9, 1.0, 2.428_571, 5.5, 11.0, 21.0, 101.0] {
+            let boundary = s + 1.0;
+            let below = regularized_lower_gamma(s, boundary * (1.0 - 1e-12));
+            let above = regularized_lower_gamma(s, boundary * (1.0 + 1e-12));
+            assert!(
+                (below - above).abs() < 1e-10,
+                "s = {s}: series {below} vs fraction {above} at the split"
+            );
+            // And the function stays monotone walking straight through it.
+            let mut previous = 0.0;
+            for i in -50..=50 {
+                let x = boundary * (1.0 + i as f64 * 1e-3);
+                let p = regularized_lower_gamma(s, x);
+                assert!((0.0..=1.0).contains(&p), "s = {s}, x = {x}: P = {p}");
+                assert!(p >= previous, "s = {s}, x = {x}: not monotone");
+                previous = p;
+            }
+        }
+    }
+
+    #[test]
+    fn integer_shapes_match_the_poisson_sum_across_both_branches() {
+        // For integer s, P(s, x) = 1 − e^{−x} Σ_{n<s} x^n/n! exactly — an
+        // independent closed form covering the large shapes a Weibull
+        // k → 0 produces (s = 1 + 1/k: k = 0.1 → 11, k = 0.01 → 101) on
+        // both sides of the series/fraction split.
+        for s in [2.0f64, 11.0, 21.0, 101.0] {
+            for frac in [0.2, 0.8, 0.999, 1.001, 1.5, 3.0] {
+                let x = (s + 1.0) * frac;
+                let mut term: f64 = 1.0;
+                let mut sum: f64 = 1.0;
+                for n in 1..(s as usize) {
+                    term *= x / n as f64;
+                    sum += term;
+                }
+                let exact = 1.0 - (-x).exp() * sum;
+                let ours = regularized_lower_gamma(s, x);
+                assert!(
+                    (ours - exact).abs() < 1e-9,
+                    "s = {s}, x = {x}: {ours} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_at_the_weibull_shape_extremes() {
+        // Γ(1 + 1/k) at k near 0 hits large integer arguments with exact
+        // factorial values; k = 1 is exactly Γ(2) = 1; k → ∞ approaches
+        // Γ(1) = 1.
+        let factorial = |n: u64| (1..=n).map(|i| i as f64).product::<f64>();
+        for (k, n) in [(0.1f64, 10u64), (0.05, 20), (0.25, 4)] {
+            let g = gamma(1.0 + 1.0 / k);
+            let exact = factorial(n);
+            assert!(
+                ((g - exact) / exact).abs() < 1e-12,
+                "k = {k}: Γ({}) = {g} vs {n}! = {exact}",
+                1.0 + 1.0 / k
+            );
+        }
+        assert!((gamma(2.0) - 1.0).abs() < 1e-13);
+        assert!((gamma(1.0 + 1e-9) - 1.0).abs() < 1e-6);
+        // Near-1 shapes (the exponential limit) keep Γ smooth: Γ(1 + 1/k)
+        // for k slightly off 1 stays within the local Taylor bound.
+        for k in [0.99f64, 1.0, 1.01] {
+            let g = gamma(1.0 + 1.0 / k);
+            assert!((g - 1.0).abs() < 0.01, "k = {k}: Γ = {g}");
+        }
+    }
+
+    #[test]
+    fn large_arguments_saturate_without_overflow() {
+        // Far right tail: P → 1 and γ(s, x) → Γ(s) without the normalising
+        // exponentials overflowing (they run through ln_gamma).
+        for s in [0.5f64, 1.5, 11.0, 101.0] {
+            let p = regularized_lower_gamma(s, 700.0);
+            assert!(
+                (p - 1.0).abs() < 1e-12,
+                "s = {s}: P(s, 700) = {p} should saturate"
+            );
+            let unnormalised = lower_incomplete_gamma(s, 700.0);
+            let full = gamma(s);
+            assert!(
+                ((unnormalised - full) / full).abs() < 1e-12,
+                "s = {s}: γ(s, 700) = {unnormalised} vs Γ(s) = {full}"
+            );
+        }
+        // And a genuinely huge x stays exactly clamped into [0, 1].
+        assert_eq!(regularized_lower_gamma(3.0, 1e15), 1.0);
+    }
+
+    #[test]
     fn incomplete_gamma_agrees_with_numeric_quadrature() {
         // Simpson quadrature of ∫ t^{s−1} e^{−t} dt as an independent check
         // at the non-integer shapes the Weibull helpers use.

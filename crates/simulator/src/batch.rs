@@ -1,0 +1,943 @@
+//! Batched structure-of-arrays simulation engine.
+//!
+//! The scalar executors in [`crate::engine`] advance one replication at a
+//! time through a chain of dependent float additions: every `try_run` waits
+//! on the previous one's clock value.  This module advances **many
+//! replications of the same parameter point in lockstep** over
+//! structure-of-arrays state (per-lane current time, next-failure time and
+//! failure count), so failure-free stretches — the overwhelmingly common
+//! case on realistic MTBFs — collapse into fused, branch-free array passes
+//! with independent per-lane dependency chains.
+//!
+//! # Why lockstep is possible at all
+//!
+//! In every protocol of the study, failures only cause *retries*: they never
+//! change **which** activities run in **what order**.  The sequence of
+//! "program positions" — periods of checkpointed work, forced checkpoints,
+//! ABFT-protected phases — is a pure function of `(protocol, profile,
+//! plan)`.  [`BatchProgram::compile`] materialises that sequence once per
+//! parameter point; lanes then share the program position while owning their
+//! simulation clocks.
+//!
+//! # Why the result is bit-exact
+//!
+//! For each program step, a lane is advanced by one of two paths:
+//!
+//! * **fast path** — the optimistic pass computes the step's end time with
+//!   *exactly the float additions, in exactly the order*, that the scalar
+//!   engine's first attempt would perform, and commits it only if the step
+//!   provably completes before the lane's next failure.  For a work+checkpoint
+//!   period the single test `(now + work) + ckpt < next_failure` implies the
+//!   scalar engine's two sequential tests (`now + work ≥ (now + work) + ckpt`
+//!   can't hold for a nonnegative checkpoint under round-to-nearest), and the
+//!   committed end time is the bit pattern the scalar clock would hold;
+//! * **slow path** — a lane whose step may be interrupted is left untouched
+//!   by the optimistic pass and is then replayed through per-lane code that
+//!   is *verbatim* the scalar control flow of [`crate::engine`] /
+//!   [`crate::clock::SimClock::try_run`], drawing from that lane's own
+//!   failure source.
+//!
+//! Per-lane failure sequences come from [`BatchFailureSource`]s whose lanes
+//! are bit-identical to the scalar sources (see `ft_platform::batch`), so
+//! every lane reproduces its scalar replication's [`SimOutcome`] exactly —
+//! the contract the differential oracle harness
+//! (`tests/batch_engine_oracle.rs`) enforces across failure families,
+//! protocols, profiles, batch widths and source flavours.
+//!
+//! # Entry points
+//!
+//! * [`simulate_profile_batch`] / [`simulate_profile_batch_antithetic`] /
+//!   [`simulate_profile_batch_replay`] — one batch, one outcome per lane
+//!   (the oracle harness surface);
+//! * [`accumulate_profile_engine_batch`] — batch counterpart of
+//!   [`crate::replicate::accumulate_profile_engine`]: same seed stream, same
+//!   push order, same adaptive stopping checks, bit-identical accumulator;
+//! * [`accumulate_paired_engine_batch`] — batch counterpart of
+//!   [`crate::replicate::accumulate_paired_engine`] (common random numbers
+//!   across protocols, paired-delta stopping).
+
+use ft_composite::scenario::ApplicationProfile;
+use ft_platform::batch::{BatchFailureSource, BatchFailureStream, BatchTraceBuffer};
+use ft_platform::failure::FailureModel;
+use ft_platform::rng::SeedStream;
+
+use crate::engine::{Engine, PeriodPlan};
+use crate::protocols::{Protocol, SimOutcome};
+use crate::replicate::{PairedAccumulator, ReplicationPlan};
+use crate::stats::{OutcomeAccumulator, Welford};
+
+/// Default lane width of the batch engine: wide enough to amortise the
+/// per-step pass and expose plenty of independent dependency chains, small
+/// enough that the SoA state stays resident in L1.
+pub const DEFAULT_BATCH_LANES: usize = 128;
+
+/// One failure-interruptible step of a compiled protocol program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    /// One checkpointed-stream attempt unit: `work` seconds of rollback-
+    /// protected work followed by a checkpoint of cost `ckpt`; a failure
+    /// anywhere in the attempt discards it (after a rollback recovery).
+    Period { work: f64, ckpt: f64 },
+    /// A forced checkpoint retried (after rollback recovery) until clean.
+    Forced { cost: f64 },
+    /// An ABFT-protected work phase: failures cost an ABFT recovery but lose
+    /// no work.
+    AbftWork { work: f64 },
+    /// The forced LIBRARY exit checkpoint, retried after ABFT recoveries.
+    AbftCkpt { cost: f64 },
+}
+
+/// A protocol × profile × plan compiled into the straight-line sequence of
+/// failure-interruptible steps every replication of the point executes.
+///
+/// Compilation happens once per parameter point; running the program
+/// advances all lanes of a [`BatchState`] through the steps in lockstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProgram {
+    steps: Vec<Step>,
+    base_time: f64,
+    downtime: f64,
+    recovery: f64,
+    recovery_remainder: f64,
+    abft_reconstruction: f64,
+}
+
+/// Structure-of-arrays per-lane simulation state: the batch counterpart of a
+/// bank of [`crate::clock::SimClock`]s.
+#[derive(Debug, Clone, Default)]
+pub struct BatchState {
+    now: Vec<f64>,
+    next_failure: Vec<f64>,
+    failures: Vec<usize>,
+    /// Scratch mask of lanes whose current step missed the fast path.
+    hit: Vec<bool>,
+}
+
+impl BatchState {
+    /// An empty state; [`BatchProgram::run`] sizes it to the source's lanes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lanes currently held.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.now.len()
+    }
+
+    /// Resets to `source.lanes()` fresh lanes at time zero, drawing each
+    /// lane's first failure — the batch counterpart of
+    /// [`crate::clock::SimClock::with_source`]'s eager first draw.
+    fn reset<S: BatchFailureSource>(&mut self, source: &mut S) {
+        let lanes = source.lanes();
+        self.now.clear();
+        self.now.resize(lanes, 0.0);
+        self.failures.clear();
+        self.failures.resize(lanes, 0);
+        self.next_failure.clear();
+        self.next_failure.extend((0..lanes).map(|lane| source.next_failure(lane)));
+        self.hit.clear();
+        self.hit.resize(lanes, false);
+    }
+
+    /// Loads one lane's clock into registers for a slow-path excursion.
+    #[inline]
+    fn load(&self, lane: usize) -> LaneClock {
+        LaneClock {
+            now: self.now[lane],
+            next_failure: self.next_failure[lane],
+            failures: self.failures[lane],
+        }
+    }
+
+    /// Writes a slow-path excursion's result back to the lane's slots.
+    #[inline]
+    fn store(&mut self, lane: usize, clock: LaneClock) {
+        self.now[lane] = clock.now;
+        self.next_failure[lane] = clock.next_failure;
+        self.failures[lane] = clock.failures;
+    }
+}
+
+/// One lane's clock held in registers while its slow path runs — the
+/// register-resident counterpart of [`crate::clock::SimClock`]'s fields, so
+/// the retry loops run on locals exactly like the scalar engine instead of
+/// bounds-checked array accesses.
+#[derive(Debug, Clone, Copy)]
+struct LaneClock {
+    now: f64,
+    next_failure: f64,
+    failures: usize,
+}
+
+impl LaneClock {
+    /// The scalar-verbatim clock primitive: mirrors
+    /// [`crate::clock::SimClock::try_run`] bit for bit (early return on
+    /// non-positive durations, strict completion test, eager redraw of the
+    /// lane's next failure on interrupt).
+    #[inline]
+    fn try_run<S: BatchFailureSource>(
+        &mut self,
+        source: &mut S,
+        lane: usize,
+        duration: f64,
+    ) -> crate::clock::ActivityResult {
+        use crate::clock::ActivityResult;
+        if duration <= 0.0 {
+            return ActivityResult::Completed;
+        }
+        if self.now + duration < self.next_failure {
+            self.now += duration;
+            ActivityResult::Completed
+        } else {
+            let progress = (self.next_failure - self.now).max(0.0);
+            self.now = self.next_failure;
+            self.failures += 1;
+            self.next_failure = source.next_failure(lane);
+            ActivityResult::Interrupted { progress }
+        }
+    }
+}
+
+/// Advances every lane one failure-free step of `a + b` cost, branch-free:
+/// lanes whose optimistic end time `(now + a) + b` stays strictly before the
+/// next failure commit it (the exact float additions, in the exact order, of
+/// the scalar engine's first attempt); the rest are flagged in `hit`.
+/// Returns whether any lane was flagged.
+#[inline]
+fn fast_pass_two(now: &mut [f64], next_failure: &[f64], hit: &mut [bool], a: f64, b: f64) -> bool {
+    let mut any = false;
+    for ((t, &nf), h) in now.iter_mut().zip(next_failure).zip(hit.iter_mut()) {
+        let end = (*t + a) + b;
+        let ok = end < nf;
+        *t = if ok { end } else { *t };
+        *h = !ok;
+        any |= !ok;
+    }
+    any
+}
+
+/// Single-addition counterpart of [`fast_pass_two`] for steps with one cost
+/// term.
+#[inline]
+fn fast_pass_one(now: &mut [f64], next_failure: &[f64], hit: &mut [bool], a: f64) -> bool {
+    let mut any = false;
+    for ((t, &nf), h) in now.iter_mut().zip(next_failure).zip(hit.iter_mut()) {
+        let end = *t + a;
+        let ok = end < nf;
+        *t = if ok { end } else { *t };
+        *h = !ok;
+        any |= !ok;
+    }
+    any
+}
+
+impl BatchProgram {
+    /// Compiles the straight-line step program `protocol` executes over
+    /// `profile` under `plan` — the exact activity sequence the scalar
+    /// executors of [`crate::engine`] walk, with the retry loops factored
+    /// into the steps.
+    pub fn compile(protocol: Protocol, profile: &ApplicationProfile, plan: &PeriodPlan) -> Self {
+        let mut steps = Vec::new();
+        match protocol {
+            Protocol::PurePeriodicCkpt => {
+                push_stream(
+                    &mut steps,
+                    profile.total_duration(),
+                    plan.ckpt_full,
+                    plan.full_period,
+                );
+            }
+            Protocol::BiPeriodicCkpt => {
+                for epoch in profile.epochs() {
+                    push_stream(&mut steps, epoch.general, plan.ckpt_full, plan.full_period);
+                    push_stream(
+                        &mut steps,
+                        epoch.library,
+                        plan.ckpt_library,
+                        plan.library_period,
+                    );
+                }
+            }
+            Protocol::AbftPeriodicCkpt => {
+                for epoch in profile.epochs() {
+                    let work = epoch.general;
+                    if work <= 0.0 {
+                        if epoch.library > 0.0 {
+                            steps.push(Step::Forced {
+                                cost: plan.ckpt_remainder,
+                            });
+                        }
+                    } else if work < plan.full_period {
+                        // Short GENERAL phase: one attempt unit ending in the
+                        // forced REMAINDER checkpoint — structurally the same
+                        // retry loop as a checkpointed-stream period.
+                        steps.push(Step::Period {
+                            work,
+                            ckpt: plan.ckpt_remainder,
+                        });
+                    } else {
+                        push_stream(&mut steps, work, plan.ckpt_full, plan.full_period);
+                    }
+                    if epoch.library > 0.0 {
+                        steps.push(Step::AbftWork {
+                            work: plan.phi * epoch.library,
+                        });
+                        steps.push(Step::AbftCkpt {
+                            cost: plan.ckpt_library,
+                        });
+                    }
+                }
+            }
+        }
+        Self {
+            steps,
+            base_time: profile.total_duration(),
+            downtime: plan.downtime,
+            recovery: plan.recovery,
+            recovery_remainder: plan.recovery_remainder,
+            abft_reconstruction: plan.abft_reconstruction,
+        }
+    }
+
+    /// The failure-free application duration lanes are normalised against.
+    #[inline]
+    pub fn base_time(&self) -> f64 {
+        self.base_time
+    }
+
+    /// Number of compiled steps (one per failure-interruptible attempt unit).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program performs no work at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Runs every lane of `source` through the whole program in lockstep.
+    /// `state` is reset to the source's lane count first; read per-lane
+    /// results with [`BatchProgram::outcome`] afterwards.
+    ///
+    /// Each step first sweeps all lanes through a branch-free fast pass —
+    /// two adds, a compare, and a select per lane over contiguous arrays —
+    /// committing every lane the step completes failure-free.  Only lanes
+    /// whose optimistic end time reached their next failure take the
+    /// scalar-verbatim slow path, with that lane's clock held in registers
+    /// for the retry loop.
+    pub fn run<S: BatchFailureSource>(&self, source: &mut S, state: &mut BatchState) {
+        state.reset(source);
+        let lanes = state.lanes();
+        for step in &self.steps {
+            let any = match *step {
+                Step::Period { work, ckpt } => fast_pass_two(
+                    &mut state.now[..lanes],
+                    &state.next_failure[..lanes],
+                    &mut state.hit[..lanes],
+                    work,
+                    ckpt,
+                ),
+                Step::Forced { cost } | Step::AbftCkpt { cost } => fast_pass_one(
+                    &mut state.now[..lanes],
+                    &state.next_failure[..lanes],
+                    &mut state.hit[..lanes],
+                    cost,
+                ),
+                Step::AbftWork { work } => fast_pass_one(
+                    &mut state.now[..lanes],
+                    &state.next_failure[..lanes],
+                    &mut state.hit[..lanes],
+                    work,
+                ),
+            };
+            if !any {
+                continue;
+            }
+            // Some lanes' steps may be interrupted: replay just those
+            // through the scalar-verbatim retry loops.
+            for lane in 0..lanes {
+                if !state.hit[lane] {
+                    continue;
+                }
+                let mut clock = state.load(lane);
+                match *step {
+                    Step::Period { work, ckpt } => {
+                        self.slow_period(&mut clock, source, lane, work, ckpt)
+                    }
+                    Step::Forced { cost } => self.slow_forced(&mut clock, source, lane, cost),
+                    Step::AbftWork { work } => self.slow_abft_work(&mut clock, source, lane, work),
+                    Step::AbftCkpt { cost } => self.slow_abft_ckpt(&mut clock, source, lane, cost),
+                }
+                state.store(lane, clock);
+            }
+        }
+    }
+
+    /// The finished outcome of one lane after [`BatchProgram::run`].
+    #[inline]
+    pub fn outcome(&self, state: &BatchState, lane: usize) -> SimOutcome {
+        SimOutcome {
+            final_time: state.now[lane],
+            base_time: self.base_time,
+            failures: state.failures[lane],
+        }
+    }
+
+    /// Scalar-verbatim rollback recovery on one lane
+    /// ([`crate::clock::SimClock::recover`]).
+    fn lane_recover<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+    ) {
+        loop {
+            if clock.try_run(source, lane, self.downtime).is_completed()
+                && clock.try_run(source, lane, self.recovery).is_completed()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Scalar-verbatim ABFT recovery on one lane
+    /// ([`crate::engine::abft_recover`]).
+    fn lane_abft_recover<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+    ) {
+        loop {
+            if clock.try_run(source, lane, self.downtime).is_completed()
+                && clock
+                    .try_run(source, lane, self.recovery_remainder)
+                    .is_completed()
+                && clock
+                    .try_run(source, lane, self.abft_reconstruction)
+                    .is_completed()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Slow path of [`Step::Period`]: verbatim the attempt loop of
+    /// [`crate::engine::checkpointed_stream`] (work retried from scratch
+    /// after rollback recoveries, attempt discarded when the checkpoint is
+    /// interrupted).
+    fn slow_period<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+        work: f64,
+        ckpt: f64,
+    ) {
+        use crate::clock::ActivityResult;
+        'attempt: loop {
+            let mut done = 0.0;
+            while done < work {
+                match clock.try_run(source, lane, work - done) {
+                    ActivityResult::Completed => done = work,
+                    ActivityResult::Interrupted { .. } => {
+                        self.lane_recover(clock, source, lane);
+                        done = 0.0;
+                    }
+                }
+            }
+            match clock.try_run(source, lane, ckpt) {
+                ActivityResult::Completed => break 'attempt,
+                ActivityResult::Interrupted { .. } => {
+                    self.lane_recover(clock, source, lane);
+                }
+            }
+        }
+    }
+
+    /// Slow path of [`Step::Forced`]: verbatim
+    /// [`crate::engine::forced_checkpoint`].
+    fn slow_forced<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+        cost: f64,
+    ) {
+        use crate::clock::ActivityResult;
+        loop {
+            match clock.try_run(source, lane, cost) {
+                ActivityResult::Completed => return,
+                ActivityResult::Interrupted { .. } => {
+                    self.lane_recover(clock, source, lane);
+                }
+            }
+        }
+    }
+
+    /// Slow path of [`Step::AbftWork`]: verbatim the work loop of
+    /// [`crate::engine::abft_protected_stream`] — progress survives failures.
+    fn slow_abft_work<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+        work: f64,
+    ) {
+        use crate::clock::ActivityResult;
+        let mut done = 0.0;
+        while done < work {
+            match clock.try_run(source, lane, work - done) {
+                ActivityResult::Completed => done = work,
+                ActivityResult::Interrupted { progress } => {
+                    done += progress;
+                    self.lane_abft_recover(clock, source, lane);
+                }
+            }
+        }
+    }
+
+    /// Slow path of [`Step::AbftCkpt`]: verbatim the exit-checkpoint loop of
+    /// [`crate::engine::abft_protected_stream`].
+    fn slow_abft_ckpt<S: BatchFailureSource>(
+        &self,
+        clock: &mut LaneClock,
+        source: &mut S,
+        lane: usize,
+        cost: f64,
+    ) {
+        while !clock.try_run(source, lane, cost).is_completed() {
+            self.lane_abft_recover(clock, source, lane);
+        }
+    }
+}
+
+/// Unrolls [`crate::engine::checkpointed_stream`]'s outer period loop into
+/// [`Step::Period`]s, replicating its float bookkeeping (`saved` accumulation
+/// and `min` clamping) exactly so the per-step `work` values are the bit
+/// patterns the scalar engine computes.
+fn push_stream(steps: &mut Vec<Step>, work: f64, ckpt: f64, period: f64) {
+    if work <= 0.0 {
+        return;
+    }
+    let work_per_period = if period.is_finite() && period > ckpt {
+        period - ckpt
+    } else {
+        work
+    };
+    let mut saved = 0.0;
+    while saved < work {
+        let target = work_per_period.min(work - saved);
+        steps.push(Step::Period { work: target, ckpt });
+        saved += target;
+    }
+}
+
+/// Simulates one batch of `protocol` over `profile`: lane `i` draws a fresh
+/// failure sequence from `seeds[i]` and reproduces, bit for bit, the scalar
+/// [`Engine::simulate_profile`] outcome on that seed.
+pub fn simulate_profile_batch(
+    engine: &Engine,
+    protocol: Protocol,
+    profile: &ApplicationProfile,
+    seeds: &[u64],
+) -> Vec<SimOutcome> {
+    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    let mut stream = BatchFailureStream::new(*engine.failure_model(), seeds);
+    let mut state = BatchState::new();
+    program.run(&mut stream, &mut state);
+    (0..seeds.len()).map(|lane| program.outcome(&state, lane)).collect()
+}
+
+/// [`simulate_profile_batch`] over the **antithetic partner** sequences of
+/// the seeds: lane `i` reproduces the scalar replay of
+/// [`ft_platform::trace::TraceBuffer::reset_antithetic`] on `seeds[i]`.
+pub fn simulate_profile_batch_antithetic(
+    engine: &Engine,
+    protocol: Protocol,
+    profile: &ApplicationProfile,
+    seeds: &[u64],
+) -> Vec<SimOutcome> {
+    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    let mut stream = BatchFailureStream::new(*engine.failure_model(), seeds);
+    stream.reset_antithetic(seeds);
+    let mut state = BatchState::new();
+    program.run(&mut stream, &mut state);
+    (0..seeds.len()).map(|lane| program.outcome(&state, lane)).collect()
+}
+
+/// Simulates one batch of `protocol` over `profile`, **replaying** the
+/// failure sequences recorded in `buffer` lane by lane (batch common random
+/// numbers): lane `i` reproduces the scalar
+/// [`Engine::simulate_profile_replay`] outcome over `buffer`'s lane `i`.
+pub fn simulate_profile_batch_replay<M: FailureModel + Clone>(
+    engine: &Engine,
+    protocol: Protocol,
+    profile: &ApplicationProfile,
+    buffer: &mut BatchTraceBuffer<M>,
+) -> Vec<SimOutcome> {
+    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    let lanes = buffer.lanes();
+    let mut cursors = buffer.cursors();
+    let mut state = BatchState::new();
+    program.run(&mut cursors, &mut state);
+    (0..lanes).map(|lane| program.outcome(&state, lane)).collect()
+}
+
+/// Batch counterpart of [`crate::replicate::accumulate_profile_engine`]:
+/// replications are advanced `lanes` at a time through the compiled program,
+/// but consume the **same seed stream in the same order**, feed the
+/// [`OutcomeAccumulator`] with the same push sequence and apply the same
+/// block-wise adaptive stopping checks — the returned accumulator is
+/// bit-identical to the scalar path's (the sweep fast path relies on this to
+/// switch freely between the engines).
+///
+/// `lanes` is the batch width; replication blocks that are not a multiple of
+/// it run a ragged tail batch of the remaining width.
+pub fn accumulate_profile_engine_batch(
+    engine: &Engine,
+    protocol: Protocol,
+    profile: &ApplicationProfile,
+    plan: impl Into<ReplicationPlan>,
+    master_seed: u64,
+    lanes: usize,
+) -> OutcomeAccumulator {
+    let plan: ReplicationPlan = plan.into();
+    let lanes = lanes.max(1);
+    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    let mut acc = OutcomeAccumulator::new();
+    let mut seeds = SeedStream::new(master_seed);
+    let mut seed_buf = vec![0u64; lanes];
+    let mut stream = BatchFailureStream::new(*engine.failure_model(), &[]);
+    let mut state = BatchState::new();
+    let mut outcomes: Vec<SimOutcome> = Vec::with_capacity(lanes);
+    let mut done = 0usize;
+    loop {
+        let block = plan.budget.next_block(done);
+        if block == 0 {
+            break;
+        }
+        let mut remaining = block;
+        while remaining > 0 {
+            let width = remaining.min(lanes);
+            let chunk = &mut seed_buf[..width];
+            seeds.fill(chunk);
+            stream.reset(chunk);
+            program.run(&mut stream, &mut state);
+            outcomes.clear();
+            outcomes.extend((0..width).map(|lane| program.outcome(&state, lane)));
+            if plan.antithetic {
+                stream.reset_antithetic(chunk);
+                program.run(&mut stream, &mut state);
+                for (lane, first) in outcomes.iter().enumerate() {
+                    acc.push_pair(first, &program.outcome(&state, lane));
+                }
+            } else {
+                for outcome in &outcomes {
+                    acc.push(outcome);
+                }
+            }
+            remaining -= width;
+        }
+        done += block;
+        if plan.budget.satisfied(&acc.waste) {
+            break;
+        }
+    }
+    acc
+}
+
+/// Batch counterpart of [`crate::replicate::accumulate_paired_engine`]: all
+/// protocols replay the same per-lane failure sequences (common random
+/// numbers), per-trace waste deltas stream against the baseline, and the
+/// paired-delta / marginal stopping rules fire on the same block boundaries
+/// as the scalar path — the returned [`PairedAccumulator`] is bit-identical.
+pub fn accumulate_paired_engine_batch(
+    engine: &Engine,
+    protocols: &[Protocol],
+    profile: &ApplicationProfile,
+    plan: impl Into<ReplicationPlan>,
+    master_seed: u64,
+    lanes: usize,
+) -> PairedAccumulator {
+    let plan: ReplicationPlan = plan.into();
+    let budget = plan.budget;
+    let lanes = lanes.max(1);
+    let mut acc = PairedAccumulator {
+        protocols: protocols.to_vec(),
+        outcomes: vec![OutcomeAccumulator::new(); protocols.len()],
+        deltas: vec![Welford::new(); protocols.len()],
+    };
+    if protocols.is_empty() {
+        return acc;
+    }
+    let programs: Vec<BatchProgram> = protocols
+        .iter()
+        .map(|&p| BatchProgram::compile(p, profile, engine.plan()))
+        .collect();
+    let mut seeds = SeedStream::new(master_seed);
+    let mut seed_buf = vec![0u64; lanes];
+    let mut stream = BatchFailureStream::new(*engine.failure_model(), &[]);
+    let mut state = BatchState::new();
+    let mut firsts: Vec<Vec<SimOutcome>> = vec![Vec::with_capacity(lanes); protocols.len()];
+    let mut partners: Vec<Vec<SimOutcome>> = vec![Vec::with_capacity(lanes); protocols.len()];
+    let mut done = 0usize;
+    loop {
+        let block = budget.next_block(done);
+        if block == 0 {
+            break;
+        }
+        let mut remaining = block;
+        while remaining > 0 {
+            let width = remaining.min(lanes);
+            let chunk = &mut seed_buf[..width];
+            seeds.fill(chunk);
+            // Every protocol's stream restarts from the same chunk seeds —
+            // the batch form of replaying one recorded trace per seed to all
+            // protocols.
+            for (i, program) in programs.iter().enumerate() {
+                stream.reset(chunk);
+                program.run(&mut stream, &mut state);
+                firsts[i].clear();
+                firsts[i].extend((0..width).map(|lane| program.outcome(&state, lane)));
+            }
+            if plan.antithetic {
+                for (i, program) in programs.iter().enumerate() {
+                    stream.reset_antithetic(chunk);
+                    program.run(&mut stream, &mut state);
+                    partners[i].clear();
+                    partners[i].extend((0..width).map(|lane| program.outcome(&state, lane)));
+                }
+                for lane in 0..width {
+                    let mut baseline_waste = 0.0;
+                    for i in 0..protocols.len() {
+                        let pair_waste =
+                            (firsts[i][lane].waste() + partners[i][lane].waste()) / 2.0;
+                        acc.outcomes[i].push_pair(&firsts[i][lane], &partners[i][lane]);
+                        if i == 0 {
+                            baseline_waste = pair_waste;
+                        } else {
+                            acc.deltas[i].push(pair_waste - baseline_waste);
+                        }
+                    }
+                }
+            } else {
+                for lane in 0..width {
+                    let mut baseline_waste = 0.0;
+                    for (i, outcomes) in firsts.iter().enumerate() {
+                        let out = outcomes[lane];
+                        let waste = out.waste();
+                        acc.outcomes[i].push(&out);
+                        if i == 0 {
+                            baseline_waste = waste;
+                        } else {
+                            acc.deltas[i].push(waste - baseline_waste);
+                        }
+                    }
+                }
+            }
+            remaining -= width;
+        }
+        done += block;
+        let deltas_resolved = budget.is_paired_delta()
+            && acc.deltas.len() > 1
+            && acc.deltas[1..].iter().all(|d| budget.delta_resolved(d));
+        if deltas_resolved || acc.outcomes.iter().all(|o| budget.satisfied(&o.waste)) {
+            break;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::{
+        accumulate_paired_engine, accumulate_profile_engine, ReplicationBudget,
+    };
+    use ft_composite::params::ModelParams;
+    use ft_platform::failure::FailureSpec;
+    use ft_platform::units::minutes;
+
+    fn fig7_engine(spec: FailureSpec) -> Engine {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        Engine::with_failure_spec(&params, spec).unwrap()
+    }
+
+    fn seeds(n: usize) -> Vec<u64> {
+        SeedStream::new(0xFEED).take(n).collect()
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_simulations_bit_for_bit() {
+        for spec in [FailureSpec::Exponential, FailureSpec::Weibull { shape: 0.7 }] {
+            let engine = fig7_engine(spec);
+            let profile = ApplicationProfile::from_params_repeated(engine.params(), 3);
+            let seeds = seeds(33);
+            for protocol in Protocol::all() {
+                let batch = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+                for (lane, &seed) in seeds.iter().enumerate() {
+                    let scalar = engine.simulate_profile(protocol, &profile, seed);
+                    assert_eq!(
+                        batch[lane].final_time.to_bits(),
+                        scalar.final_time.to_bits(),
+                        "{spec} {protocol:?} lane {lane}"
+                    );
+                    assert_eq!(batch[lane], scalar);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antithetic_batch_matches_scalar_antithetic_replay() {
+        let engine = fig7_engine(FailureSpec::Weibull { shape: 1.4 });
+        let profile = ApplicationProfile::from_params(engine.params());
+        let seeds = seeds(9);
+        let mut buffer = engine.trace_buffer(0);
+        for protocol in Protocol::all() {
+            let batch = simulate_profile_batch_antithetic(&engine, protocol, &profile, &seeds);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                buffer.reset_antithetic(seed);
+                let scalar = engine.simulate_profile_replay(protocol, &profile, &mut buffer);
+                assert_eq!(batch[lane], scalar, "{protocol:?} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_batch_reuses_recorded_lanes() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        let seeds = seeds(7);
+        let mut batch_buffer = BatchTraceBuffer::new(*engine.failure_model(), &seeds);
+        // Two protocols replay the SAME recorded lanes — common random
+        // numbers — and each lane matches its scalar replay.
+        let pure = simulate_profile_batch_replay(
+            &engine,
+            Protocol::PurePeriodicCkpt,
+            &profile,
+            &mut batch_buffer,
+        );
+        let composite = simulate_profile_batch_replay(
+            &engine,
+            Protocol::AbftPeriodicCkpt,
+            &profile,
+            &mut batch_buffer,
+        );
+        let mut scalar_buffer = engine.trace_buffer(0);
+        for (lane, &seed) in seeds.iter().enumerate() {
+            scalar_buffer.reset(seed);
+            let a = engine.simulate_profile_replay(
+                Protocol::PurePeriodicCkpt,
+                &profile,
+                &mut scalar_buffer,
+            );
+            let b = engine.simulate_profile_replay(
+                Protocol::AbftPeriodicCkpt,
+                &profile,
+                &mut scalar_buffer,
+            );
+            assert_eq!(pure[lane], a, "lane {lane}");
+            assert_eq!(composite[lane], b, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn batch_accumulator_is_bit_identical_to_the_scalar_path() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        for budget in [
+            ReplicationBudget::Fixed(130), // ragged: 130 = 2×50 + 30 over 50-lanes
+            ReplicationBudget::Adaptive {
+                rel_precision: 0.05,
+                min: 60,
+                max: 400,
+            },
+        ] {
+            for antithetic in [false, true] {
+                let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+                let scalar = accumulate_profile_engine(
+                    &engine,
+                    Protocol::AbftPeriodicCkpt,
+                    &profile,
+                    plan,
+                    77,
+                );
+                for lanes in [1, 7, 50, 256] {
+                    let batch = accumulate_profile_engine_batch(
+                        &engine,
+                        Protocol::AbftPeriodicCkpt,
+                        &profile,
+                        plan,
+                        77,
+                        lanes,
+                    );
+                    assert_eq!(scalar, batch, "{budget:?} antithetic={antithetic} lanes={lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_batch_accumulator_is_bit_identical_to_the_scalar_path() {
+        let engine = fig7_engine(FailureSpec::Weibull { shape: 0.7 });
+        let profile = ApplicationProfile::from_params(engine.params());
+        let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+        for budget in [
+            ReplicationBudget::Fixed(90),
+            ReplicationBudget::AdaptiveDelta {
+                rel_precision: 0.05,
+                min: 60,
+                max: 300,
+            },
+        ] {
+            for antithetic in [false, true] {
+                let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+                let scalar = accumulate_paired_engine(&engine, &protocols, &profile, plan, 5);
+                for lanes in [1, 32, 128] {
+                    let batch =
+                        accumulate_paired_engine_batch(&engine, &protocols, &profile, plan, 5, lanes);
+                    assert_eq!(scalar, batch, "{budget:?} antithetic={antithetic} lanes={lanes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_batch_of_no_protocols_is_an_empty_no_op() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        let paired = accumulate_paired_engine_batch(
+            &engine,
+            &[],
+            &profile,
+            ReplicationBudget::Fixed(10),
+            1,
+            64,
+        );
+        assert_eq!(paired.replications(), 0);
+        assert!(paired.outcomes.is_empty());
+    }
+
+    #[test]
+    fn compiled_programs_cover_degenerate_profiles() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        // Zero-work profile compiles to an empty program for pure/bi and a
+        // lone forced checkpoint for the composite when only library work
+        // exists.
+        let empty = ApplicationProfile::uniform(1, 0.0, 0.0).unwrap();
+        let p = BatchProgram::compile(Protocol::PurePeriodicCkpt, &empty, engine.plan());
+        assert!(p.is_empty());
+        assert_eq!(p.base_time(), 0.0);
+        let lib_only = ApplicationProfile::uniform(1, 0.0, minutes(30.0)).unwrap();
+        let p = BatchProgram::compile(Protocol::AbftPeriodicCkpt, &lib_only, engine.plan());
+        assert_eq!(p.len(), 3); // Forced + AbftWork + AbftCkpt
+        let scalar = engine.simulate_profile(Protocol::AbftPeriodicCkpt, &lib_only, 3);
+        let batch = simulate_profile_batch(&engine, Protocol::AbftPeriodicCkpt, &lib_only, &[3]);
+        assert_eq!(batch[0], scalar);
+    }
+}

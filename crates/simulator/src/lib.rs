@@ -22,12 +22,17 @@
 //!   path) under a [`ReplicationBudget`] — fixed counts or adaptive
 //!   precision-targeted stopping — with common-random-numbers pairing of
 //!   protocols over shared failure traces ([`accumulate_paired`]);
+//! * [`batch`](mod@batch) — the structure-of-arrays batch engine: many
+//!   replications of one parameter point advanced in lockstep through a
+//!   compiled step program, bit-exact with the scalar executors (proven by
+//!   the differential oracle harness in `tests/batch_engine_oracle.rs`);
 //! * [`validate`] — model-versus-simulation comparison grids (the right-hand
 //!   column of Figure 7).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod clock;
 pub mod engine;
 pub mod protocols;
@@ -35,6 +40,11 @@ pub mod replicate;
 pub mod stats;
 pub mod validate;
 
+pub use batch::{
+    accumulate_paired_engine_batch, accumulate_profile_engine_batch, simulate_profile_batch,
+    simulate_profile_batch_antithetic, simulate_profile_batch_replay, BatchProgram, BatchState,
+    DEFAULT_BATCH_LANES,
+};
 pub use clock::{ActivityResult, SimClock};
 pub use engine::{
     BiExecutor, CompositeExecutor, Engine, PeriodPlan, ProtocolExecutor, PureExecutor,

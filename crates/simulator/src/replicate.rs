@@ -154,7 +154,9 @@ impl ReplicationBudget {
     }
 
     /// Whether `acc` (the waste accumulator) satisfies the stopping rule.
-    fn satisfied(&self, acc: &Welford) -> bool {
+    /// Crate-visible so the batch engine (`crate::batch`) applies the exact
+    /// same stopping decisions as the scalar [`drive`] loop.
+    pub(crate) fn satisfied(&self, acc: &Welford) -> bool {
         match *self {
             ReplicationBudget::Fixed(n) => acc.count() >= n as u64,
             ReplicationBudget::Adaptive {
@@ -184,7 +186,7 @@ impl ReplicationBudget {
     /// 95 % (the CI excludes zero) or the difference itself meets the
     /// requested precision.  Non-delta budgets fall back to the marginal
     /// rule on the delta accumulator.
-    fn delta_resolved(&self, delta: &Welford) -> bool {
+    pub(crate) fn delta_resolved(&self, delta: &Welford) -> bool {
         match *self {
             ReplicationBudget::AdaptiveDelta {
                 rel_precision,
@@ -207,7 +209,7 @@ impl ReplicationBudget {
 
     /// How many replications to run before the next stopping check, given
     /// `done` so far.
-    fn next_block(&self, done: usize) -> usize {
+    pub(crate) fn next_block(&self, done: usize) -> usize {
         match *self {
             ReplicationBudget::Fixed(n) => n.saturating_sub(done),
             ReplicationBudget::Adaptive { min, max, .. }

@@ -1,0 +1,302 @@
+//! Differential oracle harness for the batched SoA simulation engine.
+//!
+//! The scalar executors of `ft-sim` are the *oracle*: for every sampled
+//! configuration — failure family (exponential and Weibull) × protocol
+//! (pure / bi-periodic / composite) × multi-epoch application profile ×
+//! batch width (including ragged tails) × failure-source flavour (fresh
+//! streams, trace replay, antithetic partners) — the batch engine must
+//! reproduce every lane's [`SimOutcome`] **bit for bit**: `final_time` and
+//! `base_time` compared on their raw bit patterns, `failures` exactly.
+//!
+//! The driver-level tests additionally pin the replication accumulators:
+//! feeding the adaptive budgets in batch-sized blocks must leave the
+//! Welford state bit-identical to the scalar `drive` loop, so the sweep
+//! fast path can switch engines freely without perturbing a single figure.
+
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::composite::scenario::ApplicationProfile;
+use abft_ckpt_composite::platform::batch::BatchTraceBuffer;
+use abft_ckpt_composite::platform::failure::FailureSpec;
+use abft_ckpt_composite::platform::rng::SeedStream;
+use abft_ckpt_composite::platform::units::minutes;
+use abft_ckpt_composite::sim::batch::{
+    accumulate_paired_engine_batch, accumulate_profile_engine_batch, simulate_profile_batch,
+    simulate_profile_batch_antithetic, simulate_profile_batch_replay,
+};
+use abft_ckpt_composite::sim::replicate::{
+    accumulate_paired_engine, accumulate_profile_engine, ReplicationBudget, ReplicationPlan,
+};
+use abft_ckpt_composite::sim::{Engine, Protocol, SimOutcome};
+use proptest::prelude::*;
+
+/// Asserts two outcomes are bit-identical in every field, with a labelled
+/// panic message on mismatch.
+fn assert_bit_identical(batch: &SimOutcome, scalar: &SimOutcome, label: &str) {
+    assert_eq!(
+        batch.final_time.to_bits(),
+        scalar.final_time.to_bits(),
+        "{label}: final_time {} vs {}",
+        batch.final_time,
+        scalar.final_time
+    );
+    assert_eq!(
+        batch.base_time.to_bits(),
+        scalar.base_time.to_bits(),
+        "{label}: base_time"
+    );
+    assert_eq!(batch.failures, scalar.failures, "{label}: failures");
+}
+
+/// A failure family from the study: exponential, or Weibull across the
+/// paper's infant-mortality / near-memoryless / wear-out shapes.
+fn arb_spec() -> impl Strategy<Value = FailureSpec> {
+    (0usize..2, 0.5f64..1.6).prop_map(|(family, shape)| match family {
+        0 => FailureSpec::Exponential,
+        _ => FailureSpec::Weibull { shape },
+    })
+}
+
+/// A parameter point plus a multi-epoch profile that exercises every
+/// compiled-step shape: long streams, short composite remainders and
+/// zero-work epochs.
+fn arb_point() -> impl Strategy<Value = (ModelParams, ApplicationProfile)> {
+    (
+        0.0f64..=1.0,   // alpha
+        40.0f64..400.0, // platform MTBF, minutes
+        1usize..4,      // epochs
+        0usize..3,      // profile flavour
+        1.0f64..90.0,   // custom epoch GENERAL duration, minutes
+        0.0f64..90.0,   // custom epoch LIBRARY duration, minutes
+    )
+        .prop_filter_map(
+            "figure-7 point must validate",
+            |(alpha, mtbf, epochs, flavour, general, library)| {
+                let params = ModelParams::paper_figure7(alpha, minutes(mtbf)).ok()?;
+                let profile = match flavour {
+                    // The paper's own epoch split, repeated.
+                    0 => ApplicationProfile::from_params_repeated(&params, epochs),
+                    // Short custom epochs: composite remainder periods,
+                    // sub-period streams, frequent step boundaries.
+                    1 => ApplicationProfile::uniform(epochs, minutes(general), minutes(library))
+                        .ok()?,
+                    // Degenerate epochs: library-only (forced checkpoint
+                    // path) or general-only (no ABFT phase at all).
+                    _ => ApplicationProfile::uniform(
+                        epochs,
+                        if general < 45.0 { 0.0 } else { minutes(general) },
+                        if general < 45.0 { minutes(library) } else { 0.0 },
+                    )
+                    .ok()?,
+                };
+                Some((params, profile))
+            },
+        )
+}
+
+fn lane_seeds(master: u64, width: usize) -> Vec<u64> {
+    SeedStream::new(master).take(width).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fresh per-lane failure streams: every lane of every batch equals the
+    /// scalar simulation of its seed, across the full configuration matrix.
+    #[test]
+    fn fresh_batches_match_scalar_simulations(
+        spec in arb_spec(),
+        (params, profile) in arb_point(),
+        width in 1usize..65,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let seeds = lane_seeds(master, width);
+        for protocol in Protocol::all() {
+            let batch = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+            prop_assert_eq!(batch.len(), width);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let scalar = engine.simulate_profile(protocol, &profile, seed);
+                assert_bit_identical(
+                    &batch[lane],
+                    &scalar,
+                    &format!("{spec} {protocol:?} width {width} lane {lane}"),
+                );
+            }
+        }
+    }
+
+    /// Trace replay: a batch trace buffer replayed through two protocols
+    /// (common random numbers) matches the scalar replay of each lane's
+    /// recorded trace — and replaying twice yields identical results.
+    #[test]
+    fn replayed_batches_match_scalar_trace_replays(
+        spec in arb_spec(),
+        (params, profile) in arb_point(),
+        width in 1usize..33,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let seeds = lane_seeds(master, width);
+        let mut batch_buffer = BatchTraceBuffer::new(*engine.failure_model(), &seeds);
+        let mut scalar_buffer = engine.trace_buffer(0);
+        for protocol in Protocol::all() {
+            let first = simulate_profile_batch_replay(&engine, protocol, &profile, &mut batch_buffer);
+            let second = simulate_profile_batch_replay(&engine, protocol, &profile, &mut batch_buffer);
+            prop_assert_eq!(&first, &second);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                scalar_buffer.reset(seed);
+                let scalar = engine.simulate_profile_replay(protocol, &profile, &mut scalar_buffer);
+                assert_bit_identical(
+                    &first[lane],
+                    &scalar,
+                    &format!("replay {spec} {protocol:?} lane {lane}"),
+                );
+            }
+        }
+    }
+
+    /// Antithetic partner sequences: every lane equals the scalar antithetic
+    /// replay of its seed.
+    #[test]
+    fn antithetic_batches_match_scalar_antithetic_replays(
+        spec in arb_spec(),
+        (params, profile) in arb_point(),
+        width in 1usize..33,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let seeds = lane_seeds(master, width);
+        let mut scalar_buffer = engine.trace_buffer(0);
+        for protocol in Protocol::all() {
+            let batch = simulate_profile_batch_antithetic(&engine, protocol, &profile, &seeds);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                scalar_buffer.reset_antithetic(seed);
+                let scalar = engine.simulate_profile_replay(protocol, &profile, &mut scalar_buffer);
+                assert_bit_identical(
+                    &batch[lane],
+                    &scalar,
+                    &format!("antithetic {spec} {protocol:?} lane {lane}"),
+                );
+            }
+        }
+    }
+
+    /// Driver level: feeding the accumulator in batch-sized blocks — with a
+    /// lane width that does NOT divide the replication blocks, forcing
+    /// ragged tail batches — leaves the Welford state bit-identical to the
+    /// scalar replication loop, for plain and antithetic plans alike.
+    #[test]
+    fn batch_driver_accumulators_are_bit_identical_across_ragged_widths(
+        spec in arb_spec(),
+        (params, profile) in arb_point(),
+        total in 1usize..90,
+        lanes in 1usize..40,
+        antithetic_bit in 0usize..2,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let plan =
+            ReplicationPlan::new(ReplicationBudget::Fixed(total)).antithetic(antithetic_bit == 1);
+        for protocol in Protocol::all() {
+            let scalar = accumulate_profile_engine(&engine, protocol, &profile, plan, master);
+            let batch =
+                accumulate_profile_engine_batch(&engine, protocol, &profile, plan, master, lanes);
+            assert_eq!(scalar, batch, "{spec} {protocol:?} lanes {lanes}");
+        }
+    }
+}
+
+/// The production batch widths, exactly: every protocol × failure family at
+/// widths 128 and 256 (and a ragged 193) against the scalar oracle, on the
+/// paper's figure-7 point and a 3-epoch profile.
+#[test]
+fn production_widths_are_bit_exact() {
+    for spec in [
+        FailureSpec::Exponential,
+        FailureSpec::Weibull { shape: 0.7 },
+        FailureSpec::Weibull { shape: 1.4 },
+    ] {
+        let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let profile = ApplicationProfile::from_params_repeated(&params, 3);
+        for width in [128usize, 193, 256] {
+            let seeds = lane_seeds(0xFAB5_EED5 ^ width as u64, width);
+            for protocol in Protocol::all() {
+                let batch = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+                for (lane, &seed) in seeds.iter().enumerate() {
+                    let scalar = engine.simulate_profile(protocol, &profile, seed);
+                    assert_bit_identical(
+                        &batch[lane],
+                        &scalar,
+                        &format!("{spec} {protocol:?} width {width} lane {lane}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Adaptive budgets stop on the same block boundary with the same state no
+/// matter the lane width — including widths larger than the whole budget.
+#[test]
+fn adaptive_stopping_is_width_invariant() {
+    let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+    let engine = Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: 0.7 }).unwrap();
+    let profile = ApplicationProfile::from_params(&params);
+    let budget = ReplicationBudget::Adaptive {
+        rel_precision: 0.05,
+        min: 60,
+        max: 500,
+    };
+    for antithetic in [false, true] {
+        let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+        let scalar =
+            accumulate_profile_engine(&engine, Protocol::AbftPeriodicCkpt, &profile, plan, 11);
+        for lanes in [1usize, 33, 128, 256, 1024] {
+            let batch = accumulate_profile_engine_batch(
+                &engine,
+                Protocol::AbftPeriodicCkpt,
+                &profile,
+                plan,
+                11,
+                lanes,
+            );
+            assert_eq!(scalar, batch, "antithetic={antithetic} lanes={lanes}");
+        }
+    }
+}
+
+/// Paired common-random-numbers accumulation (the crossover machinery's
+/// engine) survives batching bit for bit: marginals, per-trace deltas and
+/// the paired-delta stopping rule.
+#[test]
+fn paired_accumulation_is_bit_identical_under_batching() {
+    let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+    let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+    for spec in [FailureSpec::Exponential, FailureSpec::Weibull { shape: 0.7 }] {
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let profile = ApplicationProfile::from_params(&params);
+        for budget in [
+            ReplicationBudget::Fixed(137), // ragged against every width below
+            ReplicationBudget::AdaptiveDelta {
+                rel_precision: 0.05,
+                min: 60,
+                max: 400,
+            },
+        ] {
+            for antithetic in [false, true] {
+                let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+                let scalar = accumulate_paired_engine(&engine, &protocols, &profile, plan, 29);
+                for lanes in [1usize, 50, 128] {
+                    let batch = accumulate_paired_engine_batch(
+                        &engine, &protocols, &profile, plan, 29, lanes,
+                    );
+                    assert_eq!(
+                        scalar, batch,
+                        "{spec} {budget:?} antithetic={antithetic} lanes={lanes}"
+                    );
+                }
+            }
+        }
+    }
+}
