@@ -31,6 +31,24 @@ fn host_logical_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The uniform host block every reporter embeds: the logical core count
+/// and, on single-core hosts, an explicit annotation instead of a silently
+/// meaningless parallel figure (grid- and point-parallel paths collapse to
+/// serial there, so any recorded speedup measures engine substitution
+/// only).
+fn host_json_fields() -> String {
+    let cores = host_logical_cores();
+    if cores == 1 {
+        format!(
+            "\"host_logical_cores\": {cores}, \"single_core_annotation\": \
+             \"single logical core: thread-parallel paths collapse to \
+             serial; speedups measure engine substitution only\""
+        )
+    } else {
+        format!("\"host_logical_cores\": {cores}")
+    }
+}
+
 /// A reduced Figure-7 grid: 4 MTBF x 3 alpha points, 3 protocols, 25
 /// replications per task = 36 tasks, 900 simulated executions.
 fn reduced_fig7() -> SweepSpec {
@@ -75,11 +93,11 @@ fn report_json(c: &mut Criterion) {
         * spec.protocols.len()) as f64;
     println!(
         "{{\"bench\": \"full_grid_sweep\", \"grid\": \"fig7 4x3, 3 protocols, 25 replications\", \
-         \"tasks\": {tasks}, \"host_logical_cores\": {}, \"threads\": {}, \
+         \"tasks\": {tasks}, {}, \"threads\": {}, \
          \"serial_seconds\": {serial:.4}, \"parallel_seconds\": {parallel:.4}, \
          \"serial_tasks_per_s\": {:.1}, \"parallel_tasks_per_s\": {:.1}, \
          \"speedup\": {:.2}}}",
-        host_logical_cores(),
+        host_json_fields(),
         rayon::current_num_threads(),
         tasks / serial,
         tasks / parallel,
@@ -162,14 +180,14 @@ fn report_adaptive_json(c: &mut Criterion) {
     };
     println!(
         "{{\"bench\": \"adaptive_vs_fixed\", \"grid\": \"{grid_label}\", \
-         \"host_logical_cores\": {}, \
+         {}, \
          \"threads\": 1, \"fixed_replications\": {fixed_reps}, \
          \"target_rel_ci95\": {target:.5}, \
          \"fixed_seconds\": {fixed_seconds:.4}, \"adaptive_seconds\": {adaptive_seconds:.4}, \
          \"fixed_total_replications\": {}, \"adaptive_total_replications\": {}, \
          \"adaptive_reps_per_task\": [{reps_list}], \
          \"wall_clock_speedup\": {:.2}}}",
-        host_logical_cores(),
+        host_json_fields(),
         fixed.total_replications(),
         adaptive.total_replications(),
         fixed_seconds / adaptive_seconds,
@@ -187,7 +205,7 @@ fn report_adaptive_json(c: &mut Criterion) {
 fn report_model_gap_json(c: &mut Criterion) {
     use ft_platform::failure::FailureSpec;
     let reps = if smoke() { 40 } else { 300 };
-    let variants: Vec<String> = [1.0, 0.7, 0.5]
+    let variants: Vec<String> = [1.0, 1.5, 0.7, 0.5]
         .iter()
         .map(|&shape| {
             let results = SweepSpec::new("model gap", figure7_base())
@@ -210,9 +228,9 @@ fn report_model_gap_json(c: &mut Criterion) {
         .collect();
     println!(
         "{{\"bench\": \"model_gap\", \"grid\": \"fig7 headline point (alpha 0.5, mtbf 120 min), 3 protocols\", \
-         \"host_logical_cores\": {}, \"replications\": {reps}, \
+         {}, \"replications\": {reps}, \
          \"variants\": [{}]}}",
-        host_logical_cores(),
+        host_json_fields(),
         variants.join(", "),
     );
     c.bench_function("sweep/model_gap_report_overhead", |b| {
@@ -226,7 +244,11 @@ fn report_model_gap_json(c: &mut Criterion) {
 /// at several lane widths.  Because the batch engine is bit-exact, every
 /// run's `results` are asserted identical to the scalar run's before any
 /// timing is reported — the speedup is a pure engine substitution.
-fn report_batch_grid(name: &str, base: SweepSpec) -> String {
+/// When `guard_no_regression` is set (the fast-path-bound sparse grid), the
+/// reporter doubles as a CI no-regression guard: every batch width must
+/// sustain at least the scalar engine's replication throughput, otherwise
+/// the bench panics and the smoke run fails.
+fn report_batch_grid(name: &str, base: SweepSpec, guard_no_regression: bool) -> String {
     let time = |spec: &SweepSpec| {
         let runs = if smoke() { 1 } else { 3 };
         let mut best = f64::INFINITY;
@@ -255,6 +277,13 @@ fn report_batch_grid(name: &str, base: SweepSpec) -> String {
                 batch.results, scalar.results,
                 "batch engine must be bit-exact with the scalar engine"
             );
+            if guard_no_regression {
+                assert!(
+                    seconds <= scalar_seconds,
+                    "batch regression on '{name}': {lanes} lanes took {seconds:.4}s \
+                     vs scalar {scalar_seconds:.4}s"
+                );
+            }
             format!(
                 "{{\"batch_lanes\": {lanes}, \"seconds\": {seconds:.4}, \
                  \"replications_per_s\": {:.0}, \"speedup\": {:.2}}}",
@@ -291,26 +320,167 @@ fn report_batch_json(c: &mut Criterion) {
         .axis(Axis::linspace(Parameter::Alpha, 0.0, 1.0, 3))
         .replications(reps);
     let grids = [
-        report_batch_grid(&format!("fig7 4x3, 3 protocols, {reps} replications"), fig7),
+        report_batch_grid(
+            &format!("fig7 4x3, 3 protocols, {reps} replications"),
+            fig7,
+            false,
+        ),
         report_batch_grid(
             &format!("sparse MTBF 16-64h 4x3, 3 protocols, {reps} replications"),
             sparse,
+            true,
         ),
     ];
     println!(
         "{{\"bench\": \"batch_engine\", \
          \"source\": \"cargo bench -p ft-bench --bench full_grid_sweep \
          (criterion harness=false, vendored stand-in)\", \
-         \"host_logical_cores\": {}, \"threads\": 1, \
+         {}, \"threads\": 1, \
          \"note\": \"single-core SSE2-only host; fig7 grid is failure-dominated \
-         (Amdahl-bound on the scalar-verbatim retry loops), sparse grid is \
-         fast-path-bound\", \
+         (Amdahl-bound on the interrupt redraws), sparse grid is \
+         fast-path-bound; sparse grid doubles as the batch-vs-scalar \
+         no-regression guard\", \
          \"grids\": [{}]}}",
-        host_logical_cores(),
+        host_json_fields(),
         grids.join(", "),
     );
     c.bench_function("sweep/batch_report_overhead", |b| {
         b.iter(|| black_box(grids.len()))
+    });
+}
+
+/// Intra-point scaling of the parallel batch driver, the
+/// `BENCH_point_threads.json` payload: one sparse sweep point with a large
+/// replication budget, run through the batch engine at `--point-threads`
+/// 1, 2 and 4.  Every thread count's results are asserted bit-identical to
+/// the serial driver's before any timing is reported; on a single-core
+/// host the figure records the (annotated) wave-dispatch overhead rather
+/// than a speedup.
+fn report_point_threads_json(c: &mut Criterion) {
+    let reps = if smoke() { 200 } else { 2_000 };
+    let point = |threads: usize| {
+        SweepSpec::new("point-threads", figure7_base())
+            .axis(Axis::values(Parameter::Mtbf, vec![minutes(1_920.0)]))
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .replications(reps)
+            .batch_lanes(64)
+            .point_threads(threads)
+    };
+    let time = |spec: &SweepSpec| {
+        let runs = if smoke() { 1 } else { 3 };
+        let mut best = f64::INFINITY;
+        let mut results = None;
+        for _ in 0..runs {
+            let t = Instant::now();
+            let r = black_box(spec.run_serial().unwrap());
+            best = best.min(t.elapsed().as_secs_f64());
+            results = Some(r);
+        }
+        (best, results.expect("at least one run"))
+    };
+    let (serial_seconds, serial) = time(&point(1));
+    let variants: Vec<String> = [2usize, 4]
+        .iter()
+        .map(|&threads| {
+            let (seconds, parallel) = time(&point(threads));
+            assert_eq!(
+                parallel.results, serial.results,
+                "parallel block driver must be bit-identical to the serial driver"
+            );
+            format!(
+                "{{\"point_threads\": {threads}, \"seconds\": {seconds:.4}, \
+                 \"speedup\": {:.2}}}",
+                serial_seconds / seconds,
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\": \"point_threads_scaling\", \
+         \"grid\": \"sparse point (mtbf 32h, alpha 0.5), 3 protocols, {reps} replications, 64 lanes\", \
+         {}, \
+         \"serial_seconds\": {serial_seconds:.4}, \
+         \"variants\": [{}]}}",
+        host_json_fields(),
+        variants.join(", "),
+    );
+    c.bench_function("sweep/point_threads_report_overhead", |b| {
+        b.iter(|| black_box(variants.len()))
+    });
+}
+
+/// Columnar-sampler micro-bench, cheap enough to ride `FT_BENCH_SMOKE`:
+/// the bulk `fill_next_failures` pipeline versus the scalar per-lane
+/// `next_failure` loop it replaced, per failure family, with the columns
+/// asserted bit-identical before any throughput is reported.
+fn report_sampler_json(c: &mut Criterion) {
+    use ft_platform::batch::{BatchFailureSource, BatchFailureStream};
+    use ft_platform::failure::{AnyFailureModel, ExponentialFailures, WeibullFailures};
+    use ft_platform::rng::derive_seeds;
+    use ft_platform::units::hours;
+
+    let lanes = 256usize;
+    let rounds = if smoke() { 2_000 } else { 20_000 };
+    let seeds = derive_seeds(0xC01_0A5, lanes);
+    let models: Vec<(&str, AnyFailureModel)> = vec![
+        (
+            "exponential",
+            AnyFailureModel::Exponential(ExponentialFailures::new(hours(2.0)).unwrap()),
+        ),
+        (
+            "weibull(k=0.7)",
+            AnyFailureModel::Weibull(WeibullFailures::new(hours(2.0), 0.7).unwrap()),
+        ),
+    ];
+    let variants: Vec<String> = models
+        .iter()
+        .map(|(label, model)| {
+            let mut out = vec![0.0f64; lanes];
+            // Scalar baseline: one next_failure call per lane per round.
+            let mut stream = BatchFailureStream::new(*model, &seeds);
+            let t = Instant::now();
+            for _ in 0..rounds {
+                for (lane, slot) in out.iter_mut().enumerate() {
+                    *slot = black_box(stream.next_failure(lane));
+                }
+            }
+            let scalar_seconds = t.elapsed().as_secs_f64();
+            let scalar_last = out.clone();
+            // Columnar pipeline from the same seeds.
+            stream.reset(&seeds);
+            let t = Instant::now();
+            for _ in 0..rounds {
+                stream.fill_next_failures(lanes, black_box(&mut out));
+            }
+            let columnar_seconds = t.elapsed().as_secs_f64();
+            assert_eq!(
+                scalar_last
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "columnar sampler must be bit-identical to scalar draws ({label})"
+            );
+            let draws = (lanes * rounds) as f64;
+            format!(
+                "{{\"model\": \"{label}\", \
+                 \"scalar_draws_per_s\": {:.0}, \"columnar_draws_per_s\": {:.0}, \
+                 \"speedup\": {:.2}}}",
+                draws / scalar_seconds,
+                draws / columnar_seconds,
+                scalar_seconds / columnar_seconds,
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\": \"sampler_fill\", \
+         \"shape\": \"{lanes} lanes x {rounds} rounds per model\", \
+         {}, \
+         \"variants\": [{}]}}",
+        host_json_fields(),
+        variants.join(", "),
+    );
+    c.bench_function("sweep/sampler_report_overhead", |b| {
+        b.iter(|| black_box(variants.len()))
     });
 }
 
@@ -320,6 +490,8 @@ criterion_group!(
     report_json,
     report_adaptive_json,
     report_model_gap_json,
-    report_batch_json
+    report_batch_json,
+    report_point_threads_json,
+    report_sampler_json
 );
 criterion_main!(benches);

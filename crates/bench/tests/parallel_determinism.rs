@@ -91,6 +91,73 @@ fn batch_lane_widths_are_schedule_independent_and_width_invariant() {
 }
 
 #[test]
+fn point_threads_are_schedule_independent_and_thread_count_invariant() {
+    // The intra-point parallel block driver must compose with grid-level
+    // rayon parallelism without perturbing a bit: at every `point_threads`
+    // the sweep reproduces the fully serial (point_threads = 1) results,
+    // whichever of the two parallelism layers actually ran the work.
+    for budget in [
+        ReplicationBudget::Fixed(45),
+        ReplicationBudget::Adaptive {
+            rel_precision: 0.10,
+            min: 20,
+            max: 200,
+        },
+    ] {
+        let serial = small_fig7_grid()
+            .budget(budget)
+            .batch_lanes(64)
+            .point_threads(1);
+        let baseline = serial.run_serial().unwrap();
+        for threads in [0usize, 2, 4] {
+            let spec = small_fig7_grid()
+                .budget(budget)
+                .batch_lanes(64)
+                .point_threads(threads);
+            assert_parallel_matches_serial(&format!("{budget:?} point threads {threads}"), &spec);
+            assert_eq!(
+                spec.run().unwrap().results,
+                baseline.results,
+                "{budget:?} point threads {threads} drifted from the serial block driver"
+            );
+        }
+    }
+}
+
+#[test]
+fn paired_point_threads_are_thread_count_invariant() {
+    // Same contract for the paired (common-random-numbers) arm, whose
+    // stopping rule reads per-trace deltas accumulated in replication order.
+    let serial = small_fig7_grid()
+        .paired(true)
+        .budget(ReplicationBudget::AdaptiveDelta {
+            rel_precision: 0.10,
+            min: 20,
+            max: 200,
+        })
+        .batch_lanes(32)
+        .point_threads(1);
+    let baseline = serial.run_serial().unwrap();
+    for threads in [2usize, 3] {
+        let spec = small_fig7_grid()
+            .paired(true)
+            .budget(ReplicationBudget::AdaptiveDelta {
+                rel_precision: 0.10,
+                min: 20,
+                max: 200,
+            })
+            .batch_lanes(32)
+            .point_threads(threads);
+        assert_parallel_matches_serial(&format!("paired point threads {threads}"), &spec);
+        assert_eq!(
+            spec.run().unwrap().results,
+            baseline.results,
+            "paired point threads {threads} drifted from the serial block driver"
+        );
+    }
+}
+
+#[test]
 fn scenario_grids_with_model_gap_are_schedule_independent() {
     // Scenario (weak-scaling) grids derive per-point parameters, and the
     // model-gap arm attaches model wastes alongside the simulation.

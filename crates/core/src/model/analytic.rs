@@ -30,13 +30,20 @@
 //! ```
 //!
 //! (`γ` the lower incomplete Gamma function — see
-//! `ft_platform::special`), applied as the *ratio* correction
-//! `rework = (extent/2) · E_k[X|X≤τ] / E_1[X|X≤τ]`, and solves the balance
-//! condition `C/P = rework(P)/(µ − D − R)` by fixed point for the corrected
-//! period.  Both corrections are exact identities at `k = 1` (the ratio is
-//! literally `x/x` and the fixed point starts converged), so the Weibull
-//! model degenerates **bit-for-bit** to the exponential one — the property
-//! `tests/weibull_model.rs` pins across the Figure 8–10 grids.
+//! `ft_platform::special`), *blended* with the uniform-strike value `τ/2`
+//! on the first-arrival mass `F_k(τ)` and applied as the ratio correction
+//!
+//! ```text
+//! rework = (extent/2) · blend_k(τ) / blend_1(τ),
+//! blend_k(τ) = F_k(τ)·E_k[X|X≤τ] + (1 − F_k(τ))·τ/2
+//! ```
+//!
+//! and solves the balance condition `C/P = rework(P)/(µ − D − R)` by fixed
+//! point for the corrected period.  Both corrections are exact identities at
+//! `k = 1` (the ratio is literally `x/x` and the fixed point starts
+//! converged), so the Weibull model degenerates **bit-for-bit** to the
+//! exponential one — the property `tests/weibull_model.rs` pins across the
+//! Figure 8–10 grids.
 //!
 //! [`AnyWasteModel::from_spec`] dispatches a [`FailureSpec`] to the matching
 //! model, so the analytic arm and the simulation clock of a sweep always
@@ -139,20 +146,30 @@ impl WasteModel for FirstOrderExponential {
 /// The exponential derivation loses `extent/2` per failure because a
 /// memoryless failure falls uniformly inside the window it interrupts.
 /// Under a Weibull clock the failure *age* within the window follows the
-/// inter-arrival law conditioned below the window extent (the simulator's
-/// failure clock renews at every failure), so the expected rework becomes
-/// the conditional mean `E_k[X | X ≤ τ]` — an incomplete-Gamma moment.  The
-/// model applies it as a ratio against the same moment at `k = 1`:
+/// inter-arrival law conditioned below the window extent **when the window
+/// starts at a clock renewal** — i.e. when the interrupting failure is the
+/// first arrival after the previous one.  That happens with probability
+/// `F_k(τ)`; otherwise the strike lands deep into the clock's life where
+/// the hazard is locally flat and the strike age is near-uniform, giving
+/// `τ/2` back.  The model therefore blends the conditional mean
+/// `E_k[X | X ≤ τ]` (an incomplete-Gamma moment) with `τ/2` on exactly
+/// those weights and applies the blend as a ratio against the same
+/// expression at `k = 1`:
 ///
 /// ```text
-/// rework_k(τ) = (τ/2) · E_k[X | X ≤ τ] / E₁[X | X ≤ τ]
+/// rework_k(τ) = (τ/2) · blend_k(τ) / blend₁(τ),
+/// blend_k(τ) = F_k(τ)·E_k[X | X ≤ τ] + (1 − F_k(τ))·τ/2
 /// ```
 ///
 /// which keeps the `k = 1` limit an *exact identity* (the ratio is `x/x`)
 /// rather than an approximation: at `k = 1` every prediction is bit-equal to
 /// [`FirstOrderExponential`]'s.  For `k < 1` the ratio is below one
 /// (clustered failures strike early and destroy little), for `k > 1` above
-/// one — matching the direction the simulation measures.
+/// one — matching the direction the simulation measures.  The unblended
+/// ratio `E_k/E₁` overshoots for wear-out clocks (−0.040 waste versus the
+/// simulation at `k = 1.5` on the Figure-7 base point); the `F_k(τ)`
+/// weighting removes the overshoot while leaving the bursty regime's
+/// correction intact.
 ///
 /// The corrected optimal period solves the balance condition
 /// `C/P = rework_k(P) / (µ − D − R)` (the generalisation of Equation (11),
@@ -181,15 +198,40 @@ impl WeibullCorrected {
         self.shape
     }
 
-    /// The conditional-age ratio `E_k[X | X ≤ τ] / E₁[X | X ≤ τ]` — the
-    /// multiplicative correction on the exponential `τ/2` rework.  Exactly
-    /// `1` at `k = 1` (numerator and denominator are the same expression).
+    /// The blended conditional-age rework term for one shape: the
+    /// conditional mean `E_k[X | X ≤ τ]` weighted by `F_k(τ)` — the
+    /// probability that the *first* arrival of a freshly renewed clock falls
+    /// inside the window — blended with the uniform-strike value `τ/2` on
+    /// the complementary weight.  Failures that are not the first arrival
+    /// after a renewal strike far from the clock origin, where the Weibull
+    /// hazard is locally flat and the strike age is near-uniform; weighting
+    /// the shape-sensitive moment by exactly the first-arrival mass keeps
+    /// the bursty correction and removes the wear-out overshoot the pure
+    /// conditional-age ratio exhibits (≈ −0.040 waste at `k = 1.5`).
+    fn blended_rework(shape: f64, extent: f64, mtbf: f64) -> f64 {
+        let spec = FailureSpec::Weibull { shape };
+        let in_window = spec.cdf(mtbf, extent);
+        let conditional = spec.conditional_mean_below(mtbf, extent);
+        in_window * conditional + (1.0 - in_window) * (extent / 2.0)
+    }
+
+    /// The blended conditional-age ratio
+    ///
+    /// ```text
+    /// F_k(τ)·E_k[X|X≤τ] + (1 − F_k(τ))·τ/2
+    /// ─────────────────────────────────────
+    /// F₁(τ)·E₁[X|X≤τ] + (1 − F₁(τ))·τ/2
+    /// ```
+    ///
+    /// — the multiplicative correction on the exponential `τ/2` rework.
+    /// Exactly `1` at `k = 1` (numerator and denominator are the same
+    /// expression, so the ratio is literally `x/x`).
     pub fn rework_ratio(&self, extent: f64, mtbf: f64) -> f64 {
         if extent <= 0.0 {
             return 1.0;
         }
-        let ours = FailureSpec::Weibull { shape: self.shape }.conditional_mean_below(mtbf, extent);
-        let exponential = FailureSpec::Weibull { shape: 1.0 }.conditional_mean_below(mtbf, extent);
+        let ours = Self::blended_rework(self.shape, extent, mtbf);
+        let exponential = Self::blended_rework(1.0, extent, mtbf);
         if exponential > 0.0 && ours.is_finite() {
             ours / exponential
         } else {
@@ -384,6 +426,40 @@ mod tests {
         let w = WeibullCorrected::new(2.0).unwrap();
         assert!(w.rework_ratio(p1, mu) > 1.0);
         assert!(w.optimal_period(c, mu, d, r).unwrap() < p1);
+    }
+
+    #[test]
+    fn wear_out_blend_dampens_the_pure_conditional_age_ratio() {
+        // The regression the blend exists for: for k > 1 the unblended
+        // ratio E_k/E₁ over-corrects (−0.040 waste at k = 1.5 versus the
+        // simulation), so the blended ratio must sit strictly between 1 and
+        // the unblended value.  For k < 1 the bursty correction must
+        // survive the blend (ratio still well below 1).
+        let mu = hours(2.0);
+        let pure_ratio = |shape: f64, tau: f64| {
+            FailureSpec::Weibull { shape }.conditional_mean_below(mu, tau)
+                / FailureSpec::Weibull { shape: 1.0 }.conditional_mean_below(mu, tau)
+        };
+        for tau in [600.0, 2_801.0, 7_200.0] {
+            for shape in [1.3, 1.5, 2.0] {
+                let w = WeibullCorrected::new(shape).unwrap();
+                let blended = w.rework_ratio(tau, mu);
+                let pure = pure_ratio(shape, tau);
+                assert!(
+                    1.0 < blended && blended < pure,
+                    "k={shape} tau={tau}: blended {blended} vs pure {pure}"
+                );
+            }
+            for shape in [0.5, 0.7] {
+                let w = WeibullCorrected::new(shape).unwrap();
+                let blended = w.rework_ratio(tau, mu);
+                let pure = pure_ratio(shape, tau);
+                assert!(
+                    pure < blended && blended < 1.0,
+                    "k={shape} tau={tau}: blended {blended} vs pure {pure}"
+                );
+            }
+        }
     }
 
     #[test]

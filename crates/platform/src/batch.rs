@@ -24,8 +24,11 @@
 //! any order yields the same per-lane sequences as running them alone.
 
 use crate::failure::FailureModel;
-use crate::rng::{AntitheticRng, Xoshiro256};
+use crate::rng::{AntitheticRng, DeterministicRng, Xoshiro256};
 use crate::trace::TraceBuffer;
+
+/// The open-uniform grid step `2⁻⁵³` of [`DeterministicRng::next_f64`].
+const UNIFORM_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
 
 /// A lane-indexed source of *absolute* failure times: the batch counterpart
 /// of [`crate::failure::FailureSource`].
@@ -42,6 +45,23 @@ pub trait BatchFailureSource {
 
     /// Mean inter-arrival time of the underlying model (the platform MTBF).
     fn mean_interarrival(&self) -> f64;
+
+    /// Fills `out[lane]` with the next failure time of every lane in
+    /// `0..lanes`, advancing each lane by exactly one draw — bit-identical
+    /// to, and interchangeable with, one [`BatchFailureSource::next_failure`]
+    /// call per lane in ascending lane order.
+    ///
+    /// The default is that scalar loop; sources backed by single-uniform
+    /// inverse-CDF models override it with a **columnar** pipeline (draw the
+    /// raw u64s, map to open uniforms, run the `ln`/`powf` inverse CDF over a
+    /// contiguous column, accumulate absolute times) that performs the same
+    /// per-lane float operations in the same order, so the override is
+    /// equally bit-exact while the transform loop vectorises.
+    fn fill_next_failures(&mut self, lanes: usize, out: &mut [f64]) {
+        for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+            *slot = self.next_failure(lane);
+        }
+    }
 }
 
 /// One independent failure-time stream per lane.
@@ -125,6 +145,36 @@ impl<M: FailureModel> BatchFailureSource for BatchFailureStream<M> {
     #[inline]
     fn mean_interarrival(&self) -> f64 {
         self.model.mean()
+    }
+
+    /// Columnar bulk draw: raw u64 column (antithetic complement applied on
+    /// the raw bits, exactly like [`AntitheticRng`]) → open-uniform column →
+    /// one in-place inverse-CDF transform → absolute-time accumulation.
+    /// Per lane this performs the identical float operations in the identical
+    /// order as [`BatchFailureSource::next_failure`], so it is bit-exact; the
+    /// model dispatch happens once per column instead of once per lane.
+    fn fill_next_failures(&mut self, lanes: usize, out: &mut [f64]) {
+        debug_assert!(lanes <= self.rngs.len());
+        if !self.model.single_uniform() {
+            for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+                *slot = self.next_failure(lane);
+            }
+            return;
+        }
+        if self.antithetic {
+            for (u, rng) in out[..lanes].iter_mut().zip(&mut self.rngs) {
+                *u = 1.0 - ((!rng.next_u64()) >> 11) as f64 * UNIFORM_SCALE;
+            }
+        } else {
+            for (u, rng) in out[..lanes].iter_mut().zip(&mut self.rngs) {
+                *u = 1.0 - (rng.next_u64() >> 11) as f64 * UNIFORM_SCALE;
+            }
+        }
+        self.model.interarrivals_from_open(&mut out[..lanes]);
+        for (t, now) in out[..lanes].iter_mut().zip(&mut self.now) {
+            *now += *t;
+            *t = *now;
+        }
     }
 }
 
@@ -228,6 +278,48 @@ impl<M: FailureModel + Clone> BatchFailureSource for BatchTraceCursor<'_, M> {
     #[inline]
     fn mean_interarrival(&self) -> f64 {
         self.buffer.model.mean()
+    }
+
+    /// Columnar bulk replay: lanes whose next index is already recorded read
+    /// the memoised time; lanes sitting exactly at their recording frontier
+    /// contribute one open uniform to a contiguous column that goes through
+    /// the inverse CDF in a single [`FailureModel::interarrivals_from_open`]
+    /// call before each gap is committed back in lane order.  Both halves
+    /// replicate the scalar [`TraceBuffer::time`] float operations exactly.
+    fn fill_next_failures(&mut self, lanes: usize, out: &mut [f64]) {
+        debug_assert!(lanes <= self.next.len());
+        if !self.buffer.model.single_uniform() {
+            for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+                *slot = self.next_failure(lane);
+            }
+            return;
+        }
+        // Lanes needing exactly one fresh draw, in ascending lane order, and
+        // the open uniform each one drew.
+        let mut pending: Vec<u32> = Vec::new();
+        let mut open: Vec<f64> = Vec::new();
+        for (lane, slot) in out[..lanes].iter_mut().enumerate() {
+            let index = self.next[lane];
+            self.next[lane] += 1;
+            let buffer = &mut self.buffer.buffers[lane];
+            let sampled = buffer.sampled();
+            if index < sampled.len() {
+                *slot = sampled[index];
+            } else if index == sampled.len() {
+                pending.push(lane as u32);
+                open.push(buffer.next_open());
+            } else {
+                // Unreachable through this trait (each call advances a lane
+                // by one), kept as a scalar safety net.
+                *slot = buffer.time(index);
+            }
+        }
+        if !pending.is_empty() {
+            self.buffer.model.interarrivals_from_open(&mut open);
+            for (&lane, &gap) in pending.iter().zip(&open) {
+                out[lane as usize] = self.buffer.buffers[lane as usize].push_gap(gap);
+            }
+        }
     }
 }
 
@@ -359,5 +451,129 @@ mod tests {
         SeedStream::new(99).fill(&mut by_fill);
         let by_iter: Vec<u64> = SeedStream::new(99).take(10).collect();
         assert_eq!(by_fill, by_iter);
+    }
+
+    /// Drives `bulk` through the columnar fill and `scalar` through one
+    /// `next_failure` per lane, asserting bit-identity every round.
+    fn assert_fill_matches_scalar<B, S>(bulk: &mut B, scalar: &mut S, lanes: usize, rounds: usize)
+    where
+        B: BatchFailureSource,
+        S: BatchFailureSource,
+    {
+        let mut out = vec![0.0f64; lanes];
+        for round in 0..rounds {
+            bulk.fill_next_failures(lanes, &mut out);
+            for (lane, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    scalar.next_failure(lane).to_bits(),
+                    "round {round} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_fill_falls_back_to_scalar_for_multi_uniform_models() {
+        use crate::failure::FailureModel;
+        use crate::rng::DeterministicRng;
+
+        // A model that hides its single-uniform structure: the columnar
+        // overrides must take their scalar fallback branch and still match.
+        #[derive(Debug, Clone, Copy)]
+        struct Opaque(ExponentialFailures);
+        impl FailureModel for Opaque {
+            fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+                self.0.next_interarrival(rng)
+            }
+            fn mean(&self) -> f64 {
+                self.0.mean()
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+
+        let model = Opaque(ExponentialFailures::new(units::hours(3.0)).unwrap());
+        assert!(!crate::failure::FailureModel::single_uniform(&model));
+        let seeds = lane_seeds(9);
+        let mut bulk = BatchFailureStream::new(model, &seeds);
+        let mut scalar = BatchFailureStream::new(model, &seeds);
+        assert_fill_matches_scalar(&mut bulk, &mut scalar, seeds.len(), 6);
+
+        let mut bulk_trace = BatchTraceBuffer::new(model, &seeds);
+        let mut scalar_trace = BatchTraceBuffer::new(model, &seeds);
+        assert_fill_matches_scalar(
+            &mut bulk_trace.cursors(),
+            &mut scalar_trace.cursors(),
+            seeds.len(),
+            6,
+        );
+    }
+
+    mod bulk_fill_properties {
+        use super::*;
+        use crate::failure::FailureSpec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The tentpole bit-exactness contract: the columnar
+            /// `fill_next_failures` path equals one scalar `next_failure`
+            /// per lane, bit for bit, across distribution families, lane
+            /// widths, and all three source flavours (fresh, antithetic,
+            /// partially memoised replay).
+            #[test]
+            fn bulk_fill_is_bit_identical_to_scalar_draws(
+                family in 0u8..2,
+                shape in 0.5f64..1.6,
+                lanes in 1usize..48,
+                rounds in 1usize..6,
+                master in 0u64..u64::MAX,
+                mode in 0u8..3,
+            ) {
+                let spec = if family == 0 {
+                    FailureSpec::Exponential
+                } else {
+                    FailureSpec::Weibull { shape }
+                };
+                let model = spec.build(units::hours(2.0)).unwrap();
+                let mut seeds = vec![0u64; lanes];
+                SeedStream::new(master).fill(&mut seeds);
+                match mode {
+                    0 => {
+                        let mut bulk = BatchFailureStream::new(model, &seeds);
+                        let mut scalar = BatchFailureStream::new(model, &seeds);
+                        assert_fill_matches_scalar(&mut bulk, &mut scalar, lanes, rounds);
+                    }
+                    1 => {
+                        let mut bulk = BatchFailureStream::new(model, &seeds);
+                        let mut scalar = BatchFailureStream::new(model, &seeds);
+                        bulk.reset_antithetic(&seeds);
+                        scalar.reset_antithetic(&seeds);
+                        assert_fill_matches_scalar(&mut bulk, &mut scalar, lanes, rounds);
+                    }
+                    _ => {
+                        let mut bulk_trace = BatchTraceBuffer::new(model, &seeds);
+                        let mut scalar_trace = BatchTraceBuffer::new(model, &seeds);
+                        // Pre-memoise a ragged prefix on some lanes so the
+                        // bulk path mixes recorded reads with frontier
+                        // extensions inside one fill.
+                        for lane in 0..lanes {
+                            if lane % 3 == 0 {
+                                bulk_trace.lane(lane).time(1 + lane % 4);
+                            }
+                        }
+                        assert_fill_matches_scalar(
+                            &mut bulk_trace.cursors(),
+                            &mut scalar_trace.cursors(),
+                            lanes,
+                            rounds,
+                        );
+                    }
+                }
+            }
+        }
     }
 }

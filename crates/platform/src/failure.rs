@@ -23,6 +23,57 @@ pub trait FailureModel {
 
     /// Human-readable name of the model (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Whether every [`FailureModel::next_interarrival`] call consumes
+    /// **exactly one** open uniform — a single raw 64-bit draw mapped through
+    /// [`DeterministicRng::next_f64_open`].  Only such models are eligible
+    /// for the columnar [`FailureModel::interarrivals_from_open`] path; batch
+    /// sources fall back to scalar per-lane sampling when this is `false`.
+    ///
+    /// The conservative default is `false`; both inverse-CDF models of this
+    /// crate override it to `true`.
+    #[inline]
+    fn single_uniform(&self) -> bool {
+        false
+    }
+
+    /// Applies the inter-arrival inverse CDF to a whole column of open
+    /// uniforms `u ∈ (0, 1]` **in place**, turning each entry into the
+    /// inter-arrival time [`FailureModel::next_interarrival`] would sample
+    /// from that uniform — the columnar kernel of the batch engine's failure
+    /// sampling, where the `ln`/`powf` loop runs over a contiguous column
+    /// instead of being interleaved with per-lane RNG stepping.
+    ///
+    /// Contract: callers may only use this when
+    /// [`FailureModel::single_uniform`] is `true`, and implementations must
+    /// be **bit-identical** to the scalar sampler — the per-entry float
+    /// operations of the overrides below are exactly the scalar expressions,
+    /// evaluated in the scalar order.
+    ///
+    /// The default implementation achieves bit-identity mechanically: the
+    /// open uniform lies on the 53-bit grid (`u = m·2⁻⁵³` with integer `m`),
+    /// so `1 − u` and the rescale back to an integer are both exact, and the
+    /// reconstructed raw draw replayed through `next_interarrival` reproduces
+    /// the scalar result bit for bit.  Single-uniform models get the columnar
+    /// path for free; overriding with a fused loop is purely a throughput
+    /// refinement.
+    fn interarrivals_from_open(&self, open: &mut [f64]) {
+        for u in open.iter_mut() {
+            let high = ((1.0 - *u) * (1u64 << 53) as f64) as u64;
+            *u = self.next_interarrival(&mut ReplayOneRng(high << 11));
+        }
+    }
+}
+
+/// Adapter replaying one already-drawn raw output, so the default columnar
+/// transform can reuse `next_interarrival` verbatim on a reconstructed draw.
+struct ReplayOneRng(u64);
+
+impl DeterministicRng for ReplayOneRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0
+    }
 }
 
 /// Exponential (memoryless) failures with a fixed platform MTBF.
@@ -58,6 +109,18 @@ impl FailureModel for ExponentialFailures {
 
     fn name(&self) -> &'static str {
         "exponential"
+    }
+
+    #[inline]
+    fn single_uniform(&self) -> bool {
+        true
+    }
+
+    fn interarrivals_from_open(&self, open: &mut [f64]) {
+        // Exactly `DeterministicRng::exponential`'s expression per entry.
+        for u in open.iter_mut() {
+            *u = -self.mtbf * u.ln();
+        }
     }
 }
 
@@ -110,6 +173,20 @@ impl FailureModel for WeibullFailures {
 
     fn name(&self) -> &'static str {
         "weibull"
+    }
+
+    #[inline]
+    fn single_uniform(&self) -> bool {
+        true
+    }
+
+    fn interarrivals_from_open(&self, open: &mut [f64]) {
+        // Exactly `DeterministicRng::weibull`'s expression per entry; the
+        // hoisted `1/k` is the same division the scalar sampler performs.
+        let inv_shape = 1.0 / self.shape;
+        for u in open.iter_mut() {
+            *u = self.scale * (-u.ln()).powf(inv_shape);
+        }
     }
 }
 
@@ -309,6 +386,22 @@ impl FailureModel for AnyFailureModel {
         match self {
             AnyFailureModel::Exponential(m) => m.name(),
             AnyFailureModel::Weibull(m) => m.name(),
+        }
+    }
+
+    #[inline]
+    fn single_uniform(&self) -> bool {
+        match self {
+            AnyFailureModel::Exponential(m) => m.single_uniform(),
+            AnyFailureModel::Weibull(m) => m.single_uniform(),
+        }
+    }
+
+    fn interarrivals_from_open(&self, open: &mut [f64]) {
+        // One dispatch per column, not per lane.
+        match self {
+            AnyFailureModel::Exponential(m) => m.interarrivals_from_open(open),
+            AnyFailureModel::Weibull(m) => m.interarrivals_from_open(open),
         }
     }
 }
@@ -580,6 +673,56 @@ mod tests {
                 bare.next_interarrival(&mut rng_a).to_bits(),
                 wrapped.next_interarrival(&mut rng_b).to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn columnar_transform_is_bit_identical_to_scalar_sampling() {
+        // Both concrete models, the enum dispatch, and the mechanical
+        // bit-reconstruction default must all map the same open uniforms to
+        // the same inter-arrival bits as `next_interarrival`.
+        struct DefaultOnly(ExponentialFailures);
+        impl FailureModel for DefaultOnly {
+            fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+                self.0.next_interarrival(rng)
+            }
+            fn mean(&self) -> f64 {
+                self.0.mean()
+            }
+            fn name(&self) -> &'static str {
+                "default-only"
+            }
+            fn single_uniform(&self) -> bool {
+                true
+            }
+            // interarrivals_from_open deliberately NOT overridden.
+        }
+        let exp = ExponentialFailures::new(777.0).unwrap();
+        let models: Vec<Box<dyn FailureModel>> = vec![
+            Box::new(exp),
+            Box::new(WeibullFailures::new(500.0, 0.7).unwrap()),
+            Box::new(WeibullFailures::new(500.0, 1.6).unwrap()),
+            Box::new(FailureSpec::Weibull { shape: 0.7 }.build(500.0).unwrap()),
+            Box::new(FailureSpec::Exponential.build(777.0).unwrap()),
+            Box::new(DefaultOnly(exp)),
+        ];
+        for model in &models {
+            assert!(model.single_uniform(), "{}", model.name());
+            let mut rng = Xoshiro256::seed_from_u64(0xC01);
+            // Draw the column of open uniforms exactly as a batch source
+            // does, then replay the same raw stream through the scalar path.
+            let mut replay = Xoshiro256::seed_from_u64(0xC01);
+            let mut column: Vec<f64> = (0..257).map(|_| rng.next_f64_open()).collect();
+            model.interarrivals_from_open(&mut column);
+            for (i, &gap) in column.iter().enumerate() {
+                let scalar = model.next_interarrival(&mut replay);
+                assert_eq!(
+                    gap.to_bits(),
+                    scalar.to_bits(),
+                    "{} entry {i}: {gap} vs {scalar}",
+                    model.name()
+                );
+            }
         }
     }
 

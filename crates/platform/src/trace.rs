@@ -241,6 +241,33 @@ impl<M: FailureModel> TraceBuffer<M> {
         &self.times
     }
 
+    /// Draws the next **open uniform** of the current sequence — the exact
+    /// bits [`TraceBuffer::time`] would feed the inter-arrival transform
+    /// (antithetic complement included) — without applying the transform.
+    /// The batch replay cursor uses this to collect one column of uniforms
+    /// across lanes and apply the inverse CDF columnar; the draw must be
+    /// committed back with [`TraceBuffer::push_gap`].
+    #[inline]
+    pub(crate) fn next_open(&mut self) -> f64 {
+        let raw = if self.antithetic {
+            !self.rng.next_u64()
+        } else {
+            self.rng.next_u64()
+        };
+        1.0 - (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Appends one sampled inter-arrival `gap` to the recording and returns
+    /// the new absolute failure time — the bookkeeping half of
+    /// [`TraceBuffer::time`]'s lazy extension, split out for the columnar
+    /// batch replay path.
+    #[inline]
+    pub(crate) fn push_gap(&mut self, gap: f64) -> f64 {
+        self.last += gap;
+        self.times.push(self.last);
+        self.last
+    }
+
     /// The underlying inter-arrival model.
     #[inline]
     pub fn model(&self) -> &M {

@@ -54,7 +54,17 @@
 //!   push order, same adaptive stopping checks, bit-identical accumulator;
 //! * [`accumulate_paired_engine_batch`] — batch counterpart of
 //!   [`crate::replicate::accumulate_paired_engine`] (common random numbers
-//!   across protocols, paired-delta stopping).
+//!   across protocols, paired-delta stopping);
+//! * [`accumulate_profile_program_batch`] / [`accumulate_paired_programs_batch`]
+//!   — the same drivers over a pre-compiled (usually
+//!   [`BatchProgramCache`]d) program, with an intra-point `threads` knob
+//!   that splits replication blocks across OS threads while staying
+//!   bit-identical to the serial drivers (deterministic
+//!   [`SeedStream::nth_seed`] offsets, order-preserving merge, stopping
+//!   checks on the same block boundaries).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use ft_composite::scenario::ApplicationProfile;
 use ft_platform::batch::{BatchFailureSource, BatchFailureStream, BatchTraceBuffer};
@@ -63,7 +73,7 @@ use ft_platform::rng::SeedStream;
 
 use crate::engine::{Engine, PeriodPlan};
 use crate::protocols::{Protocol, SimOutcome};
-use crate::replicate::{PairedAccumulator, ReplicationPlan};
+use crate::replicate::{PairedAccumulator, ReplicationBudget, ReplicationPlan};
 use crate::stats::{OutcomeAccumulator, Welford};
 
 /// Default lane width of the batch engine: wide enough to amortise the
@@ -109,8 +119,11 @@ pub struct BatchState {
     now: Vec<f64>,
     next_failure: Vec<f64>,
     failures: Vec<usize>,
-    /// Scratch mask of lanes whose current step missed the fast path.
-    hit: Vec<bool>,
+    /// Dense worklist of the lanes whose current step missed the fast path,
+    /// in ascending lane order.  The slow path walks only this compacted
+    /// list, so a step with few interrupted lanes never re-reads the dead
+    /// ones.
+    interrupted: Vec<u32>,
 }
 
 impl BatchState {
@@ -127,7 +140,8 @@ impl BatchState {
 
     /// Resets to `source.lanes()` fresh lanes at time zero, drawing each
     /// lane's first failure — the batch counterpart of
-    /// [`crate::clock::SimClock::with_source`]'s eager first draw.
+    /// [`crate::clock::SimClock::with_source`]'s eager first draw, taken
+    /// through the source's columnar bulk path.
     fn reset<S: BatchFailureSource>(&mut self, source: &mut S) {
         let lanes = source.lanes();
         self.now.clear();
@@ -135,9 +149,9 @@ impl BatchState {
         self.failures.clear();
         self.failures.resize(lanes, 0);
         self.next_failure.clear();
-        self.next_failure.extend((0..lanes).map(|lane| source.next_failure(lane)));
-        self.hit.clear();
-        self.hit.resize(lanes, false);
+        self.next_failure.resize(lanes, 0.0);
+        source.fill_next_failures(lanes, &mut self.next_failure);
+        self.interrupted.clear();
     }
 
     /// Loads one lane's clock into registers for a slow-path excursion.
@@ -202,34 +216,42 @@ impl LaneClock {
 /// Advances every lane one failure-free step of `a + b` cost, branch-free:
 /// lanes whose optimistic end time `(now + a) + b` stays strictly before the
 /// next failure commit it (the exact float additions, in the exact order, of
-/// the scalar engine's first attempt); the rest are flagged in `hit`.
-/// Returns whether any lane was flagged.
+/// the scalar engine's first attempt); the rest are **compacted** into
+/// `interrupted`, a dense worklist of lane indices in ascending order.  The
+/// worklist write is unconditional with a predicated length bump, so the
+/// pass stays branch-free even when interrupts are common.
 #[inline]
-fn fast_pass_two(now: &mut [f64], next_failure: &[f64], hit: &mut [bool], a: f64, b: f64) -> bool {
-    let mut any = false;
-    for ((t, &nf), h) in now.iter_mut().zip(next_failure).zip(hit.iter_mut()) {
+fn fast_pass_two(now: &mut [f64], next_failure: &[f64], interrupted: &mut Vec<u32>, a: f64, b: f64) {
+    let lanes = now.len();
+    interrupted.clear();
+    interrupted.resize(lanes, 0);
+    let mut hits = 0usize;
+    for (lane, (t, &nf)) in now.iter_mut().zip(next_failure).enumerate() {
         let end = (*t + a) + b;
         let ok = end < nf;
         *t = if ok { end } else { *t };
-        *h = !ok;
-        any |= !ok;
+        interrupted[hits] = lane as u32;
+        hits += usize::from(!ok);
     }
-    any
+    interrupted.truncate(hits);
 }
 
 /// Single-addition counterpart of [`fast_pass_two`] for steps with one cost
 /// term.
 #[inline]
-fn fast_pass_one(now: &mut [f64], next_failure: &[f64], hit: &mut [bool], a: f64) -> bool {
-    let mut any = false;
-    for ((t, &nf), h) in now.iter_mut().zip(next_failure).zip(hit.iter_mut()) {
+fn fast_pass_one(now: &mut [f64], next_failure: &[f64], interrupted: &mut Vec<u32>, a: f64) {
+    let lanes = now.len();
+    interrupted.clear();
+    interrupted.resize(lanes, 0);
+    let mut hits = 0usize;
+    for (lane, (t, &nf)) in now.iter_mut().zip(next_failure).enumerate() {
         let end = *t + a;
         let ok = end < nf;
         *t = if ok { end } else { *t };
-        *h = !ok;
-        any |= !ok;
+        interrupted[hits] = lane as u32;
+        hits += usize::from(!ok);
     }
-    any
+    interrupted.truncate(hits);
 }
 
 impl BatchProgram {
@@ -324,44 +346,40 @@ impl BatchProgram {
     ///
     /// Each step first sweeps all lanes through a branch-free fast pass —
     /// two adds, a compare, and a select per lane over contiguous arrays —
-    /// committing every lane the step completes failure-free.  Only lanes
-    /// whose optimistic end time reached their next failure take the
-    /// scalar-verbatim slow path, with that lane's clock held in registers
-    /// for the retry loop.
+    /// committing every lane the step completes failure-free and compacting
+    /// the rest into a dense worklist of lane indices.  Only the worklist
+    /// lanes take the scalar-verbatim slow path, with each lane's clock held
+    /// in registers for the retry loop — no re-scan of the committed lanes.
     pub fn run<S: BatchFailureSource>(&self, source: &mut S, state: &mut BatchState) {
         state.reset(source);
         let lanes = state.lanes();
         for step in &self.steps {
-            let any = match *step {
+            match *step {
                 Step::Period { work, ckpt } => fast_pass_two(
                     &mut state.now[..lanes],
                     &state.next_failure[..lanes],
-                    &mut state.hit[..lanes],
+                    &mut state.interrupted,
                     work,
                     ckpt,
                 ),
                 Step::Forced { cost } | Step::AbftCkpt { cost } => fast_pass_one(
                     &mut state.now[..lanes],
                     &state.next_failure[..lanes],
-                    &mut state.hit[..lanes],
+                    &mut state.interrupted,
                     cost,
                 ),
                 Step::AbftWork { work } => fast_pass_one(
                     &mut state.now[..lanes],
                     &state.next_failure[..lanes],
-                    &mut state.hit[..lanes],
+                    &mut state.interrupted,
                     work,
                 ),
-            };
-            if !any {
-                continue;
             }
-            // Some lanes' steps may be interrupted: replay just those
-            // through the scalar-verbatim retry loops.
-            for lane in 0..lanes {
-                if !state.hit[lane] {
-                    continue;
-                }
+            // Interrupted lanes replay through the scalar-verbatim retry
+            // loops; indexing the worklist (instead of holding a borrow on
+            // it) keeps `state` free for the per-lane load/store.
+            for k in 0..state.interrupted.len() {
+                let lane = state.interrupted[k] as usize;
                 let mut clock = state.load(lane);
                 match *step {
                     Step::Period { work, ckpt } => {
@@ -587,6 +605,182 @@ pub fn simulate_profile_batch_replay<M: FailureModel + Clone>(
     (0..lanes).map(|lane| program.outcome(&state, lane)).collect()
 }
 
+/// A compiled-program cache keyed by the exact `(protocol, profile, plan)`
+/// triple, shared across the threads of a sweep executor.
+///
+/// Sweep grids revisit the same compiled step sequence many times — every
+/// period-plan candidate of a bisection, every replication budget probe —
+/// and [`BatchProgram::compile`] walks the whole profile each time.  The
+/// cache keys on the protocol, every epoch duration and every plan field *by
+/// bit pattern*, so two triples share a program only when compilation would
+/// be bit-identical anyway.
+#[derive(Debug, Default)]
+pub struct BatchProgramCache {
+    programs: Mutex<HashMap<ProgramKey, Arc<BatchProgram>>>,
+}
+
+/// Bit-pattern identity of a compilation input triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProgramKey {
+    protocol: Protocol,
+    epochs: Vec<(u64, u64)>,
+    plan: [u64; 10],
+}
+
+impl ProgramKey {
+    fn new(protocol: Protocol, profile: &ApplicationProfile, plan: &PeriodPlan) -> Self {
+        Self {
+            protocol,
+            epochs: profile
+                .epochs()
+                .iter()
+                .map(|e| (e.general.to_bits(), e.library.to_bits()))
+                .collect(),
+            plan: [
+                plan.full_period.to_bits(),
+                plan.library_period.to_bits(),
+                plan.ckpt_full.to_bits(),
+                plan.ckpt_library.to_bits(),
+                plan.ckpt_remainder.to_bits(),
+                plan.recovery.to_bits(),
+                plan.recovery_remainder.to_bits(),
+                plan.downtime.to_bits(),
+                plan.phi.to_bits(),
+                plan.abft_reconstruction.to_bits(),
+            ],
+        }
+    }
+}
+
+impl BatchProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The program compiled from `(protocol, profile, plan)`, compiling on
+    /// the first request and returning the cached copy afterwards.
+    pub fn get(
+        &self,
+        protocol: Protocol,
+        profile: &ApplicationProfile,
+        plan: &PeriodPlan,
+    ) -> Arc<BatchProgram> {
+        let key = ProgramKey::new(protocol, profile, plan);
+        let mut programs = self.programs.lock().expect("program cache poisoned");
+        Arc::clone(
+            programs
+                .entry(key)
+                .or_insert_with(|| Arc::new(BatchProgram::compile(protocol, profile, plan))),
+        )
+    }
+
+    /// Number of distinct compiled programs held.
+    pub fn len(&self) -> usize {
+        self.programs.lock().expect("program cache poisoned").len()
+    }
+
+    /// Whether the cache holds no program yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Resolves the `threads` knob of the intra-point drivers: `0` means "use
+/// the host's available parallelism", anything else is taken literally.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// The next speculative *wave* of replication blocks: block boundaries are a
+/// pure function of the budget and the replications already merged (see
+/// [`ReplicationBudget::next_block`]), so the parallel driver can lay out
+/// the blocks a wave executes before knowing whether stopping fires inside
+/// it.  The wave is capped at `threads` lane-width segments so at most one
+/// wave of work is ever speculated past a stopping decision.
+fn next_wave(
+    budget: &ReplicationBudget,
+    done: usize,
+    lanes: usize,
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut wave_done = done;
+    let mut segments = 0usize;
+    while segments < threads {
+        let block = budget.next_block(wave_done);
+        if block == 0 {
+            break;
+        }
+        blocks.push((wave_done, block));
+        segments += block.div_ceil(lanes);
+        wave_done += block;
+    }
+    blocks
+}
+
+/// Splits a wave's blocks into the `(start, width)` segments the serial
+/// driver's chunk loop would execute — lane-width chunks with a ragged tail
+/// per block, in replication order.
+fn wave_segments(blocks: &[(usize, usize)], lanes: usize) -> Vec<(usize, usize)> {
+    let mut segments = Vec::new();
+    for &(block_start, block_len) in blocks {
+        let mut start = block_start;
+        let mut remaining = block_len;
+        while remaining > 0 {
+            let width = remaining.min(lanes);
+            segments.push((start, width));
+            start += width;
+            remaining -= width;
+        }
+    }
+    segments
+}
+
+/// Runs `f` over every segment on `threads` scoped OS threads, returning the
+/// results in segment order.  Segments are dealt to workers in contiguous
+/// runs; because every segment's result is a pure function of its `(start,
+/// width)` (the seeds come from [`SeedStream::nth_seed`]), the thread layout
+/// is unobservable in the output.
+fn run_segments<T, F>(segments: &[(usize, usize)], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let per_worker = segments.len().div_ceil(threads).max(1);
+    let mut results = Vec::with_capacity(segments.len());
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = segments
+            .chunks(per_worker)
+            .map(|run| {
+                scope.spawn(move || {
+                    run.iter()
+                        .map(|&(start, width)| f(start, width))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("segment worker panicked"));
+        }
+    });
+    results
+}
+
+/// The per-segment seed column: replication `start + j` draws seed
+/// `nth_seed(master, start + j)` — exactly the value the serial driver's
+/// shared [`SeedStream`] hands that replication.
+fn segment_seeds(master_seed: u64, start: usize, width: usize) -> Vec<u64> {
+    (0..width)
+        .map(|j| SeedStream::nth_seed(master_seed, (start + j) as u64))
+        .collect()
+}
+
 /// Batch counterpart of [`crate::replicate::accumulate_profile_engine`]:
 /// replications are advanced `lanes` at a time through the compiled program,
 /// but consume the **same seed stream in the same order**, feed the
@@ -605,10 +799,86 @@ pub fn accumulate_profile_engine_batch(
     master_seed: u64,
     lanes: usize,
 ) -> OutcomeAccumulator {
+    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    accumulate_profile_program_batch(engine, &program, plan, master_seed, lanes, 1)
+}
+
+/// [`accumulate_profile_engine_batch`] over a pre-compiled program, with an
+/// intra-point `threads` knob.
+///
+/// `threads == 0` resolves to the host's available parallelism; `threads <=
+/// 1` runs the serial driver.  The parallel driver splits replication blocks
+/// into lane-width segments executed across scoped OS threads: every
+/// segment derives its seeds by [`SeedStream::nth_seed`] offset (the exact
+/// values the serial seed stream yields at those positions), results merge
+/// into the accumulator in replication order, and adaptive stopping is
+/// evaluated on the same block boundaries — so the result is bit-identical
+/// at every thread count, speculating at most one wave of blocks past the
+/// stopping decision.
+pub fn accumulate_profile_program_batch(
+    engine: &Engine,
+    program: &BatchProgram,
+    plan: impl Into<ReplicationPlan>,
+    master_seed: u64,
+    lanes: usize,
+    threads: usize,
+) -> OutcomeAccumulator {
     let plan: ReplicationPlan = plan.into();
     let lanes = lanes.max(1);
-    let program = BatchProgram::compile(protocol, profile, engine.plan());
+    let threads = resolve_threads(threads);
     let mut acc = OutcomeAccumulator::new();
+    if threads > 1 {
+        let mut done = 0usize;
+        'drive: loop {
+            let blocks = next_wave(&plan.budget, done, lanes, threads);
+            if blocks.is_empty() {
+                break;
+            }
+            let segments = wave_segments(&blocks, lanes);
+            let results = run_segments(&segments, threads, |start, width| {
+                let seeds = segment_seeds(master_seed, start, width);
+                let mut stream = BatchFailureStream::new(*engine.failure_model(), &seeds);
+                let mut state = BatchState::new();
+                program.run(&mut stream, &mut state);
+                let firsts: Vec<SimOutcome> =
+                    (0..width).map(|lane| program.outcome(&state, lane)).collect();
+                let partners: Vec<SimOutcome> = if plan.antithetic {
+                    stream.reset_antithetic(&seeds);
+                    program.run(&mut stream, &mut state);
+                    (0..width).map(|lane| program.outcome(&state, lane)).collect()
+                } else {
+                    Vec::new()
+                };
+                (firsts, partners)
+            });
+            // Merge in replication order, block by block, replicating the
+            // serial push sequence and stopping boundaries exactly; a wave
+            // that over-speculated simply drops its unmerged tail.
+            let mut segment = 0usize;
+            for &(_, block_len) in &blocks {
+                let mut merged = 0usize;
+                while merged < block_len {
+                    let (firsts, partners) = &results[segment];
+                    if plan.antithetic {
+                        for (first, partner) in firsts.iter().zip(partners) {
+                            acc.push_pair(first, partner);
+                        }
+                    } else {
+                        for outcome in firsts {
+                            acc.push(outcome);
+                        }
+                    }
+                    merged += firsts.len();
+                    segment += 1;
+                }
+                done += block_len;
+                if plan.budget.satisfied(&acc.waste) {
+                    break 'drive;
+                }
+            }
+        }
+        return acc;
+    }
     let mut seeds = SeedStream::new(master_seed);
     let mut seed_buf = vec![0u64; lanes];
     let mut stream = BatchFailureStream::new(*engine.failure_model(), &[]);
@@ -663,9 +933,40 @@ pub fn accumulate_paired_engine_batch(
     master_seed: u64,
     lanes: usize,
 ) -> PairedAccumulator {
+    let programs: Vec<BatchProgram> = protocols
+        .iter()
+        .map(|&p| BatchProgram::compile(p, profile, engine.plan()))
+        .collect();
+    let program_refs: Vec<&BatchProgram> = programs.iter().collect();
+    accumulate_paired_programs_batch(engine, protocols, &program_refs, plan, master_seed, lanes, 1)
+}
+
+/// One protocol-set evaluation of a paired segment: per-protocol first-pass
+/// outcomes plus (under antithetic pairing) per-protocol partner outcomes.
+type PairedSegment = (Vec<Vec<SimOutcome>>, Vec<Vec<SimOutcome>>);
+
+/// [`accumulate_paired_engine_batch`] over pre-compiled programs (one per
+/// protocol, same order), with the same intra-point `threads` knob — and the
+/// same bit-identity across thread counts — as
+/// [`accumulate_profile_program_batch`].
+pub fn accumulate_paired_programs_batch(
+    engine: &Engine,
+    protocols: &[Protocol],
+    programs: &[&BatchProgram],
+    plan: impl Into<ReplicationPlan>,
+    master_seed: u64,
+    lanes: usize,
+    threads: usize,
+) -> PairedAccumulator {
+    assert_eq!(
+        protocols.len(),
+        programs.len(),
+        "one compiled program per protocol, in protocol order"
+    );
     let plan: ReplicationPlan = plan.into();
     let budget = plan.budget;
     let lanes = lanes.max(1);
+    let threads = resolve_threads(threads);
     let mut acc = PairedAccumulator {
         protocols: protocols.to_vec(),
         outcomes: vec![OutcomeAccumulator::new(); protocols.len()],
@@ -674,10 +975,103 @@ pub fn accumulate_paired_engine_batch(
     if protocols.is_empty() {
         return acc;
     }
-    let programs: Vec<BatchProgram> = protocols
-        .iter()
-        .map(|&p| BatchProgram::compile(p, profile, engine.plan()))
-        .collect();
+    // Serial and parallel drivers share the per-segment merge: the per-lane,
+    // per-protocol push sequence of the scalar paired loop.
+    let merge_segment =
+        |acc: &mut PairedAccumulator, firsts: &[Vec<SimOutcome>], partners: &[Vec<SimOutcome>]| {
+            let width = firsts[0].len();
+            if plan.antithetic {
+                for lane in 0..width {
+                    let mut baseline_waste = 0.0;
+                    for i in 0..firsts.len() {
+                        let pair_waste =
+                            (firsts[i][lane].waste() + partners[i][lane].waste()) / 2.0;
+                        acc.outcomes[i].push_pair(&firsts[i][lane], &partners[i][lane]);
+                        if i == 0 {
+                            baseline_waste = pair_waste;
+                        } else {
+                            acc.deltas[i].push(pair_waste - baseline_waste);
+                        }
+                    }
+                }
+            } else {
+                for lane in 0..width {
+                    let mut baseline_waste = 0.0;
+                    for (i, outcomes) in firsts.iter().enumerate() {
+                        let out = outcomes[lane];
+                        let waste = out.waste();
+                        acc.outcomes[i].push(&out);
+                        if i == 0 {
+                            baseline_waste = waste;
+                        } else {
+                            acc.deltas[i].push(waste - baseline_waste);
+                        }
+                    }
+                }
+            }
+        };
+    let stopped = |acc: &PairedAccumulator| {
+        let deltas_resolved = budget.is_paired_delta()
+            && acc.deltas.len() > 1
+            && acc.deltas[1..].iter().all(|d| budget.delta_resolved(d));
+        deltas_resolved || acc.outcomes.iter().all(|o| budget.satisfied(&o.waste))
+    };
+    if threads > 1 {
+        let mut done = 0usize;
+        'drive: loop {
+            let blocks = next_wave(&budget, done, lanes, threads);
+            if blocks.is_empty() {
+                break;
+            }
+            let segments = wave_segments(&blocks, lanes);
+            let results = run_segments(&segments, threads, |start, width| -> PairedSegment {
+                let seeds = segment_seeds(master_seed, start, width);
+                let mut stream = BatchFailureStream::new(*engine.failure_model(), &seeds);
+                let mut state = BatchState::new();
+                let mut firsts = Vec::with_capacity(programs.len());
+                let mut partners = Vec::with_capacity(programs.len());
+                // Every protocol's stream restarts from the same segment
+                // seeds — common random numbers, exactly like the serial
+                // chunk loop.
+                for program in programs {
+                    stream.reset(&seeds);
+                    program.run(&mut stream, &mut state);
+                    firsts.push(
+                        (0..width)
+                            .map(|lane| program.outcome(&state, lane))
+                            .collect::<Vec<SimOutcome>>(),
+                    );
+                }
+                if plan.antithetic {
+                    for program in programs {
+                        stream.reset_antithetic(&seeds);
+                        program.run(&mut stream, &mut state);
+                        partners.push(
+                            (0..width)
+                                .map(|lane| program.outcome(&state, lane))
+                                .collect::<Vec<SimOutcome>>(),
+                        );
+                    }
+                }
+                (firsts, partners)
+            });
+            let mut segment = 0usize;
+            for &(_, block_len) in &blocks {
+                let mut merged = 0usize;
+                while merged < block_len {
+                    let (firsts, partners) = &results[segment];
+                    merge_segment(&mut acc, firsts, partners);
+                    merged += firsts[0].len();
+                    segment += 1;
+                }
+                done += block_len;
+                if stopped(&acc) {
+                    break 'drive;
+                }
+            }
+        }
+        return acc;
+    }
     let mut seeds = SeedStream::new(master_seed);
     let mut seed_buf = vec![0u64; lanes];
     let mut stream = BatchFailureStream::new(*engine.failure_model(), &[]);
@@ -711,41 +1105,12 @@ pub fn accumulate_paired_engine_batch(
                     partners[i].clear();
                     partners[i].extend((0..width).map(|lane| program.outcome(&state, lane)));
                 }
-                for lane in 0..width {
-                    let mut baseline_waste = 0.0;
-                    for i in 0..protocols.len() {
-                        let pair_waste =
-                            (firsts[i][lane].waste() + partners[i][lane].waste()) / 2.0;
-                        acc.outcomes[i].push_pair(&firsts[i][lane], &partners[i][lane]);
-                        if i == 0 {
-                            baseline_waste = pair_waste;
-                        } else {
-                            acc.deltas[i].push(pair_waste - baseline_waste);
-                        }
-                    }
-                }
-            } else {
-                for lane in 0..width {
-                    let mut baseline_waste = 0.0;
-                    for (i, outcomes) in firsts.iter().enumerate() {
-                        let out = outcomes[lane];
-                        let waste = out.waste();
-                        acc.outcomes[i].push(&out);
-                        if i == 0 {
-                            baseline_waste = waste;
-                        } else {
-                            acc.deltas[i].push(waste - baseline_waste);
-                        }
-                    }
-                }
             }
+            merge_segment(&mut acc, &firsts, &partners);
             remaining -= width;
         }
         done += block;
-        let deltas_resolved = budget.is_paired_delta()
-            && acc.deltas.len() > 1
-            && acc.deltas[1..].iter().all(|d| budget.delta_resolved(d));
-        if deltas_resolved || acc.outcomes.iter().all(|o| budget.satisfied(&o.waste)) {
+        if stopped(&acc) {
             break;
         }
     }
@@ -921,6 +1286,121 @@ mod tests {
         );
         assert_eq!(paired.replications(), 0);
         assert!(paired.outcomes.is_empty());
+    }
+
+    #[test]
+    fn program_cache_hits_return_the_identical_compiled_program() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        let cache = BatchProgramCache::new();
+        assert!(cache.is_empty());
+        let first = cache.get(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+        let second = cache.get(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+        // A hit is the same allocation, and its steps are exactly what a
+        // fresh compilation produces.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            *first,
+            BatchProgram::compile(Protocol::AbftPeriodicCkpt, &profile, engine.plan())
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn program_cache_never_crosses_protocol_profile_or_plan_keys() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        let cache = BatchProgramCache::new();
+        let base = cache.get(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+        // Different protocol, same profile and plan.
+        let other_protocol = cache.get(Protocol::PurePeriodicCkpt, &profile, engine.plan());
+        assert!(!Arc::ptr_eq(&base, &other_protocol));
+        // Different profile (extra epoch), same protocol and plan.
+        let longer = ApplicationProfile::from_params_repeated(engine.params(), 2);
+        let other_profile = cache.get(Protocol::AbftPeriodicCkpt, &longer, engine.plan());
+        assert!(!Arc::ptr_eq(&base, &other_profile));
+        // Different plan (perturbed period), same protocol and profile.
+        let mut plan = *engine.plan();
+        plan.full_period += 1.0;
+        let other_plan = cache.get(Protocol::AbftPeriodicCkpt, &profile, &plan);
+        assert!(!Arc::ptr_eq(&base, &other_plan));
+        assert_eq!(cache.len(), 4);
+        // Every distinct key holds the program its own triple compiles.
+        assert_eq!(
+            *other_plan,
+            BatchProgram::compile(Protocol::AbftPeriodicCkpt, &profile, &plan)
+        );
+        // Re-requesting the original triple after the inserts still hits the
+        // original program.
+        let again = cache.get(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+        assert!(Arc::ptr_eq(&base, &again));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn parallel_block_driver_is_bit_identical_across_thread_counts() {
+        let engine = fig7_engine(FailureSpec::Weibull { shape: 0.7 });
+        let profile = ApplicationProfile::from_params(engine.params());
+        let program = BatchProgram::compile(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+        for budget in [
+            ReplicationBudget::Fixed(130),
+            ReplicationBudget::Adaptive {
+                rel_precision: 0.05,
+                min: 60,
+                max: 400,
+            },
+        ] {
+            for antithetic in [false, true] {
+                let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+                let serial =
+                    accumulate_profile_program_batch(&engine, &program, plan, 77, 50, 1);
+                for threads in [2, 3, 5, 8] {
+                    let parallel = accumulate_profile_program_batch(
+                        &engine, &program, plan, 77, 50, threads,
+                    );
+                    assert_eq!(
+                        serial, parallel,
+                        "{budget:?} antithetic={antithetic} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paired_driver_is_bit_identical_across_thread_counts() {
+        let engine = fig7_engine(FailureSpec::Exponential);
+        let profile = ApplicationProfile::from_params(engine.params());
+        let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+        let programs: Vec<BatchProgram> = protocols
+            .iter()
+            .map(|&p| BatchProgram::compile(p, &profile, engine.plan()))
+            .collect();
+        let refs: Vec<&BatchProgram> = programs.iter().collect();
+        for budget in [
+            ReplicationBudget::Fixed(90),
+            ReplicationBudget::AdaptiveDelta {
+                rel_precision: 0.05,
+                min: 60,
+                max: 300,
+            },
+        ] {
+            for antithetic in [false, true] {
+                let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+                let serial = accumulate_paired_programs_batch(
+                    &engine, &protocols, &refs, plan, 5, 32, 1,
+                );
+                for threads in [2, 4, 7] {
+                    let parallel = accumulate_paired_programs_batch(
+                        &engine, &protocols, &refs, plan, 5, 32, threads,
+                    );
+                    assert_eq!(
+                        serial, parallel,
+                        "{budget:?} antithetic={antithetic} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod stats;
 pub mod validate;
 
 pub use batch::{
-    accumulate_paired_engine_batch, accumulate_profile_engine_batch, simulate_profile_batch,
-    simulate_profile_batch_antithetic, simulate_profile_batch_replay, BatchProgram, BatchState,
-    DEFAULT_BATCH_LANES,
+    accumulate_paired_engine_batch, accumulate_paired_programs_batch,
+    accumulate_profile_engine_batch, accumulate_profile_program_batch, simulate_profile_batch,
+    simulate_profile_batch_antithetic, simulate_profile_batch_replay, BatchProgram,
+    BatchProgramCache, BatchState, DEFAULT_BATCH_LANES,
 };
 pub use clock::{ActivityResult, SimClock};
 pub use engine::{

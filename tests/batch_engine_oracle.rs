@@ -20,8 +20,9 @@ use abft_ckpt_composite::platform::failure::FailureSpec;
 use abft_ckpt_composite::platform::rng::SeedStream;
 use abft_ckpt_composite::platform::units::minutes;
 use abft_ckpt_composite::sim::batch::{
-    accumulate_paired_engine_batch, accumulate_profile_engine_batch, simulate_profile_batch,
-    simulate_profile_batch_antithetic, simulate_profile_batch_replay,
+    accumulate_paired_engine_batch, accumulate_paired_programs_batch,
+    accumulate_profile_engine_batch, accumulate_profile_program_batch, simulate_profile_batch,
+    simulate_profile_batch_antithetic, simulate_profile_batch_replay, BatchProgram,
 };
 use abft_ckpt_composite::sim::replicate::{
     accumulate_paired_engine, accumulate_profile_engine, ReplicationBudget, ReplicationPlan,
@@ -262,6 +263,127 @@ fn adaptive_stopping_is_width_invariant() {
                 lanes,
             );
             assert_eq!(scalar, batch, "antithetic={antithetic} lanes={lanes}");
+        }
+    }
+}
+
+/// A failure-dominated point (platform MTBF 40 minutes against the paper's
+/// week of work) drives most checkpoint periods through the interrupted
+/// slow path, so the compacted worklist — not the all-lanes fast pass — is
+/// what produces these outcomes.  Every lane must still equal the scalar
+/// oracle bit for bit, and the point must actually be dense (otherwise the
+/// test silently stops covering the compaction).
+#[test]
+fn dense_failure_grids_exercise_the_compacted_slow_path_bit_exactly() {
+    for spec in [FailureSpec::Exponential, FailureSpec::Weibull { shape: 0.5 }] {
+        let params = ModelParams::paper_figure7(0.5, minutes(40.0)).unwrap();
+        let engine = Engine::with_failure_spec(&params, spec).unwrap();
+        let profile = ApplicationProfile::from_params_repeated(&params, 2);
+        for width in [1usize, 37, 64] {
+            let seeds = lane_seeds(0xDE5E ^ width as u64, width);
+            for protocol in Protocol::all() {
+                let batch = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+                let mut total_failures = 0usize;
+                for (lane, &seed) in seeds.iter().enumerate() {
+                    let scalar = engine.simulate_profile(protocol, &profile, seed);
+                    total_failures += scalar.failures;
+                    assert_bit_identical(
+                        &batch[lane],
+                        &scalar,
+                        &format!("dense {spec} {protocol:?} width {width} lane {lane}"),
+                    );
+                }
+                assert!(
+                    total_failures >= width,
+                    "dense {spec} {protocol:?} width {width}: only {total_failures} \
+                     failures across {width} lanes — the slow path is not being covered"
+                );
+            }
+        }
+    }
+}
+
+/// The intra-point parallel block driver against the *scalar* oracle: at
+/// every thread count, for fixed and adaptive budgets, plain and
+/// antithetic, the parallel program driver must reproduce the scalar
+/// replication loop's accumulator bit for bit — not merely agree with the
+/// serial batch driver.
+#[test]
+fn parallel_program_driver_matches_the_scalar_oracle() {
+    let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+    let engine = Engine::with_failure_spec(&params, FailureSpec::Weibull { shape: 0.7 }).unwrap();
+    let profile = ApplicationProfile::from_params_repeated(&params, 2);
+    let program = BatchProgram::compile(Protocol::AbftPeriodicCkpt, &profile, engine.plan());
+    for budget in [
+        ReplicationBudget::Fixed(170),
+        ReplicationBudget::Adaptive {
+            rel_precision: 0.05,
+            min: 60,
+            max: 400,
+        },
+    ] {
+        for antithetic in [false, true] {
+            let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+            let scalar = accumulate_profile_engine(
+                &engine,
+                Protocol::AbftPeriodicCkpt,
+                &profile,
+                plan,
+                43,
+            );
+            for threads in [1usize, 2, 3, 8] {
+                let batch = accumulate_profile_program_batch(
+                    &engine, &program, plan, 43, 48, threads,
+                );
+                assert_eq!(
+                    scalar, batch,
+                    "{budget:?} antithetic={antithetic} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// The paired parallel driver against the scalar paired oracle: marginals,
+/// per-trace deltas and the paired-delta stopping rule survive both
+/// batching and intra-point threading bit for bit.
+#[test]
+fn parallel_paired_driver_matches_the_scalar_oracle() {
+    let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+    let protocols = [Protocol::PurePeriodicCkpt, Protocol::AbftPeriodicCkpt];
+    let engine = Engine::with_failure_spec(&params, FailureSpec::Exponential).unwrap();
+    let profile = ApplicationProfile::from_params(&params);
+    let programs: Vec<BatchProgram> = protocols
+        .iter()
+        .map(|&p| BatchProgram::compile(p, &profile, engine.plan()))
+        .collect();
+    let program_refs: Vec<&BatchProgram> = programs.iter().collect();
+    for budget in [
+        ReplicationBudget::Fixed(137),
+        ReplicationBudget::AdaptiveDelta {
+            rel_precision: 0.05,
+            min: 60,
+            max: 400,
+        },
+    ] {
+        for antithetic in [false, true] {
+            let plan = ReplicationPlan::new(budget).antithetic(antithetic);
+            let scalar = accumulate_paired_engine(&engine, &protocols, &profile, plan, 29);
+            for threads in [1usize, 2, 4, 7] {
+                let batch = accumulate_paired_programs_batch(
+                    &engine,
+                    &protocols,
+                    &program_refs,
+                    plan,
+                    29,
+                    32,
+                    threads,
+                );
+                assert_eq!(
+                    scalar, batch,
+                    "{budget:?} antithetic={antithetic} threads={threads}"
+                );
+            }
         }
     }
 }

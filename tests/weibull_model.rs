@@ -146,6 +146,33 @@ fn corrected_model_shrinks_the_gap_for_bursty_clocks() {
 }
 
 #[test]
+fn blended_rework_pins_the_wear_out_gap_below_the_unblended_overshoot() {
+    // Regression for the blended rework law (ISSUE 7 satellite): the pure
+    // conditional-age ratio over-predicted the waste of wear-out clocks by
+    // ≈ 0.040 at k = 1.5 on the Figure-7 base point.  Blending
+    // `E_k[X|X≤τ]` with `τ/2` on the first-arrival mass `F_k(τ)` must keep
+    // every protocol's model−simulation gap strictly inside that old
+    // overshoot, with margin for Monte-Carlo noise.
+    for shape in [1.3, 1.5, 2.0] {
+        let results = SweepSpec::new("wear-out-gap", figure7_base())
+            .axis(Axis::values(Parameter::Alpha, vec![0.5]))
+            .failure_model(FailureSpec::Weibull { shape })
+            .replications(600)
+            .model_gap(true)
+            .run()
+            .unwrap();
+        for r in &results.results {
+            let gap = (r.model_waste - r.sim.unwrap().mean_waste).abs();
+            assert!(
+                gap < 0.030,
+                "k={shape} {:?}: gap {gap} not inside the pre-blend 0.040 overshoot",
+                r.protocol
+            );
+        }
+    }
+}
+
+#[test]
 fn corrected_model_tracks_the_direction_of_the_shape_dependence() {
     // Across the whole shape range the correction must move the prediction
     // the way the simulation moves: less waste for k < 1, more for k > 1.
