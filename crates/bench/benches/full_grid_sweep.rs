@@ -14,7 +14,7 @@
 //! collapse to the same execution.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ft_bench::{figure7_base, Axis, Parameter, SweepSpec};
+use ft_bench::{figure7_base, host_json_fields, Axis, Parameter, SweepSpec};
 use ft_platform::units::minutes;
 use ft_sim::ReplicationBudget;
 use std::hint::black_box;
@@ -23,30 +23,6 @@ use std::time::Instant;
 /// Whether CI asked for the tiny smoke grids.
 fn smoke() -> bool {
     std::env::var_os("FT_BENCH_SMOKE").is_some_and(|v| v != "0")
-}
-
-/// Logical cores of the host, recorded in every JSON payload so the
-/// BENCH files are interpretable (single-core containers vs real hosts).
-fn host_logical_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// The uniform host block every reporter embeds: the logical core count
-/// and, on single-core hosts, an explicit annotation instead of a silently
-/// meaningless parallel figure (grid- and point-parallel paths collapse to
-/// serial there, so any recorded speedup measures engine substitution
-/// only).
-fn host_json_fields() -> String {
-    let cores = host_logical_cores();
-    if cores == 1 {
-        format!(
-            "\"host_logical_cores\": {cores}, \"single_core_annotation\": \
-             \"single logical core: thread-parallel paths collapse to \
-             serial; speedups measure engine substitution only\""
-        )
-    } else {
-        format!("\"host_logical_cores\": {cores}")
-    }
 }
 
 /// A reduced Figure-7 grid: 4 MTBF x 3 alpha points, 3 protocols, 25

@@ -20,6 +20,7 @@
 //!     [--target fig8|fig9|fig10] [--axis nodes|mtbf|alpha|...] \
 //!     [--tolerance 0.01] [--precision 0.05] \
 //!     [--min-replications 100] [--max-replications 1000] [--max-probes 40] \
+//!     [--sign-repeats 3] \
 //!     [--failure-model exponential|weibull --weibull-shape 0.7] \
 //!     [--model-only] [--model-gap] [--compare-fixed 1000] [--json] [--seed 42]
 //! ```
@@ -157,7 +158,8 @@ fn main() {
     // 2. Bisect the bracket with paired-delta probes.
     let refiner = CrossoverRefiner::new(spec.clone(), axis)
         .tolerance(args.value("--tolerance", 0.01))
-        .max_probes(args.value("--max-probes", 40));
+        .max_probes(args.value("--max-probes", 40))
+        .sign_repeats(args.value("--sign-repeats", 1));
     let refinement = refiner
         .refine_with_bias(below, above, measured_bias)
         .unwrap_or_else(|e| {
@@ -187,6 +189,13 @@ fn main() {
         refinement.rel_tolerance,
         if refinement.converged { "" } else { "NOT " },
     );
+    if let Some(confidence) = refinement.confidence {
+        println!(
+            "# bracket confidence: every sign decision correct with p >= {confidence:.4} \
+             (sequential sign test, {} probe(s) per midpoint max)",
+            refiner.sign_repeats,
+        );
+    }
     if let Some(model_crossover) = refinement.model_crossover {
         println!(
             "# model-seeded: free analytic bisection located {} ~= {} first; simulated probes only bisected a window around it",

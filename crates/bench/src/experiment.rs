@@ -39,6 +39,7 @@ use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
 use ft_platform::failure::FailureSpec;
 use ft_platform::rng::{SeedStream, SplitMix64};
+use ft_platform::special::normal_cdf;
 use ft_sim::batch::{
     accumulate_paired_programs_batch, accumulate_profile_program_batch, BatchProgram,
     BatchProgramCache, DEFAULT_BATCH_LANES,
@@ -1291,12 +1292,23 @@ pub struct CrossoverRefinement {
     /// simulated probes ran (`None` when the refinement was not model-seeded
     /// or the seeded window was rejected and the full bracket used instead).
     pub model_crossover: Option<f64>,
+    /// Confidence that the final bracket is correct: the *minimum*, over
+    /// every sign decision that shaped it (the two bracket verifications and
+    /// each bisection decision), of the normal-approximated probability
+    /// `Φ(|z|)` that the decided sign is the true one.  Model probes decide
+    /// exactly (`Φ = 1`); `None` when no decision was taken (a bracket
+    /// already within tolerance).  Raising
+    /// [`CrossoverRefiner::sign_repeats`] tightens this by pooling repeated
+    /// midpoint probes.
+    pub confidence: Option<f64>,
     /// Every simulated probe, in order: a rejected model-seed window's two
     /// verification probes first (when that happened — their cost is real
     /// and stays accounted), then the used bracket's two verification
-    /// probes, then the bisection steps.  The model-seeding bisection itself
-    /// is free and not recorded; every entry here cost `2 × replications`
-    /// simulated executions (0 for model-only probes).
+    /// probes, then the bisection steps (a midpoint contributes several
+    /// consecutive entries when [`CrossoverRefiner::sign_repeats`] pooled
+    /// repeated probes into its decision).  The model-seeding bisection
+    /// itself is free and not recorded; every entry here cost
+    /// `2 × replications` simulated executions (0 for model-only probes).
     pub probes: Vec<CrossoverProbe>,
 }
 
@@ -1352,6 +1364,16 @@ pub struct CrossoverRefiner {
     /// refiner falls back to the full bracket when the simulation disagrees
     /// with the model about either end of the seeded window.
     pub model_seed: bool,
+    /// Noise-aware bisection: the maximum number of *independent* simulated
+    /// probes a bisection midpoint may spend on its sign decision.  The
+    /// probes (each on fresh failure traces) are pooled inverse-variance;
+    /// the sequential sign test stops as soon as the pooled statistic
+    /// reaches `|z| ≥ 1.96` (95 % confidence on the sign), so quiet
+    /// midpoints still cost one probe.  `1` (the default) disables the
+    /// test and reproduces the single-probe decisions exactly; every
+    /// repeated probe is recorded and charged like any other probe, and the
+    /// [`CrossoverRefiner::max_probes`] cap keeps bounding the total cost.
+    pub sign_repeats: usize,
 }
 
 impl CrossoverRefiner {
@@ -1364,6 +1386,7 @@ impl CrossoverRefiner {
             rel_tolerance: 0.01,
             max_probes: 40,
             model_seed: true,
+            sign_repeats: 1,
         }
     }
 
@@ -1383,6 +1406,25 @@ impl CrossoverRefiner {
     pub fn model_seed(mut self, model_seed: bool) -> Self {
         self.model_seed = model_seed;
         self
+    }
+
+    /// Sets the sequential-sign-test probe cap per bisection midpoint
+    /// (`1` disables the test).
+    pub fn sign_repeats(mut self, sign_repeats: usize) -> Self {
+        self.sign_repeats = sign_repeats.max(1);
+        self
+    }
+
+    /// Confidence that a single probe's sign decision is correct:
+    /// `Φ(|z|)` with `z = mean / se` under the probe's own CI95 half-width
+    /// (`se = ci95 / 1.96`); exact probes (model, or zero variance) decide
+    /// with certainty.
+    fn probe_confidence(probe: &CrossoverProbe) -> f64 {
+        if probe.ci95 <= 0.0 {
+            1.0
+        } else {
+            normal_cdf(1.96 * probe.delta.abs() / probe.ci95)
+        }
     }
 
     /// Evaluates one probe at `value` (probe `index` of this refinement).
@@ -1554,6 +1596,12 @@ impl CrossoverRefiner {
             Err(e) => return Err((e, probes)),
         };
         probes.push(hi_probe);
+        let mut confidence: Option<f64> = None;
+        let note_decision = |c: f64, confidence: &mut Option<f64>| {
+            *confidence = Some(confidence.map_or(c, |m: f64| m.min(c)));
+        };
+        note_decision(Self::probe_confidence(&lo_probe), &mut confidence);
+        note_decision(Self::probe_confidence(&hi_probe), &mut confidence);
         let bracket_ok = !lo_probe.composite_beats && hi_probe.composite_beats;
         if !bracket_ok {
             return Err((
@@ -1594,16 +1642,43 @@ impl CrossoverRefiner {
         };
         while width(pure_at, composite_at) > self.rel_tolerance && probes.len() < self.max_probes {
             let mid = midpoint(pure_at, composite_at);
-            let probe = match self.probe(mid, probes.len() as u64) {
-                Ok(p) => p,
-                Err(e) => return Err((e, probes)),
-            };
-            if probe.composite_beats {
+            // Sequential sign test: pool up to `sign_repeats` independent
+            // probes of the midpoint inverse-variance, stopping as soon as
+            // the pooled statistic resolves the sign at 95 %.
+            let mut sum_w = 0.0;
+            let mut sum_wd = 0.0;
+            let mut composite_beats = false;
+            let mut decision_confidence = 1.0;
+            for _ in 0..self.sign_repeats.max(1) {
+                let probe = match self.probe(mid, probes.len() as u64) {
+                    Ok(p) => p,
+                    Err(e) => return Err((e, probes)),
+                };
+                probes.push(probe);
+                if probe.ci95 <= 0.0 {
+                    // Exact (model) probe: the sign is certain.
+                    composite_beats = probe.composite_beats;
+                    decision_confidence = 1.0;
+                    break;
+                }
+                let se = probe.ci95 / 1.96;
+                let w = 1.0 / (se * se);
+                sum_w += w;
+                sum_wd += w * probe.delta;
+                let pooled_mean = sum_wd / sum_w;
+                let z = pooled_mean * sum_w.sqrt();
+                composite_beats = pooled_mean < 0.0;
+                decision_confidence = normal_cdf(z.abs());
+                if z.abs() >= 1.96 || probes.len() >= self.max_probes {
+                    break;
+                }
+            }
+            note_decision(decision_confidence, &mut confidence);
+            if composite_beats {
                 composite_at = mid;
             } else {
                 pure_at = mid;
             }
-            probes.push(probe);
         }
         let achieved = width(pure_at, composite_at);
         Ok(CrossoverRefinement {
@@ -1614,6 +1689,7 @@ impl CrossoverRefiner {
             achieved_tolerance: achieved,
             converged: achieved <= self.rel_tolerance,
             model_crossover: None,
+            confidence,
             probes,
         })
     }

@@ -37,7 +37,9 @@ pub use experiment::{
     report_crossover, run_cli, Axis, CrossoverOutcome, CrossoverProbe, CrossoverRefinement,
     CrossoverRefiner, Parameter, SweepResults, SweepSpec,
 };
-pub use output::{csv_line, render_table, OutputFormat, Table};
+pub use output::{
+    csv_line, host_json_fields, host_logical_cores, render_table, OutputFormat, Table,
+};
 
 use ft_composite::params::ModelParams;
 

@@ -26,6 +26,30 @@ impl OutputFormat {
     }
 }
 
+/// Logical cores of the host, recorded in every `BENCH_*.json` payload so
+/// the files are interpretable (single-core containers vs real hosts).
+pub fn host_logical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The uniform host block every bench reporter embeds: the logical core
+/// count and, on single-core hosts, an explicit annotation instead of a
+/// silently meaningless parallel figure (grid- and point-parallel paths
+/// collapse to serial there, so any recorded speedup measures engine
+/// substitution only).
+pub fn host_json_fields() -> String {
+    let cores = host_logical_cores();
+    if cores == 1 {
+        format!(
+            "\"host_logical_cores\": {cores}, \"single_core_annotation\": \
+             \"single logical core: thread-parallel paths collapse to \
+             serial; speedups measure engine substitution only\""
+        )
+    } else {
+        format!("\"host_logical_cores\": {cores}")
+    }
+}
+
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {

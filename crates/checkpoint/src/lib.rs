@@ -16,7 +16,19 @@
 //! * [`store`] — checkpoint repositories with storage-cost accounting on top
 //!   of the `ft-platform` storage models;
 //! * [`manager`] — the periodic-checkpoint manager: interval policy,
-//!   phase-aware enabling/disabling, forced checkpoints at phase switches.
+//!   phase-aware enabling/disabling, forced checkpoints at phase switches;
+//! * [`frame`] — the checksummed frame wire format checkpoints are
+//!   serialized into (header/chunks/trailer, each carrying a checksum);
+//! * [`backend`] — pluggable stores for serialized streams: in-memory,
+//!   chunked files with fsync + atomic-rename commit, and a deterministic
+//!   fault-injecting decorator (bit flips, truncations, torn writes,
+//!   transient read faults);
+//! * [`verify`] — verified retrieval with a typed failure taxonomy and
+//!   bounded deterministic retry/backoff for transients;
+//! * [`pipeline`] — the durable pipeline tying the above together: commit
+//!   full/delta/partial/state generations, restore the newest *verifiable*
+//!   one with graceful walk-back, and measure per-generation
+//!   write/verify/restore costs.
 //!
 //! The substrate is exercised directly by unit/property tests, by the
 //! integration tests at the workspace root, and by `ft-sim`'s protocol
@@ -26,20 +38,34 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod coordinated;
 pub mod error;
+pub mod frame;
 pub mod incremental;
 pub mod manager;
 pub mod partial;
+pub mod pipeline;
 pub mod restore;
 pub mod state;
 pub mod store;
+pub mod verify;
 
+pub use backend::{
+    CheckpointBackend, ChunkedFileBackend, FaultInjectingBackend, FaultPlan, InjectedKind,
+    MemoryBackend, StoreFault,
+};
 pub use coordinated::CoordinatedCheckpoint;
 pub use error::CkptError;
+pub use frame::{FrameFault, FrameHeader, FrameWriter, PayloadKind};
 pub use incremental::IncrementalCheckpoint;
 pub use manager::{CheckpointDecision, PeriodicManager, Phase};
 pub use partial::{PartialCheckpoint, SplitCheckpoint};
+pub use pipeline::{
+    apply_partial_onto, CheckpointPipeline, CostSummary, GenerationCost, PipelineOp,
+    RestoreOutcome,
+};
 pub use restore::{restore_full, restore_partial, RestoreReport};
 pub use state::{DatasetKind, MemoryRegion, ProcessSet, ProcessState};
 pub use store::{CheckpointStore, StoredCheckpoint};
+pub use verify::{fetch_verified, RestoreFault, RetryPolicy, VerifiedStream};

@@ -129,6 +129,16 @@ impl<S: StorageModel> CheckpointStore<S> {
     pub fn storage(&self) -> &S {
         &self.storage
     }
+
+    /// The retained checkpoints, oldest first.
+    pub fn checkpoints(&self) -> &[StoredCheckpoint] {
+        &self.checkpoints
+    }
+
+    /// The configured retention bound.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
 }
 
 #[cfg(test)]

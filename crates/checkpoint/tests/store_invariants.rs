@@ -1,0 +1,161 @@
+//! Property-based invariants of the checkpoint repositories.
+//!
+//! [`CheckpointStore`] sits on the protocol executors' failure path — its
+//! retention, ordering and accounting behaviour must hold for *any* push
+//! sequence, not just the ones the unit tests script.
+
+use ft_ckpt::coordinated::CoordinatedCheckpoint;
+use ft_ckpt::incremental::IncrementalCheckpoint;
+use ft_ckpt::restore::{restore_full, restore_partial};
+use ft_ckpt::state::{DatasetKind, ProcessSet};
+use ft_ckpt::store::CheckpointStore;
+use ft_platform::storage::{BandwidthBound, StorageModel};
+use proptest::prelude::*;
+
+/// One scripted push: region sizes of the captured set and the time step
+/// since the previous checkpoint.
+fn arb_pushes() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((1usize..200, 0usize..100, 0.0f64..50.0), 1..24)
+}
+
+fn store(retention: usize) -> CheckpointStore<BandwidthBound> {
+    CheckpointStore::new(BandwidthBound::new(1000.0, 0.0).unwrap(), 2, retention)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store never retains more than `retention` checkpoints, evicts
+    /// oldest-first, and keeps what it retains sorted by time and sequence.
+    #[test]
+    fn retention_bound_and_ordering_hold(pushes in arb_pushes(), retention in 1usize..6) {
+        let mut store = store(retention);
+        let mut time = 0.0;
+        for (i, &(lib, rem, dt)) in pushes.iter().enumerate() {
+            time += dt;
+            let set = ProcessSet::uniform(2, lib, rem);
+            store.push(CoordinatedCheckpoint::capture(&set, time)).unwrap();
+            prop_assert!(store.len() <= store.retention());
+            prop_assert_eq!(store.len(), (i + 1).min(retention));
+            // Oldest-first eviction ⇒ the newest push always survives.
+            prop_assert_eq!(store.latest().unwrap().sequence, i as u64);
+        }
+        let kept = store.checkpoints();
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+            prop_assert!(pair[0].sequence < pair[1].sequence);
+        }
+    }
+
+    /// `latest_before` is monotone in its argument and always returns the
+    /// newest retained checkpoint not younger than the query.
+    #[test]
+    fn latest_before_is_monotone_and_maximal(pushes in arb_pushes(), retention in 1usize..6) {
+        let mut store = store(retention);
+        let mut time = 0.0;
+        for &(lib, rem, dt) in &pushes {
+            time += dt;
+            let set = ProcessSet::uniform(2, lib, rem);
+            store.push(CoordinatedCheckpoint::capture(&set, time)).unwrap();
+        }
+        let horizon = time + 1.0;
+        let mut last: Option<f64> = None;
+        let mut query = 0.0;
+        while query <= horizon {
+            let found = store.latest_before(query).map(|c| c.time);
+            if let Some(t) = found {
+                prop_assert!(t <= query);
+                // Maximality: no retained checkpoint sits in (t, query].
+                for c in store.checkpoints() {
+                    prop_assert!(!(c.time > t && c.time <= query));
+                }
+                // Monotonicity: a later query never returns an older image.
+                if let Some(prev) = last {
+                    prop_assert!(t >= prev);
+                }
+                last = Some(t);
+            } else {
+                prop_assert!(last.is_none(), "result vanished as the query grew");
+            }
+            query += horizon / 16.0;
+        }
+    }
+
+    /// Accounting is conserved across eviction: cumulative bytes/cost keep
+    /// every push ever made, no matter how many images were pruned.
+    #[test]
+    fn accounting_is_conserved_across_eviction(pushes in arb_pushes(), retention in 1usize..4) {
+        let mut store = store(retention);
+        let mut time = 0.0;
+        let mut expected_bytes = 0.0;
+        for &(lib, rem, dt) in &pushes {
+            time += dt;
+            let set = ProcessSet::uniform(2, lib, rem);
+            expected_bytes += set.total_footprint() as f64;
+            store.push(CoordinatedCheckpoint::capture(&set, time)).unwrap();
+        }
+        prop_assert!((store.total_bytes_written() - expected_bytes).abs() < 1e-6);
+        // BandwidthBound at 1000 B/s, 2 nodes ⇒ cost is volume-proportional.
+        let expected_cost = store.storage().write_cost(expected_bytes, 2);
+        prop_assert!((store.total_write_cost() - expected_cost).abs() < 1e-6);
+    }
+
+    /// `restore_partial` / incremental-delta edge cases: an empty delta is
+    /// an identity (only time moves), and a full-overlap delta reproduces a
+    /// fresh full capture exactly.
+    #[test]
+    fn empty_and_full_overlap_deltas_restore_exactly(lib in 1usize..100, rem in 1usize..100) {
+        let mut set = ProcessSet::uniform(3, lib, rem);
+        let base = CoordinatedCheckpoint::capture(&set, 1.0);
+
+        // Empty delta: nothing changed since the base.
+        let empty = IncrementalCheckpoint::capture_since(&set, &base, 2.0);
+        prop_assert_eq!(empty.bytes(), 0);
+        let rebuilt = empty.apply_onto(&base).unwrap();
+        prop_assert_eq!(rebuilt.bytes(), base.bytes());
+        let mut target = ProcessSet::uniform(3, lib, rem);
+        restore_full(&rebuilt, &mut target).unwrap();
+        prop_assert_eq!(target.fingerprint(), set.fingerprint());
+
+        // Full-overlap delta: every region rewritten since the base.
+        for p in set.iter_mut() {
+            let ids: Vec<usize> = p.regions().iter().map(|r| r.id).collect();
+            for id in ids {
+                p.region_mut(id).unwrap().update(|d| {
+                    d.iter_mut().for_each(|b| *b = b.wrapping_add(7));
+                });
+            }
+        }
+        let full = IncrementalCheckpoint::capture_since(&set, &base, 3.0);
+        prop_assert_eq!(full.bytes(), set.total_footprint());
+        let rebuilt = full.apply_onto(&base).unwrap();
+        let fresh = CoordinatedCheckpoint::capture(&set, 3.0);
+        prop_assert_eq!(&rebuilt, &fresh);
+
+        // And restore_partial of one dataset touches only that dataset.
+        let partial = ft_ckpt::partial::PartialCheckpoint::capture(
+            &set,
+            DatasetKind::Library,
+            3.0,
+        );
+        let mut victim = ProcessSet::uniform(3, lib, rem);
+        let before_rem: Vec<u64> = victim
+            .iter()
+            .flat_map(|p| p.regions_of(DatasetKind::Remainder).map(|r| r.generation()))
+            .collect();
+        restore_partial(&partial, &mut victim, None).unwrap();
+        let after_rem: Vec<u64> = victim
+            .iter()
+            .flat_map(|p| p.regions_of(DatasetKind::Remainder).map(|r| r.generation()))
+            .collect();
+        prop_assert_eq!(before_rem, after_rem);
+        for (vp, sp) in victim.iter().zip(set.iter()) {
+            for (vr, sr) in vp
+                .regions_of(DatasetKind::Library)
+                .zip(sp.regions_of(DatasetKind::Library))
+            {
+                prop_assert_eq!(vr.data(), sr.data());
+            }
+        }
+    }
+}

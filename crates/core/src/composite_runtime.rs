@@ -13,7 +13,10 @@
 //! the decision trace shown by the `composite_trace` example.  Time is
 //! accounted with the costs of a [`ModelParams`] value.
 
+use std::ops::Range;
+
 use ft_ckpt::coordinated::CoordinatedCheckpoint;
+use ft_ckpt::frame::{decode_coordinated, encode_coordinated};
 use ft_ckpt::partial::PartialCheckpoint;
 use ft_ckpt::restore::{restore_full, restore_partial};
 use ft_ckpt::state::{DatasetKind, ProcessSet};
@@ -120,6 +123,165 @@ impl RunReport {
     }
 }
 
+/// A serializable snapshot of a [`CompositeRuntime`] at an epoch boundary —
+/// everything the runtime needs to continue bit-identically: the live
+/// process image, the rollback target, the accounted clock, the event trace
+/// so far and the next epoch to execute.  The LIBRARY parity is *not*
+/// stored: at an epoch boundary it is a pure function of the process image
+/// (last refreshed at library exit, with no mutation since) and is
+/// recomputed on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Index of the next epoch to execute.
+    pub next_epoch: usize,
+    /// Accounted wall-clock time at capture, raw `f64` bits.
+    pub clock_bits: u64,
+    /// Event trace up to the capture point.
+    pub events: Vec<RuntimeEvent>,
+    /// The live process state.
+    pub image: CoordinatedCheckpoint,
+    /// The newest rollback target (the coordinated checkpoint a
+    /// GENERAL-phase failure would restore).
+    pub last_full_checkpoint: CoordinatedCheckpoint,
+}
+
+impl RuntimeSnapshot {
+    /// Serializes the snapshot into a little-endian byte stream suitable for
+    /// an `ft-ckpt` `State` frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.next_epoch as u64).to_le_bytes());
+        out.extend_from_slice(&self.clock_bits.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for event in &self.events {
+            encode_event(event, &mut out);
+        }
+        for image in [&self.image, &self.last_full_checkpoint] {
+            let body = encode_coordinated(image);
+            out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+
+    /// Deserializes a snapshot; `None` on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = SnapReader { bytes, at: 0 };
+        let next_epoch = r.u64()? as usize;
+        let clock_bits = r.u64()?;
+        let count = r.u32()? as usize;
+        let mut events = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            events.push(decode_event(&mut r)?);
+        }
+        let image_len = r.u64()? as usize;
+        let image = decode_coordinated(r.take(image_len)?).ok()?;
+        let lfc_len = r.u64()? as usize;
+        let last_full_checkpoint = decode_coordinated(r.take(lfc_len)?).ok()?;
+        if r.at != bytes.len() {
+            return None;
+        }
+        Some(Self {
+            next_epoch,
+            clock_bits,
+            events,
+            image,
+            last_full_checkpoint,
+        })
+    }
+}
+
+struct SnapReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+}
+
+fn encode_event(event: &RuntimeEvent, out: &mut Vec<u8>) {
+    let (tag, time) = match event {
+        RuntimeEvent::PeriodicCheckpoint { time } => (0u8, *time),
+        RuntimeEvent::EntryCheckpoint { time, .. } => (1, *time),
+        RuntimeEvent::ExitCheckpoint { time, .. } => (2, *time),
+        RuntimeEvent::Failure { time, .. } => (3, *time),
+        RuntimeEvent::RollbackRecovery { time, .. } => (4, *time),
+        RuntimeEvent::AbftRecovery { time, .. } => (5, *time),
+        RuntimeEvent::EpochComplete { time, .. } => (6, *time),
+    };
+    out.push(tag);
+    out.extend_from_slice(&time.to_bits().to_le_bytes());
+    match event {
+        RuntimeEvent::PeriodicCheckpoint { .. } => {}
+        RuntimeEvent::EntryCheckpoint { epoch, .. }
+        | RuntimeEvent::ExitCheckpoint { epoch, .. }
+        | RuntimeEvent::EpochComplete { epoch, .. } => {
+            out.extend_from_slice(&(*epoch as u64).to_le_bytes());
+        }
+        RuntimeEvent::Failure { rank, phase, .. } => {
+            out.extend_from_slice(&(*rank as u64).to_le_bytes());
+            out.push(match phase {
+                PhaseKind::General => 0,
+                PhaseKind::Library => 1,
+            });
+        }
+        RuntimeEvent::RollbackRecovery { lost_work, .. } => {
+            out.extend_from_slice(&lost_work.to_bits().to_le_bytes());
+        }
+        RuntimeEvent::AbftRecovery { rank, .. } => {
+            out.extend_from_slice(&(*rank as u64).to_le_bytes());
+        }
+    }
+}
+
+fn decode_event(r: &mut SnapReader<'_>) -> Option<RuntimeEvent> {
+    let tag = r.u8()?;
+    let time = r.f64()?;
+    Some(match tag {
+        0 => RuntimeEvent::PeriodicCheckpoint { time },
+        1 => RuntimeEvent::EntryCheckpoint { time, epoch: r.u64()? as usize },
+        2 => RuntimeEvent::ExitCheckpoint { time, epoch: r.u64()? as usize },
+        3 => {
+            let rank = r.u64()? as usize;
+            let phase = match r.u8()? {
+                0 => PhaseKind::General,
+                1 => PhaseKind::Library,
+                _ => return None,
+            };
+            RuntimeEvent::Failure { time, rank, phase }
+        }
+        4 => RuntimeEvent::RollbackRecovery { time, lost_work: r.f64()? },
+        5 => RuntimeEvent::AbftRecovery { time, rank: r.u64()? as usize },
+        6 => RuntimeEvent::EpochComplete { time, epoch: r.u64()? as usize },
+        _ => return None,
+    })
+}
+
 /// The composite-protocol runtime.
 #[derive(Debug, Clone)]
 pub struct CompositeRuntime {
@@ -129,6 +291,7 @@ pub struct CompositeRuntime {
     events: Vec<RuntimeEvent>,
     last_full_checkpoint: CoordinatedCheckpoint,
     library_parity: Vec<u8>,
+    next_epoch: usize,
 }
 
 impl CompositeRuntime {
@@ -143,6 +306,7 @@ impl CompositeRuntime {
             params,
             clock: 0.0,
             events: Vec::new(),
+            next_epoch: 0,
         };
         rt.clock += rt.params.checkpoint_cost;
         rt.refresh_parity();
@@ -251,13 +415,78 @@ impl CompositeRuntime {
         profile: &ApplicationProfile,
         failures: &[PlannedFailure],
     ) -> Result<RunReport> {
+        self.run_range(profile, failures, 0..profile.epochs().len())?;
+        Ok(self.report(profile))
+    }
+
+    /// Captures a consistent snapshot at the current epoch boundary.  Only
+    /// valid between [`CompositeRuntime::run_range`] calls (the runtime's
+    /// state machine is consistent at epoch boundaries).
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            next_epoch: self.next_epoch,
+            clock_bits: self.clock.to_bits(),
+            events: self.events.clone(),
+            image: CoordinatedCheckpoint::capture(&self.processes, self.clock),
+            last_full_checkpoint: self.last_full_checkpoint.clone(),
+        }
+    }
+
+    /// Reconstitutes a runtime from a snapshot — the crash-resume path where
+    /// no live process survives.  The LIBRARY parity is recomputed from the
+    /// materialized image (exact at epoch boundaries); continuing with
+    /// [`CompositeRuntime::run_range`] from `snapshot.next_epoch` reproduces
+    /// the uninterrupted run bit-identically.
+    pub fn resume_from(snapshot: &RuntimeSnapshot, params: ModelParams) -> Result<Self> {
+        let processes = snapshot
+            .image
+            .materialize()
+            .map_err(|_| ModelError::OutsideValidityDomain { what: "snapshot image" })?;
+        let mut rt = Self {
+            library_parity: Vec::new(),
+            last_full_checkpoint: snapshot.last_full_checkpoint.clone(),
+            processes,
+            params,
+            clock: f64::from_bits(snapshot.clock_bits),
+            events: snapshot.events.clone(),
+            next_epoch: snapshot.next_epoch,
+        };
+        rt.refresh_parity();
+        Ok(rt)
+    }
+
+    /// Builds the run report for the work executed so far.
+    pub fn report(&self, profile: &ApplicationProfile) -> RunReport {
+        RunReport {
+            total_time: self.clock,
+            useful_work: profile.total_duration(),
+            events: self.events.clone(),
+            final_fingerprint: self.processes.fingerprint(),
+        }
+    }
+
+    /// Executes the epochs `range` of a profile (both ends are epoch
+    /// indices). Ranges outside the profile are rejected; an empty range is
+    /// a no-op.  Splitting a run into consecutive ranges — optionally
+    /// crossing a [`RuntimeSnapshot`] round trip between them — produces the
+    /// same state, clock and trace as one full-range call.
+    pub fn run_range(
+        &mut self,
+        profile: &ApplicationProfile,
+        failures: &[PlannedFailure],
+        range: Range<usize>,
+    ) -> Result<()> {
+        if range.end > profile.epochs().len() {
+            return Err(ModelError::OutsideValidityDomain { what: "epoch range" });
+        }
         let period = paper_optimal_period(
             self.params.checkpoint_cost,
             self.params.platform_mtbf,
             self.params.downtime,
             self.params.recovery_cost,
         )?;
-        for (epoch_index, epoch) in profile.epochs().iter().enumerate() {
+        for epoch_index in range {
+            let epoch = &profile.epochs()[epoch_index];
             // ---- GENERAL phase -------------------------------------------------
             if epoch.general > 0.0 {
                 let phase_failures: Vec<&PlannedFailure> = failures
@@ -405,14 +634,10 @@ impl CompositeRuntime {
                 time: self.clock,
                 epoch: epoch_index,
             });
+            self.next_epoch = epoch_index + 1;
         }
 
-        Ok(RunReport {
-            total_time: self.clock,
-            useful_work: profile.total_duration(),
-            events: self.events.clone(),
-            final_fingerprint: self.processes.fingerprint(),
-        })
+        Ok(())
     }
 
     /// Progress marker applied when a periodic checkpoint is taken mid-phase
@@ -535,6 +760,75 @@ mod tests {
         assert!(periodic >= 2, "only {periodic} periodic checkpoints");
         // And no forced entry/exit checkpoints since there is no library phase.
         assert_eq!(report.count_events(|e| matches!(e, RuntimeEvent::EntryCheckpoint { .. })), 0);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run_bit_identically() {
+        let params = params(0.5);
+        let profile = ApplicationProfile::from_params_repeated(&params, 4);
+        let failures = vec![
+            PlannedFailure { epoch: 0, phase: PhaseKind::General, fraction: 0.4, rank: 1 },
+            PlannedFailure { epoch: 1, phase: PhaseKind::Library, fraction: 0.3, rank: 2 },
+            PlannedFailure { epoch: 3, phase: PhaseKind::Library, fraction: 0.8, rank: 0 },
+        ];
+
+        let mut full = CompositeRuntime::new(processes(), params);
+        let full_report = full.run(&profile, &failures).unwrap();
+
+        for split_at in 1..=3 {
+            // Run a prefix, kill, round-trip the snapshot through its byte
+            // codec, resume in a fresh runtime, run the suffix.
+            let mut prefix = CompositeRuntime::new(processes(), params);
+            prefix.run_range(&profile, &failures, 0..split_at).unwrap();
+            let snapshot = prefix.snapshot();
+            drop(prefix);
+
+            let bytes = snapshot.to_bytes();
+            let reloaded = RuntimeSnapshot::from_bytes(&bytes).unwrap();
+            assert_eq!(reloaded, snapshot);
+
+            let mut resumed = CompositeRuntime::resume_from(&reloaded, params).unwrap();
+            resumed
+                .run_range(&profile, &failures, split_at..profile.epochs().len())
+                .unwrap();
+            let resumed_report = resumed.report(&profile);
+
+            assert_eq!(resumed_report.final_fingerprint, full_report.final_fingerprint);
+            assert_eq!(
+                resumed_report.total_time.to_bits(),
+                full_report.total_time.to_bits(),
+                "split at epoch {split_at}"
+            );
+            assert_eq!(resumed_report.events, full_report.events);
+        }
+    }
+
+    #[test]
+    fn run_range_rejects_out_of_profile_epochs_and_tolerates_empty_ranges() {
+        let params = params(0.5);
+        let profile = ApplicationProfile::from_params_repeated(&params, 2);
+        let mut rt = CompositeRuntime::new(processes(), params);
+        assert!(rt.run_range(&profile, &[], 0..3).is_err());
+        rt.run_range(&profile, &[], 1..1).unwrap();
+        assert!(rt.report(&profile).events.is_empty());
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_malformed_bytes() {
+        let params = params(0.5);
+        let profile = ApplicationProfile::from_params(&params);
+        let mut rt = CompositeRuntime::new(processes(), params);
+        rt.run(&profile, &[]).unwrap();
+        let bytes = rt.snapshot().to_bytes();
+        assert!(RuntimeSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(RuntimeSnapshot::from_bytes(&[]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(RuntimeSnapshot::from_bytes(&padded).is_none());
+        let mut bad_tag = bytes;
+        // First event tag byte lives right after next_epoch/clock/count.
+        bad_tag[8 + 8 + 4] = 99;
+        assert!(RuntimeSnapshot::from_bytes(&bad_tag).is_none());
     }
 
     #[test]

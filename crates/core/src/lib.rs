@@ -37,7 +37,7 @@ pub mod scaling;
 pub mod scenario;
 pub mod young_daly;
 
-pub use composite_runtime::{CompositeRuntime, RuntimeEvent};
+pub use composite_runtime::{CompositeRuntime, RuntimeEvent, RuntimeSnapshot};
 pub use error::ModelError;
 pub use model::analytic::{AnyWasteModel, FirstOrderExponential, WasteModel, WeibullCorrected};
 pub use model::waste::Waste;

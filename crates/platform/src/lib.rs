@@ -18,6 +18,8 @@
 //! * [`grid`] — the virtual 2-D process grid used by the ABFT substrate;
 //! * [`rng`] — small, fully deterministic random number generators so that
 //!   every simulation in the workspace is reproducible from a `u64` seed;
+//! * [`checksum`] — streaming 32-bit checksum generators (CRC-32 and a null
+//!   generator) backing `ft-ckpt`'s verified checkpoint frames;
 //! * [`special`] — the Gamma-function family backing the Weibull moment
 //!   helpers ([`failure::FailureSpec::conditional_mean_below`] and friends);
 //! * [`units`] — readable constructors for durations and memory sizes.
@@ -31,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod checksum;
 pub mod cluster;
 pub mod error;
 pub mod failure;
@@ -44,6 +47,7 @@ pub mod trace;
 pub mod units;
 
 pub use batch::{BatchFailureSource, BatchFailureStream, BatchTraceBuffer, BatchTraceCursor};
+pub use checksum::{ChecksumGen, Crc32, NullChecksum};
 pub use cluster::Cluster;
 pub use error::PlatformError;
 pub use failure::{

@@ -132,9 +132,39 @@ pub fn lower_incomplete_gamma(s: f64, x: f64) -> f64 {
     regularized_lower_gamma(s, x) * gamma(s)
 }
 
+/// The error function `erf(x)`, via the identity
+/// `erf(x) = sign(x) · P(1/2, x²)` with the regularized lower incomplete
+/// Gamma function.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x.signum() * regularized_lower_gamma(0.5, x * x)
+    }
+}
+
+/// The standard normal CDF `Φ(x) = (1 + erf(x/√2)) / 2` — the confidence
+/// that a sign decision with normal-approximated statistic `z = x` is
+/// correct.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn erf_and_normal_cdf_known_values() {
+        assert_eq!(erf(0.0), 0.0);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 1e-9);
+        assert!((erf(2.0) - 0.995_322_265_018_953).abs() < 1e-9);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
 
     #[test]
     fn gamma_known_values() {

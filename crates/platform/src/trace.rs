@@ -278,9 +278,18 @@ impl<M: FailureModel> TraceBuffer<M> {
     /// borrow the buffer mutably (replaying may need to extend the
     /// recording), so executors consume them one after the other.
     pub fn cursor(&mut self) -> TraceCursor<'_, M> {
+        self.cursor_at(0)
+    }
+
+    /// A replay cursor positioned at the `index`-th failure of the sequence
+    /// — the crash-resume counterpart of [`TraceBuffer::cursor`]: a
+    /// simulation checkpoint records how many failure draws it had consumed,
+    /// and resuming replays the sequence from exactly that position, so the
+    /// resumed run sees the same future the uninterrupted run saw.
+    pub fn cursor_at(&mut self, index: usize) -> TraceCursor<'_, M> {
         TraceCursor {
             buffer: self,
-            next: 0,
+            next: index,
         }
     }
 
@@ -317,6 +326,15 @@ impl<M: FailureModel> TraceBuffer<M> {
 pub struct TraceCursor<'a, M: FailureModel> {
     buffer: &'a mut TraceBuffer<M>,
     next: usize,
+}
+
+impl<M: FailureModel> TraceCursor<'_, M> {
+    /// Index of the next failure this cursor will yield — the value to feed
+    /// [`TraceBuffer::cursor_at`] to recreate the cursor at this position.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.next
+    }
 }
 
 impl<M: FailureModel> FailureSource for TraceCursor<'_, M> {

@@ -74,10 +74,37 @@ impl<F: FailureSource> SimClock<F> {
         }
     }
 
+    /// Reconstructs a clock mid-run from crash-resume snapshot state.
+    ///
+    /// Unlike [`SimClock::with_source`], **no** failure is drawn: `source`
+    /// must already be positioned exactly past the draws the snapshotted
+    /// clock had consumed (a clock that counted `failures` interrupts has
+    /// consumed `failures + 1` draws — the initial one plus one per
+    /// interrupt), and `next_failure` is the pending arrival recorded at
+    /// snapshot time.  With a replayable source (a
+    /// [`ft_platform::trace::TraceBuffer`] cursor positioned with
+    /// `cursor_at(failures + 1)`), the resumed clock is bit-identical to the
+    /// uninterrupted one from the snapshot point onwards.
+    pub fn resume(source: F, now: f64, next_failure: f64, failures: usize) -> Self {
+        Self {
+            now,
+            next_failure,
+            source,
+            failures,
+        }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Absolute time of the next failure the clock will deliver — part of
+    /// the crash-resume snapshot (see [`SimClock::resume`]).
+    #[inline]
+    pub fn next_failure_time(&self) -> f64 {
+        self.next_failure
     }
 
     /// Number of failures that struck so far.
@@ -276,6 +303,36 @@ mod tests {
             .map(|t| t.to_bits())
             .collect();
         assert_eq!(sampled, prefix);
+    }
+
+    #[test]
+    fn resumed_clock_continues_bit_identically() {
+        use ft_platform::failure::ExponentialFailures;
+        use ft_platform::trace::TraceBuffer;
+        let model = ExponentialFailures::new(120.0).unwrap();
+        let mut buffer = TraceBuffer::new(model, 17);
+        // Reference: run 300 activities uninterrupted.
+        let (ref_now, ref_failures) = {
+            let mut reference = SimClock::with_source(buffer.cursor());
+            for _ in 0..300 {
+                reference.try_run(35.0);
+            }
+            (reference.now(), reference.failures())
+        };
+        // Snapshot after 120 activities, then resume and run the remaining 180.
+        let (now, next, failures) = {
+            let mut first = SimClock::with_source(buffer.cursor());
+            for _ in 0..120 {
+                first.try_run(35.0);
+            }
+            (first.now(), first.next_failure_time(), first.failures())
+        };
+        let mut resumed = SimClock::resume(buffer.cursor_at(failures + 1), now, next, failures);
+        for _ in 0..180 {
+            resumed.try_run(35.0);
+        }
+        assert_eq!(resumed.now().to_bits(), ref_now.to_bits());
+        assert_eq!(resumed.failures(), ref_failures);
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //!   compiled step program, bit-exact with the scalar executors (proven by
 //!   the differential oracle harness in `tests/batch_engine_oracle.rs`);
 //! * [`validate`] — model-versus-simulation comparison grids (the right-hand
-//!   column of Figure 7).
+//!   column of Figure 7);
+//! * [`resume`](mod@resume) — crash-resume: kill a run at any snapshot
+//!   boundary, persist a [`SimSnapshot`] through `ft-ckpt`'s checksummed
+//!   frame pipeline, and resume bit-identically (proven by the differential
+//!   harness in `tests/crash_resume.rs`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +41,7 @@ pub mod clock;
 pub mod engine;
 pub mod protocols;
 pub mod replicate;
+pub mod resume;
 pub mod stats;
 pub mod validate;
 
@@ -51,6 +56,9 @@ pub use engine::{
     BiExecutor, CompositeExecutor, Engine, PeriodPlan, ProtocolExecutor, PureExecutor,
 };
 pub use protocols::{simulate, Protocol, SimOutcome};
+pub use resume::{
+    compile_steps, ResumableSim, ResumeStep, RunStatus, SimSnapshot, WithinStep,
+};
 pub use replicate::{
     accumulate, accumulate_budget, accumulate_engine_budget, accumulate_paired,
     accumulate_paired_engine, accumulate_profile, accumulate_profile_budget,

@@ -181,6 +181,61 @@ fn bisection_localises_the_analytic_fig9_crossover_to_the_requested_tolerance() 
 }
 
 #[test]
+fn sequential_sign_test_is_off_by_default_and_pools_noisy_midpoints() {
+    // Noisy probes: a small fixed budget keeps each probe's CI wide, so
+    // midpoint sign decisions near the crossover stay unresolved at 95 %.
+    let spec = SweepSpec::scaling("fig9", WeakScalingScenario::figure9())
+        .budget(ReplicationBudget::Fixed(15));
+
+    // Default OFF: `new` sets one probe per midpoint, and an explicit
+    // `.sign_repeats(1)` reproduces the default refinement bit for bit.
+    let refiner = CrossoverRefiner::new(spec.clone(), Parameter::Nodes).tolerance(0.02);
+    assert_eq!(refiner.sign_repeats, 1);
+    let single = refiner.clone().refine(1e5, 1e6).unwrap();
+    let single_again = refiner.clone().sign_repeats(1).refine(1e5, 1e6).unwrap();
+    assert_eq!(single, single_again);
+
+    // The single-probe refinement carries a confidence statement already —
+    // the weakest sign decision under the normal approximation.
+    let confidence = single.confidence.expect("simulated decisions were taken");
+    assert!(confidence > 0.5 && confidence <= 1.0);
+
+    // With the sign test armed, undecided midpoints spend extra pooled
+    // probes (visible as consecutive probes of the same coordinate) and the
+    // weakest decision can only get stronger on the pooled statistic.
+    let pooled = refiner.clone().sign_repeats(4).refine(1e5, 1e6).unwrap();
+    let repeated = pooled
+        .probes
+        .windows(2)
+        .filter(|w| w[0].value == w[1].value)
+        .count();
+    assert!(
+        repeated > 0,
+        "a Fixed(15) budget must leave some midpoint unresolved: {pooled:?}"
+    );
+    assert!(pooled.total_replications() > single.total_replications());
+    let pooled_confidence = pooled.confidence.unwrap();
+    assert!(
+        pooled_confidence >= confidence,
+        "pooling weakened the bracket: {pooled_confidence} < {confidence}"
+    );
+
+    // Model-only probes decide exactly: certainty, no matter the repeats.
+    let model = CrossoverRefiner::new(
+        SweepSpec {
+            budget: ReplicationBudget::Fixed(0),
+            ..spec
+        },
+        Parameter::Nodes,
+    )
+    .tolerance(0.02)
+    .sign_repeats(5)
+    .refine(1e5, 1e6)
+    .unwrap();
+    assert_eq!(model.confidence, Some(1.0));
+}
+
+#[test]
 fn simulated_refinement_agrees_with_the_model_and_runs_under_weibull() {
     // A small simulated refinement (paired-delta probes) lands near the
     // model crossover, and the same driver completes under a Weibull clock.

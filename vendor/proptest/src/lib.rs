@@ -196,8 +196,35 @@ tuple_strategy!(A, B, C, D, E, F, G, H);
 tuple_strategy!(A, B, C, D, E, F, G, H, I);
 tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 
+/// Stand-in for `proptest::collection`: strategies for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Stand-in for `proptest::collection::vec`: a `Vec` whose length is
+    /// drawn from `len` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = self.len.clone().generate(rng)?;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// The proptest prelude: the strategy trait, config type and macros.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
         Strategy, TestCaseError, TestCaseResult,
