@@ -36,6 +36,7 @@
 //! and SPD test matrices used throughout), which is documented on each
 //! factorization type.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

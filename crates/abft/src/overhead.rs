@@ -10,8 +10,7 @@
 //! instantiated from first-hand measurements (and so the benchmarks can show
 //! how `φ` behaves with the problem size).
 
-use std::time::Instant;
-
+use ft_platform::clock::Stopwatch;
 use ft_platform::grid::ProcessGrid;
 use serde::{Deserialize, Serialize};
 
@@ -46,26 +45,26 @@ pub fn measure_overhead(n: usize, grid: &ProcessGrid, nb: usize, reps: usize) ->
     let reps = reps.max(1);
     let a = Matrix::random_diagonally_dominant(n, 0xC0FFEE);
 
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for _ in 0..reps {
         let _ = plain_lu(&a)?;
     }
-    let plain_seconds = start.elapsed().as_secs_f64() / reps as f64;
+    let plain_seconds = start.elapsed_seconds() / reps as f64;
 
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for _ in 0..reps {
         let mut abft = AbftLu::new(&a, grid, nb)?;
         abft.factor_to_completion()?;
     }
-    let abft_seconds = start.elapsed().as_secs_f64() / reps as f64;
+    let abft_seconds = start.elapsed_seconds() / reps as f64;
 
     // Reconstruction time: fail rank 0 halfway through and time the repair.
     let mut abft = AbftLu::new(&a, grid, nb)?;
     abft.factor_steps(n / 2)?;
     let lost = abft.inject_failure(0)?;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     abft.recover(&lost)?;
-    let reconstruction_seconds = start.elapsed().as_secs_f64();
+    let reconstruction_seconds = start.elapsed_seconds();
 
     let storage = abft.storage();
     let memory_overhead =

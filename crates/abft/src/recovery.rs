@@ -8,8 +8,7 @@
 //! the paper's recovery path, and [`ReconstructionOutcome`] reports how long
 //! it took so that the model parameter can be calibrated from measurements.
 
-use std::time::Instant;
-
+use ft_platform::clock::Stopwatch;
 use serde::{Deserialize, Serialize};
 
 use crate::blockcyclic::DistributedMatrix;
@@ -117,13 +116,13 @@ impl ProtectedDataset {
     /// from the checksums, returning the reconstruction outcome.
     pub fn fail_and_reconstruct(&mut self, rank: usize) -> Result<ReconstructionOutcome> {
         let lost = self.matrix.kill_rank(rank)?;
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.reconstruct(&lost)?;
         self.matrix.mark_recovered(rank);
         Ok(ReconstructionOutcome {
             rank,
             entries: lost.len(),
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: start.elapsed_seconds(),
         })
     }
 

@@ -27,6 +27,7 @@
 //! reproduction itself (whole-grid sweep throughput, simulator throughput,
 //! ABFT factorization overhead, checkpoint capture/restore costs).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -13,7 +13,7 @@
 //!   verification and graceful degradation can be exercised under a
 //!   controlled fault matrix.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -321,7 +321,7 @@ pub struct FaultInjectingBackend<B: CheckpointBackend> {
     plan: FaultPlan,
     rng: Xoshiro256,
     injected: Vec<(u64, InjectedKind)>,
-    pending_transients: HashMap<u64, u32>,
+    pending_transients: BTreeMap<u64, u32>,
 }
 
 impl<B: CheckpointBackend> FaultInjectingBackend<B> {
@@ -332,7 +332,7 @@ impl<B: CheckpointBackend> FaultInjectingBackend<B> {
             plan,
             rng: Xoshiro256::seed_from_u64(seed),
             injected: Vec::new(),
-            pending_transients: HashMap::new(),
+            pending_transients: BTreeMap::new(),
         }
     }
 

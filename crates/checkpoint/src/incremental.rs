@@ -14,7 +14,7 @@
 //! combined to recover the entire dataset at rollback time", which is why the
 //! *recovery* cost stays `R` even when the *checkpoint* cost drops to `C_L`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +37,7 @@ impl IncrementalCheckpoint {
     /// baseline counts as dirty).
     pub fn capture_since(set: &ProcessSet, baseline: &CoordinatedCheckpoint, time: f64) -> Self {
         // Index the baseline generations by (rank, region).
-        let mut base: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut base: BTreeMap<(usize, usize), u64> = BTreeMap::new();
         for (rank, region, generation) in baseline.generations() {
             base.insert((rank, region), generation);
         }

@@ -35,6 +35,7 @@
 //! executors when they need actual dataset semantics (what exactly is
 //! restored after a rollback) rather than just costs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,9 +16,9 @@
 //! waste models with measured write/verify/restore distributions.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use ft_platform::checksum::ChecksumGen;
+use ft_platform::clock::Stopwatch;
 
 use crate::backend::{CheckpointBackend, StoreFault};
 use crate::coordinated::CoordinatedCheckpoint;
@@ -165,7 +165,7 @@ impl<C: ChecksumGen + Clone, B: CheckpointBackend> CheckpointPipeline<C, B> {
         op: PipelineOp,
     ) -> Result<u64, StoreFault> {
         let generation = self.next_generation;
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let header = FrameHeader {
             generation,
             payload,
@@ -178,7 +178,7 @@ impl<C: ChecksumGen + Clone, B: CheckpointBackend> CheckpointPipeline<C, B> {
             op,
             raw_bytes: body.len(),
             stored_bytes: bytes.len(),
-            seconds: started.elapsed().as_secs_f64(),
+            seconds: started.elapsed_seconds(),
         });
         self.next_generation += 1;
         self.ledger.insert(generation, LedgerEntry { payload, time });
@@ -233,14 +233,14 @@ impl<C: ChecksumGen + Clone, B: CheckpointBackend> CheckpointPipeline<C, B> {
     /// Fetches and frame-verifies one generation without reconstructing the
     /// image; records the verification cost.
     pub fn verify(&mut self, generation: u64) -> Result<(), RestoreFault> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let v = fetch_verified(&mut self.backend, generation, &self.checksum, self.retry)?;
         self.costs.push(GenerationCost {
             generation,
             op: PipelineOp::Verify,
             raw_bytes: v.body.len(),
             stored_bytes: v.body.len(),
-            seconds: started.elapsed().as_secs_f64(),
+            seconds: started.elapsed_seconds(),
         });
         Ok(())
     }
@@ -303,7 +303,7 @@ impl<C: ChecksumGen + Clone, B: CheckpointBackend> CheckpointPipeline<C, B> {
     pub fn restore_latest(
         &mut self,
     ) -> Result<(CoordinatedCheckpoint, RestoreOutcome), RestoreFault> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut rejected: Vec<(u64, RestoreFault)> = Vec::new();
         let mut retries = 0u32;
         let mut backoff = 0.0f64;
@@ -336,7 +336,7 @@ impl<C: ChecksumGen + Clone, B: CheckpointBackend> CheckpointPipeline<C, B> {
                         op: PipelineOp::Restore,
                         raw_bytes: image.bytes(),
                         stored_bytes: 0,
-                        seconds: started.elapsed().as_secs_f64(),
+                        seconds: started.elapsed_seconds(),
                     });
                     return Ok((image, outcome));
                 }

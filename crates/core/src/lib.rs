@@ -25,6 +25,7 @@
 //! * [`scaling`] — the weak-scaling scenario generators behind Figures 8, 9
 //!   and 10 of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,36 @@
+//! Lexer edge cases: everything in this file that *looks* like a
+//! violation is inside comments, strings or test code — a correct scan
+//! reports nothing on the panic-free and unseeded rules.
+
+/* block comment with .unwrap() and thread_rng()
+   /* nested block comment: panic!("boom") still a comment */
+   still the outer comment: Instant::now()
+*/
+
+pub fn body() -> &'static str {
+    let raw = r#"raw string: x.unwrap(); rand::thread_rng(); "quoted" end"#;
+    let escaped = "escaped \" quote then .expect(\"msg\") still a string";
+    let multi = "a string that spans
+        a newline with panic!(\"no\") inside";
+    let ch = '"';
+    let brace = '}';
+    let _ = (escaped, multi, ch, brace);
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        body().chars().next().unwrap();
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+}
+
+pub fn after_tests() -> u64 {
+    // Back outside the test module: library rules apply again here.
+    7
+}

@@ -1,0 +1,16 @@
+//! Clean: parallel reduction through OutcomeAccumulator (sanctioned), and
+//! serial sums (ordered by definition).
+pub fn total(xs: &[f64]) -> f64 {
+    let acc = xs
+        .par_iter()
+        .fold(OutcomeAccumulator::new, |mut acc, x| {
+            acc.push_value(*x);
+            acc
+        })
+        .reduce(OutcomeAccumulator::new, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+    let serial: f64 = xs.iter().sum();
+    acc.mean() + serial
+}

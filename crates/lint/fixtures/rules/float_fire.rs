@@ -1,0 +1,6 @@
+//! Fires: parallel float sum outside the Welford accumulator.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x * 2.0)
+        .sum::<f64>()
+}

@@ -1,0 +1,17 @@
+//! Clean: errors are returned, panics live only in test code, and
+//! "unwrap()" appears in strings/comments only.
+pub fn read(xs: &[f64]) -> Option<f64> {
+    // The old code called unwrap() here; see the lint rationale.
+    let label = "never call .unwrap() on user input";
+    xs.first().copied().filter(|_| !label.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        assert_eq!(read(&[1.0]).unwrap(), 1.0);
+    }
+}

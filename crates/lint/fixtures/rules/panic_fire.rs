@@ -1,0 +1,7 @@
+//! Fires: unwrap and panic! in non-test library code.
+pub fn read(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        panic!("no data");
+    }
+    *xs.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Clean: BTreeMap iterates in key order.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u64]) -> f64 {
+    let mut m: BTreeMap<u64, f64> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0.0) += 1.0;
+    }
+    m.values().sum()
+}

@@ -1,0 +1,10 @@
+//! Fires: HashMap in a result-affecting crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> f64 {
+    let mut m: HashMap<u64, f64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0.0) += 1.0;
+    }
+    m.values().sum()
+}

@@ -1,0 +1,8 @@
+//! Clean: the unsafe site carries a SAFETY comment; `unsafeguarded` is
+//! not the keyword.
+pub fn peek(xs: &[u64]) -> u64 {
+    let unsafeguarded = xs.len();
+    // SAFETY: the caller guarantees xs is non-empty, so the pointer read
+    // stays in bounds; unsafeguarded is just an identifier.
+    unsafe { *xs.as_ptr().add(unsafeguarded - unsafeguarded) }
+}

@@ -1,0 +1,6 @@
+//! Fires: undocumented unsafe block.
+
+pub fn peek(xs: &[u64]) -> u64 {
+    // No justification comment anywhere near the site.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//! Clean: randomness derived from an explicit seed.
+pub fn draw(seed: u64) -> u64 {
+    // SplitMix64-style mix of the explicit seed.
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}

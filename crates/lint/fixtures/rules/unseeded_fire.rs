@@ -1,0 +1,5 @@
+//! Fires: entropy-seeded randomness.
+pub fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

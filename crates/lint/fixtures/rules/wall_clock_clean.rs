@@ -1,0 +1,17 @@
+//! Clean: Duration values are fine, Instant only appears in comments,
+//! strings and test code.
+use std::time::Duration;
+
+/// Not a clock read: `Instant::now()` in a doc comment does not count.
+pub fn simulated(step: Duration) -> f64 {
+    let s = "Instant::now() in a string is data, not a clock";
+    step.as_secs_f64() + s.len() as f64 * 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let _ = std::time::Instant::now();
+    }
+}

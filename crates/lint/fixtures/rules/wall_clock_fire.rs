@@ -1,0 +1,7 @@
+//! Fires: wall clock in a library crate.
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

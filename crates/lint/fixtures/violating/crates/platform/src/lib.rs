@@ -1,0 +1,6 @@
+//! Deliberately violating fixture: entropy seeding and a parallel sum.
+pub fn bad(xs: &[f64]) -> f64 {
+    let noise: f64 = rand::thread_rng().gen();
+    let total: f64 = xs.par_iter().map(|x| x + noise).sum();
+    total
+}

@@ -1,0 +1,14 @@
+//! Deliberately violating fixture: one file, many findings.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad(xs: &[f64]) -> f64 {
+    let started = Instant::now();
+    let mut m: HashMap<u64, f64> = HashMap::new();
+    for (i, x) in xs.iter().enumerate() {
+        m.insert(i as u64, *x);
+    }
+    let first = *xs.first().unwrap();
+    let raced = unsafe { *xs.as_ptr() };
+    first + raced + m.len() as f64 + started.elapsed().as_secs_f64()
+}

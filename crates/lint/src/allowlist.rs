@@ -1,0 +1,327 @@
+//! The `lint-allow.toml` allowlist: per-site suppressions with mandatory
+//! written justifications.
+//!
+//! The build environment is offline, so this is a hand-rolled parser for
+//! the small TOML subset the allowlist actually uses:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "panic-free-library"
+//! path = "crates/checkpoint/src/frame.rs"
+//! contains = ".expect("          # optional: narrow to matching lines
+//! line = 42                      # optional: narrow to one line
+//! justification = "why this site cannot misbehave"
+//! ```
+//!
+//! Honesty guarantees enforced at load/apply time:
+//!
+//! * every entry must carry a non-empty `justification` — a bare
+//!   suppression is itself a finding (`bad-allow`);
+//! * every entry must name a known rule (`bad-allow` otherwise);
+//! * an entry that suppressed nothing in the run is reported as
+//!   `stale-allow`, so the allowlist can only shrink as violations are
+//!   fixed — it never accretes dead weight silently.
+
+use crate::rules::{is_known_rule, Finding, BAD_ALLOW, STALE_ALLOW};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path (exact match, `/`-separated).
+    pub path: String,
+    /// Optional substring the raw source line must contain.
+    pub contains: Option<String>,
+    /// Optional 1-based line the finding must sit on.
+    pub line: Option<usize>,
+    /// The mandatory written justification.
+    pub justification: String,
+    /// Line of the entry header in the allowlist file (for diagnostics).
+    pub declared_at: usize,
+}
+
+/// A parsed allowlist plus per-entry hit counters.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<AllowEntry>,
+    /// Path the list was loaded from, for diagnostics.
+    pub source_path: String,
+    hits: Vec<usize>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (used when the file does not exist).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the TOML-subset allowlist format.
+    ///
+    /// Unknown keys and malformed lines are reported as `bad-allow`
+    /// findings rather than silently ignored.
+    pub fn parse(content: &str, source_path: &str) -> (Self, Vec<Finding>) {
+        let mut findings = Vec::new();
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+
+        for (idx, raw_line) in content.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw_line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    entries.push(entry);
+                }
+                current = Some(AllowEntry {
+                    declared_at: lineno,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    lineno,
+                    format!("unparseable allowlist line: `{line}`"),
+                ));
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    lineno,
+                    "key outside an [[allow]] table".to_string(),
+                ));
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" | "path" | "contains" | "justification" => {
+                    match parse_toml_string(value) {
+                        Some(s) => match key {
+                            "rule" => entry.rule = s,
+                            "path" => entry.path = s,
+                            "contains" => entry.contains = Some(s),
+                            _ => entry.justification = s,
+                        },
+                        None => findings.push(Finding::at(
+                            BAD_ALLOW,
+                            source_path,
+                            lineno,
+                            format!("`{key}` must be a double-quoted string"),
+                        )),
+                    }
+                }
+                "line" => match value.parse::<usize>() {
+                    Ok(v) => entry.line = Some(v),
+                    Err(_) => findings.push(Finding::at(
+                        BAD_ALLOW,
+                        source_path,
+                        lineno,
+                        "`line` must be an integer literal".to_string(),
+                    )),
+                },
+                other => findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    lineno,
+                    format!("unknown allowlist key `{other}`"),
+                )),
+            }
+        }
+        if let Some(entry) = current.take() {
+            entries.push(entry);
+        }
+
+        // Entry-level validation: justification and rule name are mandatory.
+        for entry in &entries {
+            if entry.justification.trim().is_empty() {
+                findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    entry.declared_at,
+                    format!(
+                        "allowlist entry for `{}` on `{}` has no justification — every \
+                         suppression must explain why the site is safe",
+                        entry.rule, entry.path
+                    ),
+                ));
+            }
+            if !is_known_rule(&entry.rule) {
+                findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    entry.declared_at,
+                    format!("allowlist entry names unknown rule `{}`", entry.rule),
+                ));
+            }
+            if entry.path.trim().is_empty() {
+                findings.push(Finding::at(
+                    BAD_ALLOW,
+                    source_path,
+                    entry.declared_at,
+                    "allowlist entry has no `path`".to_string(),
+                ));
+            }
+        }
+
+        let hits = vec![0; entries.len()];
+        (
+            Self {
+                entries,
+                source_path: source_path.to_string(),
+                hits,
+            },
+            findings,
+        )
+    }
+
+    /// Whether `finding` (whose raw source line is `raw_line`) is
+    /// suppressed; counts the hit on the matching entry.
+    pub fn suppresses(&mut self, finding: &Finding, raw_line: &str) -> bool {
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.rule != finding.rule || entry.path != finding.path {
+                continue;
+            }
+            if let Some(want) = entry.line {
+                if want != finding.line {
+                    continue;
+                }
+            }
+            if let Some(needle) = &entry.contains {
+                if !raw_line.contains(needle.as_str()) {
+                    continue;
+                }
+            }
+            self.hits[i] += 1;
+            return true;
+        }
+        false
+    }
+
+    /// `stale-allow` findings for entries that suppressed nothing.
+    pub fn stale_entries(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .zip(&self.hits)
+            .filter(|(_, &hits)| hits == 0)
+            .map(|(entry, _)| {
+                Finding::at(
+                    STALE_ALLOW,
+                    &self.source_path,
+                    entry.declared_at,
+                    format!(
+                        "allowlist entry `{}` on `{}` matched no finding — delete it \
+                         (the violation it excused is gone)",
+                        entry.rule, entry.path
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Strips a `#`-comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses a double-quoted TOML string with `\"` / `\\` escapes.
+fn parse_toml_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => return None,
+            }
+        } else if c == '"' {
+            return None; // Unescaped quote inside the string body.
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# project allowlist
+[[allow]]
+rule = "panic-free-library"
+path = "crates/x/src/lib.rs"
+contains = ".expect("
+justification = "invariant-backed"
+
+[[allow]]
+rule = "wall-clock-in-library"
+path = "crates/platform/src/clock.rs"
+justification = "the one sanctioned clock"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let (list, findings) = Allowlist::parse(SAMPLE, "lint-allow.toml");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].contains.as_deref(), Some(".expect("));
+    }
+
+    #[test]
+    fn missing_justification_is_a_finding() {
+        let src = "[[allow]]\nrule = \"panic-free-library\"\npath = \"a.rs\"\n";
+        let (_, findings) = Allowlist::parse(src, "lint-allow.toml");
+        assert!(findings.iter().any(|f| f.rule == BAD_ALLOW));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let src = "[[allow]]\nrule = \"no-such-rule\"\npath = \"a.rs\"\njustification = \"x\"\n";
+        let (_, findings) = Allowlist::parse(src, "lint-allow.toml");
+        assert!(findings.iter().any(|f| f.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn suppression_and_staleness() {
+        let (mut list, _) = Allowlist::parse(SAMPLE, "lint-allow.toml");
+        let f = Finding::at(
+            "panic-free-library",
+            "crates/x/src/lib.rs",
+            10,
+            "x".to_string(),
+        );
+        assert!(list.suppresses(&f, "value.expect(\"msg\")"));
+        assert!(!list.suppresses(&f, "value.unwrap()"), "contains filter applies");
+        let stale = list.stale_entries();
+        assert_eq!(stale.len(), 1, "the clock entry never matched");
+        assert!(stale[0].message.contains("wall-clock-in-library"));
+    }
+}

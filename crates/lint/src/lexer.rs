@@ -1,0 +1,466 @@
+//! A minimal, dependency-free Rust source scanner.
+//!
+//! The rules in [`crate::rules`] are *lexical*: they look for tokens like
+//! `Instant`, `HashMap` or `.unwrap()` in places where the workspace's
+//! determinism invariants forbid them.  A plain substring search would be
+//! hopelessly noisy — `// the old code used thread_rng()` in a comment, an
+//! `"unwrap()"` inside a raw string fixture, or the identifier
+//! `unsafeguarded` must not fire — so this module performs a real
+//! character-level scan that:
+//!
+//! * strips `//` line comments and (nested) `/* ... */` block comments,
+//!   keeping the comment text separately so the `// SAFETY:` rule can see
+//!   it;
+//! * blanks the *contents* of string literals (`"…"`, `b"…"`), raw string
+//!   literals (`r"…"`, `r#"…"#`, `br##"…"##`) and char literals, while
+//!   preserving the enclosing quotes and line structure;
+//! * distinguishes char literals from lifetimes (`'a'` vs `&'a str`);
+//! * tracks — approximately, by brace depth — which lines live inside a
+//!   `#[cfg(test)]`-gated item or a `mod tests { … }` block, so test code
+//!   is exempt from the library-only rules.
+//!
+//! The result is one [`SourceLine`] per input line: `code` is what rules
+//! should match against, `comment` is what the `SAFETY:` check reads, and
+//! `in_test` scopes the library-only rules.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLine {
+    /// The line with comment text removed and literal contents blanked.
+    pub code: String,
+    /// The comment text of the line (line + block comments, concatenated).
+    pub comment: String,
+    /// The raw, untouched source line (allowlist `contains` matches here).
+    pub raw: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item or `mod tests`
+    /// block (approximate brace-depth tracking).
+    pub in_test: bool,
+}
+
+/// Returns `true` when `needle` occurs in `haystack` as a whole word
+/// (not flanked by identifier characters).
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `needle`.
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Scans `source` into per-line code/comment views with test-block marks.
+pub fn scan(source: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0usize;
+    let n = chars.len();
+
+    // Helper closures can't borrow the buffers mutably alongside the loop,
+    // so line flushing is inlined at every '\n'.
+    macro_rules! flush_line {
+        () => {
+            lines.push(SourceLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                raw: String::new(),
+                in_test: false,
+            });
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                flush_line!();
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment: capture text until newline.
+                i += 2;
+                while i < n && chars[i] != '\n' {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nested per Rust's rules.
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        comment.push_str("/*");
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        if depth > 0 {
+                            comment.push_str("*/");
+                        }
+                        i += 2;
+                    } else if chars[i] == '\n' {
+                        flush_line!();
+                        i += 1;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut code, &mut lines, &mut comment);
+            }
+            'r' | 'b' if starts_literal(&chars, i) => {
+                i = consume_prefixed_literal(&chars, i, &mut code, &mut lines, &mut comment);
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if is_char_literal(&chars, i) {
+                    code.push('\'');
+                    i += 1;
+                    while i < n && chars[i] != '\'' {
+                        if chars[i] == '\\' {
+                            i += 1; // skip the escaped character
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                    if i < n {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    // Lifetime: emit as-is.
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() || (n > 0 && !source.ends_with('\n')) {
+        lines.push(SourceLine {
+            code,
+            comment,
+            raw: String::new(),
+            in_test: false,
+        });
+    }
+
+    // Attach the raw text and compute the test regions.
+    for (line, raw) in lines.iter_mut().zip(source.lines()) {
+        line.raw = raw.to_string();
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r"…"`, `r#"…"#`, `br##"…"##`, `b"…"` and plain identifiers starting
+/// with `r`/`b` need disambiguation: a literal follows when the prefix is
+/// `b?` + `r?` + `#*` + `"` (with at least the quote present).
+fn starts_literal(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Must not be the tail of an identifier (`attr"` is impossible, but
+    // `br` inside `abr"` would be).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    if j < chars.len() && chars[j] == 'b' {
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == 'r' {
+        j += 1;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j > i && j < chars.len() && chars[j] == '"' && (chars[i] == 'b' || chars[i] == 'r')
+}
+
+/// Consumes a `b"…"` / `r#"…"#`-style literal starting at `i`.
+fn consume_prefixed_literal(
+    chars: &[char],
+    mut i: usize,
+    code: &mut String,
+    lines: &mut Vec<SourceLine>,
+    comment: &mut String,
+) -> usize {
+    let mut raw = false;
+    if chars[i] == 'b' {
+        code.push('b');
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == 'r' {
+        raw = true;
+        code.push('r');
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        code.push('#');
+        i += 1;
+    }
+    if i >= chars.len() || chars[i] != '"' {
+        return i; // Not actually a literal; already emitted the prefix.
+    }
+    if raw {
+        code.push('"');
+        i += 1;
+        // Scan for `"` + hashes closing delimiter; no escapes in raw strings.
+        'outer: while i < chars.len() {
+            if chars[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < chars.len() && chars[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    i += 1 + hashes;
+                    break 'outer;
+                }
+            }
+            if chars[i] == '\n' {
+                lines.push(SourceLine {
+                    code: std::mem::take(code),
+                    comment: std::mem::take(comment),
+                    raw: String::new(),
+                    in_test: false,
+                });
+            } else {
+                code.push(' ');
+            }
+            i += 1;
+        }
+        i
+    } else {
+        consume_string(chars, i, code, lines, comment)
+    }
+}
+
+/// Consumes a `"…"` string with escapes starting at the opening quote.
+fn consume_string(
+    chars: &[char],
+    mut i: usize,
+    code: &mut String,
+    lines: &mut Vec<SourceLine>,
+    comment: &mut String,
+) -> usize {
+    code.push('"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                code.push(' ');
+                i += 2; // skip the escaped character (incl. \" and \\)
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                return i;
+            }
+            '\n' => {
+                lines.push(SourceLine {
+                    code: std::mem::take(code),
+                    comment: std::mem::take(comment),
+                    raw: String::new(),
+                    in_test: false,
+                });
+                i += 1;
+            }
+            _ => {
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// `'x'` / `'\n'` are char literals; `'a` followed by an identifier (and no
+/// closing quote right after) is a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    if i + 1 >= chars.len() {
+        return false;
+    }
+    if chars[i + 1] == '\\' {
+        return true;
+    }
+    i + 2 < chars.len() && chars[i + 2] == '\''
+}
+
+/// Marks the lines inside `#[cfg(test)]` items / `#[test]` functions /
+/// `mod tests` blocks. Approximate: attributes arm the tracker, the next
+/// opening brace starts the region, and the region ends when the brace
+/// depth returns to its entry value. An armed tracker is disarmed by a
+/// block-less item (a `;` before any `{`).
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_exit: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let starts_in_region = region_exit.is_some();
+        if region_exit.is_none() && !armed {
+            let code = &line.code;
+            if code.contains("cfg(test)")
+                || (code.contains("#[cfg(") && contains_word(code, "test"))
+                || code.trim_start().starts_with("#[test]")
+                || (contains_word(code, "mod") && contains_word(code, "tests"))
+            {
+                armed = true;
+            }
+        }
+
+        let mut line_opened_region = false;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed && region_exit.is_none() {
+                        region_exit = Some(depth);
+                        armed = false;
+                        line_opened_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(exit) = region_exit {
+                        if depth <= exit {
+                            region_exit = None;
+                        }
+                    }
+                }
+                ';' if armed && region_exit.is_none() => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // block-less item.
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+
+        line.in_test = starts_in_region || region_exit.is_some() || line_opened_region || armed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped_but_kept() {
+        let lines = scan("let x = 1; // uses unwrap() here\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner unwrap() */ still comment */ b\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let src = "before /* one\ntwo unwrap()\nthree */ after\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].comment.contains("unwrap"));
+        assert!(lines[2].code.contains("after"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = scan("let s = \"call unwrap() now\";\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lines = scan("let s = r#\"thread_rng() \" inner\"#; let t = 1;\n");
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = scan("let s = \"a \\\" unwrap() b\"; let u = 2;\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let u = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = scan("fn f<'a>(x: &'a str) -> char { '}' }\n");
+        // The '}' char content is blanked (so brace depth stays balanced),
+        // while the lifetimes survive untouched.
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(lines[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::time::Instant;", "Instant"));
+        assert!(!contains_word("let unsafeguarded = 1;", "unsafe"));
+        assert!(!contains_word("doctest", "test"));
+        assert!(contains_word("cfg(all(test, feature))", "test"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line belongs to the region");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_import_does_not_poison_the_file() {
+        let src = "#[cfg(test)]\nuse helpers::x;\nfn lib() { body(); }\n";
+        let lines = scan(src);
+        assert!(!lines[2].in_test, "block-less item must disarm the tracker");
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_is_marked() {
+        let src = "mod tests {\n    fn t() {}\n}\nfn lib() {}\n";
+        let lines = scan(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[3].in_test);
+    }
+}

@@ -1,0 +1,58 @@
+//! `ft-lint` CLI: lints the workspace and exits non-zero on findings.
+//!
+//! ```text
+//! ft-lint [--root DIR] [--allow FILE] [--list-rules]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by ascending from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`
+//! (so `cargo run -p ft-lint` works from any subdirectory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow = args.next().map(PathBuf::from),
+            "--list-rules" => {
+                for (name, summary) in ft_lint::rules::RULES {
+                    println!("{name:<28} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: ft-lint [--root DIR] [--allow FILE] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ft-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        ft_lint::find_workspace_root(&cwd)
+    });
+
+    match ft_lint::lint_workspace(&root, allow.as_deref()) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ft-lint: i/o error while scanning {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //!   every simulation in the workspace is reproducible from a `u64` seed;
 //! * [`checksum`] — streaming 32-bit checksum generators (CRC-32 and a null
 //!   generator) backing `ft-ckpt`'s verified checkpoint frames;
+//! * [`clock`] — the sanctioned measurement [`clock::Stopwatch`] (wall-clock
+//!   or injected time), the only place library code may read real time;
 //! * [`special`] — the Gamma-function family backing the Weibull moment
 //!   helpers ([`failure::FailureSpec::conditional_mean_below`] and friends);
 //! * [`units`] — readable constructors for durations and memory sizes.
@@ -29,11 +31,13 @@
 //! consume these descriptions to compute costs and to drive discrete-event
 //! simulations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
 pub mod checksum;
+pub mod clock;
 pub mod cluster;
 pub mod error;
 pub mod failure;

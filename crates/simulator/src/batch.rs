@@ -63,7 +63,7 @@
 //!   [`SeedStream::nth_seed`] offsets, order-preserving merge, stopping
 //!   checks on the same block boundaries).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use ft_composite::scenario::ApplicationProfile;
@@ -616,11 +616,11 @@ pub fn simulate_profile_batch_replay<M: FailureModel + Clone>(
 /// be bit-identical anyway.
 #[derive(Debug, Default)]
 pub struct BatchProgramCache {
-    programs: Mutex<HashMap<ProgramKey, Arc<BatchProgram>>>,
+    programs: Mutex<BTreeMap<ProgramKey, Arc<BatchProgram>>>,
 }
 
 /// Bit-pattern identity of a compilation input triple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ProgramKey {
     protocol: Protocol,
     epochs: Vec<(u64, u64)>,

@@ -33,6 +33,7 @@
 //!   frame pipeline, and resume bit-identically (proven by the differential
 //!   harness in `tests/crash_resume.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

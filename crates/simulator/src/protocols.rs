@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::Engine;
 
 /// The three fault-tolerance protocols compared by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Protocol {
     /// Phase-oblivious coordinated periodic checkpointing.
     PurePeriodicCkpt,

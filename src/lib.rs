@@ -48,6 +48,7 @@
 //! assert!(composite.value() > 0.0 && composite.value() < pure.value());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
