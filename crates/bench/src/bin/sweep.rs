@@ -9,6 +9,7 @@
 //!     [--from 0.1] [--to 1.0] [--steps 10] \
 //!     [--replications 100 | --precision 0.02 | --delta-precision 0.05] \
 //!     [--paired] [--antithetic] [--model-gap] [--failure-model weibull --weibull-shape 0.7] \
+//!     [--scenario trace[:<path>]|cascade|diurnal|wearout] \
 //!     [--epochs 1] [--threads N] [--format table|csv|json]
 //! ```
 //!
@@ -17,7 +18,10 @@
 //! `--delta-precision` stops each point on the paired waste *differences*
 //! instead.  `--parameter weibull_shape` sweeps the failure clock's Weibull
 //! shape (the robustness-study axis); `--failure-model weibull` switches
-//! the clock for any other sweep.
+//! the clock for any other sweep.  `--scenario` replaces the simulation
+//! clock with a recorded-trace playback or a synthesized non-stationary
+//! source (cascade bursts, diurnal modulation, wear-out) while the model
+//! arm keeps the matched-MTBF i.i.d. prediction — see docs/TRACES.md.
 
 use ft_bench::{figure7_base, run_cli, Args, Axis, Parameter, SweepSpec};
 

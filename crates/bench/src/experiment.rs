@@ -39,6 +39,7 @@ use ft_composite::scaling::{paper_node_counts, WeakScalingScenario};
 use ft_composite::scenario::ApplicationProfile;
 use ft_platform::failure::FailureSpec;
 use ft_platform::rng::{SeedStream, SplitMix64};
+use ft_platform::scenario::ScenarioSpec;
 use ft_platform::special::normal_cdf;
 use ft_sim::batch::{
     accumulate_paired_programs_batch, accumulate_profile_program_batch, BatchProgram,
@@ -218,6 +219,15 @@ pub struct SweepSpec {
     /// analytic waste model ([`AnyWasteModel::from_spec`]), so model and
     /// simulation always share one failure description.
     pub failure: FailureSpec,
+    /// Failure *scenario* of the simulation arm (CLI: `--scenario
+    /// trace[:<path>]|cascade|diurnal|wearout`; [`ScenarioSpec::Iid`] by
+    /// default).  A non-i.i.d. scenario replaces the simulation clock with a
+    /// trace playback or a synthesized non-stationary source calibrated to
+    /// each point's platform MTBF, while the **model arm keeps the
+    /// matched-MTBF i.i.d. prediction** — the `diff`/gap columns then
+    /// measure exactly what breaking the i.i.d. assumption does.  Requires
+    /// the default exponential `failure` spec (the scenario owns the clock).
+    pub failure_scenario: ScenarioSpec,
     /// Run every replication seed together with its antithetic partner
     /// (`1 − u` uniforms) and accumulate pair means — variance reduction on
     /// smooth waste responses (CLI: `--antithetic`).  A budget of `n` then
@@ -262,6 +272,7 @@ impl SweepSpec {
             budget: ReplicationBudget::Fixed(0),
             paired: false,
             failure: FailureSpec::Exponential,
+            failure_scenario: ScenarioSpec::Iid,
             antithetic: false,
             model_gap: false,
             epochs: 1,
@@ -318,6 +329,13 @@ impl SweepSpec {
     /// matching analytic model).
     pub fn failure_model(mut self, failure: FailureSpec) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// Sets the failure scenario of the simulation arm (see
+    /// [`SweepSpec::failure_scenario`]).
+    pub fn scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.failure_scenario = scenario;
         self
     }
 
@@ -389,6 +407,35 @@ impl SweepSpec {
         self.failure
             .validate()
             .map_err(|e| SweepError(format!("invalid failure model: {e}")))?;
+        if !self.failure_scenario.is_iid() {
+            // The scenario *is* the simulation clock: combining it with a
+            // non-exponential i.i.d. spec (or a shape axis) would silently
+            // drop one of the two clocks, so that is rejected outright.
+            if self.failure != FailureSpec::Exponential {
+                return Err(SweepError(format!(
+                    "--scenario {} replaces the failure clock and cannot be \
+                     combined with a non-exponential --failure-model",
+                    self.failure_scenario
+                )));
+            }
+            if self.axes.iter().any(|a| a.parameter == Parameter::WeibullShape) {
+                return Err(SweepError(format!(
+                    "--scenario {} replaces the failure clock and cannot be \
+                     combined with a Weibull-shape axis",
+                    self.failure_scenario
+                )));
+            }
+            // Resolve once at the base point so the execution path can rely
+            // on scenario resolution (trace files load and parse, synthesized
+            // parameters are valid).  Per-point MTBF/horizon variations only
+            // rescale positive quantities and cannot introduce new failures.
+            self.failure_scenario
+                .resolve(
+                    self.base.platform_mtbf,
+                    self.scenario_horizon(&self.base),
+                )
+                .map_err(|e| SweepError(format!("invalid scenario: {e}")))?;
+        }
         for axis in &self.axes {
             if axis.values.is_empty() {
                 return Err(SweepError(format!(
@@ -541,6 +588,7 @@ impl SweepSpec {
             budget: self.budget,
             paired: self.paired,
             failure: self.failure,
+            failure_scenario: self.failure_scenario.clone(),
             antithetic: self.antithetic,
             model_gap: self.model_gap,
             axes: self.axes.iter().map(|a| a.parameter).collect(),
@@ -602,12 +650,29 @@ impl SweepSpec {
         }
     }
 
+    /// The nominal simulated duration at one parameter point — the wear-out
+    /// scenario's hazard-calibration window (the average failure rate over
+    /// this horizon equals the point's `1/µ`).
+    fn scenario_horizon(&self, params: &ModelParams) -> f64 {
+        params.epoch_duration * self.epochs.max(1) as f64
+    }
+
     /// The simulation engine of one grid point: the point's parameters under
     /// the spec's failure clock (or the clock a
-    /// [`Parameter::WeibullShape`] coordinate selects).
+    /// [`Parameter::WeibullShape`] coordinate selects), unless a non-i.i.d.
+    /// [`SweepSpec::failure_scenario`] replaces the clock with a trace
+    /// playback or synthesized non-stationary source at the point's MTBF.
     fn engine(&self, point: &GridPoint, params: &ModelParams) -> Engine {
-        Engine::with_failure_spec(params, point.failure_spec(self.failure))
-            .expect("failure specs are validated at expansion")
+        if self.failure_scenario.is_iid() {
+            Engine::with_failure_spec(params, point.failure_spec(self.failure))
+                .expect("failure specs are validated at expansion")
+        } else {
+            let model = self
+                .failure_scenario
+                .resolve(params.platform_mtbf, self.scenario_horizon(params))
+                .expect("scenarios are validated at expansion");
+            Engine::with_failure_model(params, model)
+        }
     }
 
     /// Evaluates one `(point, protocol)` task: the model prediction plus
@@ -865,6 +930,9 @@ pub struct SweepResults {
     pub paired: bool,
     /// Failure clock of the experiment (both arms).
     pub failure: FailureSpec,
+    /// Failure scenario of the simulation arm ([`ScenarioSpec::Iid`] unless
+    /// the sweep broke the i.i.d. assumption).
+    pub failure_scenario: ScenarioSpec,
     /// Whether replication seeds ran with their antithetic partners.
     pub antithetic: bool,
     /// Whether the gap columns/summary were requested.
@@ -1124,9 +1192,17 @@ impl SweepResults {
             .map_or(self.failure, |coords| {
                 coordinates_failure_spec(coords, self.failure)
             });
-        AnyWasteModel::from_spec(spec)
+        let label = AnyWasteModel::from_spec(spec)
             .map(|m| m.label())
-            .unwrap_or_else(|_| "invalid".to_string())
+            .unwrap_or_else(|_| "invalid".to_string());
+        if self.failure_scenario.is_iid() {
+            label
+        } else {
+            // Under a non-i.i.d. scenario the model arm is the matched-MTBF
+            // i.i.d. baseline, not a model of the scenario clock — say so,
+            // rather than letting the label claim the clocks agree.
+            format!("{label} [iid baseline; clock={}]", self.failure_scenario)
+        }
     }
 
     /// Renders the results as a [`Table`] for the shared output writer.
@@ -1768,6 +1844,12 @@ pub fn failure_spec_from_args(args: &Args) -> Option<FailureSpec> {
 /// genuine model−simulation gap.  `--model-gap` adds the per-point model
 /// label, relative-gap and gap-significance columns plus a grid-level gap
 /// summary footer (and gives model-only specs a default simulation budget).
+/// `--scenario trace[:<path>]|cascade|diurnal|wearout` replaces the
+/// simulation clock with a recorded-trace playback or a synthesized
+/// non-stationary source calibrated to each point's MTBF, while the model
+/// arm keeps the matched-MTBF i.i.d. prediction (and its labels say so) —
+/// the gap columns then measure the effect of breaking the i.i.d.
+/// assumption.
 /// `--batch-lanes` resizes the batched SoA simulation engine (`1` falls
 /// back to the scalar engine) — a pure throughput knob: the batch engine is
 /// bit-exact with the scalar one, so every reported figure is identical at
@@ -1804,6 +1886,13 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     }
     if let Some(failure) = failure_spec_from_args(args) {
         spec.failure = failure;
+    }
+    let scenario_text = args.string("--scenario", "");
+    if !scenario_text.is_empty() {
+        spec.failure_scenario = ScenarioSpec::parse(&scenario_text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     }
     if args.flag("--model-gap") {
         // A gap needs both arms: give model-only specs the default
@@ -1843,12 +1932,17 @@ pub fn run_cli(mut spec: SweepSpec, args: &Args) -> SweepResults {
     });
     println!("# {}", results.name);
     println!(
-        "# {} grid points x {} protocols, budget {} per task{}, {} failures, {} epochs",
+        "# {} grid points x {} protocols, budget {} per task{}, {} failures{}, {} epochs",
         results.grid_points(),
         spec.protocols.len(),
         spec.plan(),
         if spec.paired { " (paired)" } else { "" },
         spec.failure,
+        if spec.failure_scenario.is_iid() {
+            String::new()
+        } else {
+            format!(" under scenario {}", spec.failure_scenario)
+        },
         spec.epochs,
     );
     print!("{}", results.render(format));
@@ -2095,6 +2189,7 @@ mod tests {
             budget: ReplicationBudget::Fixed(0),
             paired: false,
             failure: FailureSpec::Exponential,
+            failure_scenario: ScenarioSpec::Iid,
             antithetic: false,
             model_gap: false,
             axes,

@@ -291,6 +291,16 @@ pub enum AnyWasteModel {
     FirstOrder(FirstOrderExponential),
     /// The Weibull-corrected formulas for a shape-`k` clock.
     Weibull(WeibullCorrected),
+    /// The **fallback** arm for a lognormal clock: no lognormal-corrected
+    /// analytic derivation exists yet, so predictions reuse the exponential
+    /// first-order formulas at the matched MTBF.  The arm exists (rather
+    /// than mapping to `FirstOrder`) so the gap is *surfaced* — the label
+    /// names the approximation, and `tests/lognormal_model.rs` measures the
+    /// model-versus-simulation gap it causes instead of hiding it.
+    LognormalFallback {
+        /// The σ of the lognormal clock the fallback stands in for.
+        sigma: f64,
+    },
 }
 
 impl AnyWasteModel {
@@ -302,6 +312,10 @@ impl AnyWasteModel {
             FailureSpec::Exponential => Ok(AnyWasteModel::FirstOrder(FirstOrderExponential)),
             FailureSpec::Weibull { shape } => {
                 Ok(AnyWasteModel::Weibull(WeibullCorrected::new(shape)?))
+            }
+            FailureSpec::LogNormal { sigma } => {
+                ensure_positive("sigma", sigma)?;
+                Ok(AnyWasteModel::LognormalFallback { sigma })
             }
         }
     }
@@ -323,6 +337,9 @@ impl WasteModel for AnyWasteModel {
         match self {
             AnyWasteModel::FirstOrder(m) => m.label(),
             AnyWasteModel::Weibull(m) => m.label(),
+            AnyWasteModel::LognormalFallback { sigma } => {
+                format!("first-order(exponential fallback for lognormal(sigma={sigma}))")
+            }
         }
     }
 
@@ -331,6 +348,9 @@ impl WasteModel for AnyWasteModel {
         match self {
             AnyWasteModel::FirstOrder(m) => m.expected_rework(extent, mtbf),
             AnyWasteModel::Weibull(m) => m.expected_rework(extent, mtbf),
+            AnyWasteModel::LognormalFallback { .. } => {
+                FirstOrderExponential.expected_rework(extent, mtbf)
+            }
         }
     }
 
@@ -348,6 +368,9 @@ impl WasteModel for AnyWasteModel {
             }
             AnyWasteModel::Weibull(m) => {
                 m.optimal_period(checkpoint_cost, mtbf, downtime, recovery_cost)
+            }
+            AnyWasteModel::LognormalFallback { .. } => {
+                FirstOrderExponential.optimal_period(checkpoint_cost, mtbf, downtime, recovery_cost)
             }
         }
     }
@@ -498,6 +521,30 @@ mod tests {
         assert_eq!(weibull.label(), "weibull-corrected(k=0.7)");
         assert!(AnyWasteModel::from_spec(FailureSpec::Weibull { shape: 0.0 }).is_err());
         assert_eq!(AnyWasteModel::default(), AnyWasteModel::first_order());
+        // The lognormal arm is an *explicit* exponential fallback: numerically
+        // identical to first-order, but labelled so the gap is visible.
+        let lognormal = AnyWasteModel::from_spec(FailureSpec::LogNormal { sigma: 0.9 }).unwrap();
+        assert!(matches!(lognormal, AnyWasteModel::LognormalFallback { .. }));
+        assert_eq!(
+            lognormal.label(),
+            "first-order(exponential fallback for lognormal(sigma=0.9))"
+        );
+        let mu_ln = hours(2.0);
+        assert_eq!(
+            lognormal.expected_rework(1_000.0, mu_ln).to_bits(),
+            FirstOrderExponential.expected_rework(1_000.0, mu_ln).to_bits()
+        );
+        assert_eq!(
+            lognormal
+                .optimal_period(600.0, mu_ln, 60.0, 600.0)
+                .unwrap()
+                .to_bits(),
+            FirstOrderExponential
+                .optimal_period(600.0, mu_ln, 60.0, 600.0)
+                .unwrap()
+                .to_bits()
+        );
+        assert!(AnyWasteModel::from_spec(FailureSpec::LogNormal { sigma: 0.0 }).is_err());
         // Enum dispatch forwards to the concrete impls.
         let mu = hours(2.0);
         let bare = WeibullCorrected::new(0.7).unwrap();

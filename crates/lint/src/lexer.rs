@@ -276,6 +276,17 @@ fn consume_string(
         match chars[i] {
             '\\' => {
                 code.push(' ');
+                // A `\` line-continuation escapes the newline itself; the
+                // raw file still has a line there, so flush one to keep
+                // line numbers (and allowlist raw-line lookups) aligned.
+                if i + 1 < chars.len() && chars[i + 1] == '\n' {
+                    lines.push(SourceLine {
+                        code: std::mem::take(code),
+                        comment: std::mem::take(comment),
+                        raw: String::new(),
+                        in_test: false,
+                    });
+                }
                 i += 2; // skip the escaped character (incl. \" and \\)
             }
             '"' => {
@@ -411,6 +422,17 @@ mod tests {
         let lines = scan("let s = r#\"thread_rng() \" inner\"#; let t = 1;\n");
         assert!(!lines[0].code.contains("thread_rng"));
         assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn string_line_continuations_preserve_line_numbers() {
+        // `\` at end of a string line escapes the newline; the raw file
+        // still has a line there, so the scan must stay 1:1 with
+        // `source.lines()` or every later finding/raw-line pairing drifts.
+        let src = "let s = \"first \\\n    second\";\nx.unwrap();\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), src.lines().count());
+        assert!(lines[2].code.contains(".unwrap()"));
     }
 
     #[test]

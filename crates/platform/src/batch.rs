@@ -23,7 +23,7 @@
 //! keeps fully independent per-lane generator state, so interleaving lanes in
 //! any order yields the same per-lane sequences as running them alone.
 
-use crate::failure::FailureModel;
+use crate::failure::{FailureModel, SourceState};
 use crate::rng::{AntitheticRng, DeterministicRng, Xoshiro256};
 use crate::trace::TraceBuffer;
 
@@ -77,6 +77,7 @@ pub struct BatchFailureStream<M: FailureModel> {
     model: M,
     rngs: Vec<Xoshiro256>,
     now: Vec<f64>,
+    states: Vec<SourceState>,
     antithetic: bool,
 }
 
@@ -87,6 +88,7 @@ impl<M: FailureModel> BatchFailureStream<M> {
             model,
             rngs: Vec::with_capacity(seeds.len()),
             now: Vec::with_capacity(seeds.len()),
+            states: Vec::with_capacity(seeds.len()),
             antithetic: false,
         };
         stream.reset(seeds);
@@ -100,6 +102,8 @@ impl<M: FailureModel> BatchFailureStream<M> {
         self.rngs.extend(seeds.iter().map(|&s| Xoshiro256::seed_from_u64(s)));
         self.now.clear();
         self.now.resize(seeds.len(), 0.0);
+        self.states.clear();
+        self.states.resize(seeds.len(), SourceState::default());
         self.antithetic = false;
     }
 
@@ -132,13 +136,20 @@ impl<M: FailureModel> BatchFailureSource for BatchFailureStream<M> {
 
     #[inline]
     fn next_failure(&mut self, lane: usize) -> f64 {
-        let gap = if self.antithetic {
-            self.model
-                .next_interarrival(&mut AntitheticRng(&mut self.rngs[lane]))
+        // Route through the stateful hook (bit-identical to the historical
+        // `now += next_interarrival` for i.i.d. models, which never touch
+        // their lane's `SourceState`); per-lane state keeps the lanes fully
+        // independent, exactly like the per-lane RNGs.
+        self.now[lane] = if self.antithetic {
+            self.model.next_failure_time(
+                self.now[lane],
+                &mut self.states[lane],
+                &mut AntitheticRng(&mut self.rngs[lane]),
+            )
         } else {
-            self.model.next_interarrival(&mut self.rngs[lane])
+            self.model
+                .next_failure_time(self.now[lane], &mut self.states[lane], &mut self.rngs[lane])
         };
-        self.now[lane] += gap;
         self.now[lane]
     }
 

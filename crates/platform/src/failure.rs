@@ -11,7 +11,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_positive, Result};
 use crate::rng::{DeterministicRng, Xoshiro256};
-use crate::special::{gamma, lower_incomplete_gamma};
+use crate::special::{gamma, inverse_normal_cdf, lower_incomplete_gamma, normal_cdf};
+
+/// Per-stream scratch state for stateful [`FailureModel`]s.
+///
+/// The i.i.d. models ignore it entirely (the default
+/// [`FailureModel::next_failure_time`] never touches it), but the
+/// non-stationary scenario sources of [`crate::scenario`] keep their small
+/// amount of between-draw memory here instead of in the model itself: the
+/// model stays an immutable, `Copy` description shared by every stream, and
+/// each stream/lane owns one `SourceState` that its reset paths clear.
+/// Because the state is rebuilt deterministically by replaying draws from a
+/// reset stream, crash-resume's "reset + fast-forward" repositioning works
+/// unchanged for stateful sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SourceState {
+    /// A lazily drawn phase (the trace playback's cyclic rotation offset).
+    pub offset: f64,
+    /// A pending-event counter (outstanding cascade aftershocks).
+    pub count: u64,
+    /// Whether the lazy draw behind `offset` has happened yet.
+    pub armed: bool,
+}
 
 /// A source of failure inter-arrival times (seconds).
 pub trait FailureModel {
@@ -62,6 +83,29 @@ pub trait FailureModel {
             let high = ((1.0 - *u) * (1u64 << 53) as f64) as u64;
             *u = self.next_interarrival(&mut ReplayOneRng(high << 11));
         }
+    }
+
+    /// Absolute time of the next failure after `prev` — the stateful hook
+    /// every stream/buffer advances through.
+    ///
+    /// The default is the renewal (i.i.d.) step `prev + next_interarrival`,
+    /// bit-identical to the historical `last += gap` accumulation, and it
+    /// never touches `state`.  Non-stationary sources (recorded traces,
+    /// cascades, time-varying hazards) override this to make the next
+    /// failure depend on the current absolute time and on their
+    /// [`SourceState`] scratch.  Overriding models must return a value
+    /// `> prev` for every `u ∈ (0, 1)` draw, must consume a deterministic
+    /// number of raw RNG draws per call (so antithetic replay stays paired),
+    /// and must keep [`FailureModel::single_uniform`] at `false` — the
+    /// columnar fast path assumes the stationary default.
+    fn next_failure_time(
+        &self,
+        prev: f64,
+        state: &mut SourceState,
+        rng: &mut dyn DeterministicRng,
+    ) -> f64 {
+        let _ = state;
+        prev + self.next_interarrival(rng)
     }
 }
 
@@ -190,6 +234,77 @@ impl FailureModel for WeibullFailures {
     }
 }
 
+/// Lognormal failure inter-arrival times — the heavy-tailed family failure
+/// logs are often fitted with when Weibull underestimates the long gaps.
+///
+/// Parameterised by its *mean* (pinned to the platform MTBF, like
+/// [`WeibullFailures`]) and the log-scale standard deviation `σ`:
+/// `ln X ~ N(µ_ln, σ²)` with `µ_ln = ln(mean) − σ²/2` so `E[X] = mean`
+/// exactly.  Sampling is the inverse-CDF transform
+/// `X = exp(µ_ln + σ Φ⁻¹(U))` — one open uniform per draw, which keeps the
+/// model on the columnar single-uniform fast path of the batch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalFailures {
+    mean: f64,
+    sigma: f64,
+    mu_ln: f64,
+}
+
+impl LogNormalFailures {
+    /// Creates a lognormal model with the given mean inter-arrival time
+    /// (seconds) and log-scale standard deviation `σ > 0`.
+    pub fn new(mean: f64, sigma: f64) -> Result<Self> {
+        ensure_positive("mean", mean)?;
+        ensure_positive("sigma", sigma)?;
+        Ok(Self {
+            mean,
+            sigma,
+            mu_ln: mean.ln() - sigma * sigma / 2.0,
+        })
+    }
+
+    /// The log-scale standard deviation `σ`.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The log-scale location `µ_ln = ln(mean) − σ²/2`.
+    #[inline]
+    pub fn mu_ln(&self) -> f64 {
+        self.mu_ln
+    }
+}
+
+impl FailureModel for LogNormalFailures {
+    #[inline]
+    fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
+        // `next_f64_open` lands in (0, 1]; the u = 1 atom (probability 2⁻⁵³)
+        // would map to Φ⁻¹(1) = ∞, so it is clamped to the largest
+        // representable quantile below 1.
+        let u = rng.next_f64_open().min(1.0 - f64::EPSILON / 2.0);
+        (self.mu_ln + self.sigma * inverse_normal_cdf(u)).exp()
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+
+    #[inline]
+    fn single_uniform(&self) -> bool {
+        true
+    }
+
+    // `interarrivals_from_open` deliberately uses the mechanical default:
+    // the reconstructed-draw replay is bit-identical to the scalar sampler
+    // by construction, and Φ⁻¹ dominates the cost either way.
+}
+
 /// A declarative choice of failure inter-arrival distribution, resolved to a
 /// concrete model once the platform MTBF is known.
 ///
@@ -209,25 +324,35 @@ pub enum FailureSpec {
         /// `> 1` wear-out).
         shape: f64,
     },
+    /// Lognormal failures of the given log-scale standard deviation `σ`
+    /// (mean pinned to the MTBF).
+    LogNormal {
+        /// Log-scale standard deviation `σ` (`ln X ~ N(µ_ln, σ²)`); larger
+        /// `σ` means heavier tails and burstier clocks.
+        sigma: f64,
+    },
 }
 
 impl FailureSpec {
-    /// Parses the CLI spelling (`exponential`/`exp` or `weibull`); a Weibull
-    /// spec takes its shape from `shape`.
+    /// Parses the CLI spelling (`exponential`/`exp`, `weibull`, or
+    /// `lognormal`/`lognorm`); a Weibull spec takes its shape `k` — and a
+    /// lognormal its `σ` — from `shape`.
     pub fn parse(name: &str, shape: f64) -> Option<FailureSpec> {
         match name {
             "exponential" | "exp" => Some(FailureSpec::Exponential),
             "weibull" => Some(FailureSpec::Weibull { shape }),
+            "lognormal" | "lognorm" => Some(FailureSpec::LogNormal { sigma: shape }),
             _ => None,
         }
     }
 
-    /// Checks the spec without building a model (a Weibull shape must be a
-    /// positive finite number).
+    /// Checks the spec without building a model (a Weibull shape and a
+    /// lognormal σ must be positive finite numbers).
     pub fn validate(&self) -> Result<()> {
         match *self {
             FailureSpec::Exponential => Ok(()),
             FailureSpec::Weibull { shape } => ensure_positive("shape", shape).map(|_| ()),
+            FailureSpec::LogNormal { sigma } => ensure_positive("sigma", sigma).map(|_| ()),
         }
     }
 
@@ -241,41 +366,62 @@ impl FailureSpec {
             FailureSpec::Weibull { shape } => {
                 Ok(AnyFailureModel::Weibull(WeibullFailures::new(mtbf, shape)?))
             }
+            FailureSpec::LogNormal { sigma } => {
+                Ok(AnyFailureModel::LogNormal(LogNormalFailures::new(mtbf, sigma)?))
+            }
         }
     }
 
     /// The shape parameter of the inter-arrival distribution: `k` for a
     /// Weibull spec, exactly `1` for the exponential (its Weibull
-    /// degenerate).
+    /// degenerate), and the log-scale `σ` for a lognormal.
     #[inline]
     pub fn shape(&self) -> f64 {
         match *self {
             FailureSpec::Exponential => 1.0,
             FailureSpec::Weibull { shape } => shape,
+            FailureSpec::LogNormal { sigma } => sigma,
         }
     }
 
+    /// The log-scale location `µ_ln = ln(mtbf) − σ²/2` of a lognormal spec
+    /// calibrated to mean `mtbf` (shared by the moment helpers below).
+    fn lognormal_mu_ln(mtbf: f64, sigma: f64) -> f64 {
+        mtbf.ln() - sigma * sigma / 2.0
+    }
+
     /// The scale parameter λ of the distribution calibrated to mean `mtbf`:
-    /// `λ = µ` for the exponential, `λ = µ / Γ(1 + 1/k)` for a Weibull.
+    /// `λ = µ` for the exponential, `λ = µ / Γ(1 + 1/k)` for a Weibull, and
+    /// the median `e^{µ_ln} = µ e^{−σ²/2}` for a lognormal.
     pub fn scale(&self, mtbf: f64) -> f64 {
         match *self {
             FailureSpec::Exponential => mtbf,
             FailureSpec::Weibull { shape } => mtbf / gamma(1.0 + 1.0 / shape),
+            FailureSpec::LogNormal { sigma } => Self::lognormal_mu_ln(mtbf, sigma).exp(),
         }
     }
 
     /// The raw moment `E[Xᵐ]` of the inter-arrival time at mean `mtbf`:
-    /// `λᵐ Γ(1 + m/k)` (so `raw_moment(mtbf, 1) = mtbf` up to the Γ
-    /// round-trip).
+    /// `λᵐ Γ(1 + m/k)` for the Weibull family (so `raw_moment(mtbf, 1) =
+    /// mtbf` up to the Γ round-trip), `exp(m µ_ln + m²σ²/2)` for the
+    /// lognormal (exact at every order).
     pub fn raw_moment(&self, mtbf: f64, m: f64) -> f64 {
-        let shape = self.shape();
-        self.scale(mtbf).powf(m) * gamma(1.0 + m / shape)
+        match *self {
+            FailureSpec::Exponential | FailureSpec::Weibull { .. } => {
+                let shape = self.shape();
+                self.scale(mtbf).powf(m) * gamma(1.0 + m / shape)
+            }
+            FailureSpec::LogNormal { sigma } => {
+                (m * Self::lognormal_mu_ln(mtbf, sigma) + m * m * sigma * sigma / 2.0).exp()
+            }
+        }
     }
 
     /// The coefficient of variation `σ/µ` of the inter-arrival time: exactly
     /// `1` for the exponential, `> 1` for bursty Weibull clocks (`k < 1`),
-    /// `< 1` for wear-out clocks (`k > 1`).  Scale-free, so no MTBF is
-    /// needed.
+    /// `< 1` for wear-out clocks (`k > 1`), and `√(e^{σ²} − 1)` (always
+    /// `> 0`, exceeding `1` once `σ > √(ln 2)`) for the lognormal.
+    /// Scale-free, so no MTBF is needed.
     pub fn coefficient_of_variation(&self) -> f64 {
         match *self {
             FailureSpec::Exponential => 1.0,
@@ -284,6 +430,7 @@ impl FailureSpec {
                 let g2 = gamma(1.0 + 2.0 / shape);
                 (g2 / (g1 * g1) - 1.0).max(0.0).sqrt()
             }
+            FailureSpec::LogNormal { sigma } => ((sigma * sigma).exp_m1()).max(0.0).sqrt(),
         }
     }
 
@@ -293,8 +440,15 @@ impl FailureSpec {
         if t <= 0.0 {
             return 0.0;
         }
-        let shape = self.shape();
-        1.0 - (-(t / self.scale(mtbf)).powf(shape)).exp()
+        match *self {
+            FailureSpec::Exponential | FailureSpec::Weibull { .. } => {
+                let shape = self.shape();
+                1.0 - (-(t / self.scale(mtbf)).powf(shape)).exp()
+            }
+            FailureSpec::LogNormal { sigma } => {
+                normal_cdf((t.ln() - Self::lognormal_mu_ln(mtbf, sigma)) / sigma)
+            }
+        }
     }
 
     /// The conditional mean inter-arrival time below a cutoff,
@@ -302,7 +456,8 @@ impl FailureSpec {
     /// Weibull-corrected expected-rework term of the analytic waste model:
     ///
     /// `E[X·1{X ≤ τ}] = λ γ(1 + 1/k, (τ/λ)^k)` with `γ` the lower incomplete
-    /// Gamma function, divided by `F(τ)`.
+    /// Gamma function, divided by `F(τ)`; the lognormal partial mean is the
+    /// closed form `E[X·1{X ≤ τ}] = µ Φ((ln τ − µ_ln)/σ − σ)`.
     ///
     /// Returns `0` for `τ ≤ 0`.  The exponential spec evaluates the same
     /// expression at `k = 1` (where it reduces to `µ − τ/(e^{τ/µ} − 1)`), so
@@ -312,17 +467,39 @@ impl FailureSpec {
         if tau <= 0.0 {
             return 0.0;
         }
-        let shape = self.shape();
-        let scale = self.scale(mtbf);
-        let x = (tau / scale).powf(shape);
-        let mass = 1.0 - (-x).exp();
-        if mass <= 0.0 {
-            // τ far below the distribution's support resolution: the
-            // conditional mean degenerates to τ/2-like smallness; return τ/2
-            // as the uniform-limit value.
-            return tau / 2.0;
+        match *self {
+            FailureSpec::Exponential | FailureSpec::Weibull { .. } => {
+                let shape = self.shape();
+                let scale = self.scale(mtbf);
+                let x = (tau / scale).powf(shape);
+                let mass = 1.0 - (-x).exp();
+                if mass <= 0.0 {
+                    // τ far below the distribution's support resolution: the
+                    // conditional mean degenerates to τ/2-like smallness;
+                    // return τ/2 as the uniform-limit value.
+                    return tau / 2.0;
+                }
+                scale * lower_incomplete_gamma(1.0 + 1.0 / shape, x) / mass
+            }
+            FailureSpec::LogNormal { sigma } => {
+                let mu_ln = Self::lognormal_mu_ln(mtbf, sigma);
+                let z = (tau.ln() - mu_ln) / sigma;
+                let mass = normal_cdf(z);
+                // E[X·1{X ≤ τ}] = e^{µ_ln + σ²/2} Φ(z − σ) = µ Φ(z − σ).
+                let partial = mtbf * normal_cdf(z - sigma);
+                if mass <= 0.0 || partial <= 0.0 {
+                    // Deep-left-tail guard (same spirit as the Weibull
+                    // branch).  `Φ(z − σ)` underflows before `Φ(z)` does, so
+                    // the numerator must be guarded too or the ratio would
+                    // collapse to 0 — below the τ/2 the guard returns for
+                    // even smaller cutoffs, breaking monotonicity in τ.
+                    return tau / 2.0;
+                }
+                // Guard the far tail where both Φ evaluations underflow at
+                // different rates: the conditional mean can never exceed τ.
+                (partial / mass).min(tau)
+            }
         }
-        scale * lower_incomplete_gamma(1.0 + 1.0 / shape, x) / mass
     }
 }
 
@@ -331,24 +508,59 @@ impl std::fmt::Display for FailureSpec {
         match *self {
             FailureSpec::Exponential => write!(f, "exponential"),
             FailureSpec::Weibull { shape } => write!(f, "weibull(k={shape})"),
+            FailureSpec::LogNormal { sigma } => write!(f, "lognormal(sigma={sigma})"),
         }
     }
 }
 
-/// A runtime-selected failure model: enum dispatch over the two concrete
-/// distributions, so generic simulation code (clocks, trace buffers,
-/// executors) can switch models per parameter point without boxing or
-/// virtual calls on the sampling hot path.
+/// A runtime-selected failure model: enum dispatch over the concrete
+/// distributions and scenario sources, so generic simulation code (clocks,
+/// trace buffers, executors) can switch models per parameter point without
+/// boxing or virtual calls on the sampling hot path.
 ///
 /// The `Exponential` arm draws exactly the same variates as a bare
 /// [`ExponentialFailures`] with the same RNG state, so wrapping the paper's
 /// model in `AnyFailureModel` preserves bit-identical failure sequences.
+///
+/// The scenario arms (`Trace`, `Cascade`, `Diurnal`, `Wearout` — see
+/// [`crate::scenario`]) are non-stationary: they advance through the
+/// stateful [`FailureModel::next_failure_time`] hook, report
+/// [`FailureModel::single_uniform`]` = false` (pinning every batch source to
+/// the scalar per-lane fallback), and their [`AnyFailureModel::spec`] is the
+/// matched-MTBF `Exponential` baseline — the family the analytic planner
+/// assumes when the i.i.d. assumption breaks underneath it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AnyFailureModel {
     /// Exponential inter-arrival times.
     Exponential(ExponentialFailures),
     /// Weibull inter-arrival times.
     Weibull(WeibullFailures),
+    /// Lognormal inter-arrival times.
+    LogNormal(LogNormalFailures),
+    /// Cyclic playback of a recorded failure trace (seeded rotation).
+    Trace(crate::scenario::TracePlayback),
+    /// Post-failure cascade bursts over an exponential base clock.
+    Cascade(crate::scenario::CascadeFailures),
+    /// Day/night intensity modulation (piecewise-constant hazard).
+    Diurnal(crate::scenario::DiurnalFailures),
+    /// Platform-age wear-out (Weibull hazard, increasing in absolute time).
+    Wearout(crate::scenario::WearoutFailures),
+}
+
+/// Forwards one [`FailureModel`] method through the enum — one match, every
+/// arm, so a new arm cannot silently miss a dispatch site.
+macro_rules! for_each_model {
+    ($self:expr, $m:pat => $body:expr) => {
+        match $self {
+            AnyFailureModel::Exponential($m) => $body,
+            AnyFailureModel::Weibull($m) => $body,
+            AnyFailureModel::LogNormal($m) => $body,
+            AnyFailureModel::Trace($m) => $body,
+            AnyFailureModel::Cascade($m) => $body,
+            AnyFailureModel::Diurnal($m) => $body,
+            AnyFailureModel::Wearout($m) => $body,
+        }
+    };
 }
 
 impl AnyFailureModel {
@@ -356,11 +568,20 @@ impl AnyFailureModel {
     /// [`FailureSpec::build`].  Lets consumers that only hold the resolved
     /// model (e.g. the simulation engine) recover the distribution family
     /// and shape, so the analytic waste model can be matched to the clock.
+    ///
+    /// The non-stationary scenario arms have no i.i.d. spec; they report the
+    /// matched-MTBF `Exponential` baseline, which is exactly the assumption
+    /// the scenario sweeps measure the planner against.
     #[inline]
     pub fn spec(&self) -> FailureSpec {
         match self {
             AnyFailureModel::Exponential(_) => FailureSpec::Exponential,
             AnyFailureModel::Weibull(w) => FailureSpec::Weibull { shape: w.shape() },
+            AnyFailureModel::LogNormal(l) => FailureSpec::LogNormal { sigma: l.sigma() },
+            AnyFailureModel::Trace(_)
+            | AnyFailureModel::Cascade(_)
+            | AnyFailureModel::Diurnal(_)
+            | AnyFailureModel::Wearout(_) => FailureSpec::Exponential,
         }
     }
 }
@@ -368,41 +589,36 @@ impl AnyFailureModel {
 impl FailureModel for AnyFailureModel {
     #[inline]
     fn next_interarrival(&self, rng: &mut dyn DeterministicRng) -> f64 {
-        match self {
-            AnyFailureModel::Exponential(m) => m.next_interarrival(rng),
-            AnyFailureModel::Weibull(m) => m.next_interarrival(rng),
-        }
+        for_each_model!(self, m => m.next_interarrival(rng))
     }
 
     #[inline]
     fn mean(&self) -> f64 {
-        match self {
-            AnyFailureModel::Exponential(m) => m.mean(),
-            AnyFailureModel::Weibull(m) => m.mean(),
-        }
+        for_each_model!(self, m => m.mean())
     }
 
     fn name(&self) -> &'static str {
-        match self {
-            AnyFailureModel::Exponential(m) => m.name(),
-            AnyFailureModel::Weibull(m) => m.name(),
-        }
+        for_each_model!(self, m => m.name())
     }
 
     #[inline]
     fn single_uniform(&self) -> bool {
-        match self {
-            AnyFailureModel::Exponential(m) => m.single_uniform(),
-            AnyFailureModel::Weibull(m) => m.single_uniform(),
-        }
+        for_each_model!(self, m => m.single_uniform())
     }
 
     fn interarrivals_from_open(&self, open: &mut [f64]) {
         // One dispatch per column, not per lane.
-        match self {
-            AnyFailureModel::Exponential(m) => m.interarrivals_from_open(open),
-            AnyFailureModel::Weibull(m) => m.interarrivals_from_open(open),
-        }
+        for_each_model!(self, m => m.interarrivals_from_open(open))
+    }
+
+    #[inline]
+    fn next_failure_time(
+        &self,
+        prev: f64,
+        state: &mut SourceState,
+        rng: &mut dyn DeterministicRng,
+    ) -> f64 {
+        for_each_model!(self, m => m.next_failure_time(prev, state, rng))
     }
 }
 
@@ -431,6 +647,7 @@ pub struct FailureStream<M: FailureModel> {
     model: M,
     rng: Xoshiro256,
     now: f64,
+    state: SourceState,
 }
 
 impl<M: FailureModel> FailureStream<M> {
@@ -440,12 +657,15 @@ impl<M: FailureModel> FailureStream<M> {
             model,
             rng: Xoshiro256::seed_from_u64(seed),
             now: 0.0,
+            state: SourceState::default(),
         }
     }
 
     /// Absolute time of the next failure (advances the stream).
     pub fn next_failure(&mut self) -> f64 {
-        self.now += self.model.next_interarrival(&mut self.rng);
+        self.now = self
+            .model
+            .next_failure_time(self.now, &mut self.state, &mut self.rng);
         self.now
     }
 
@@ -530,6 +750,25 @@ mod tests {
                 assert!((cv - 1.0).abs() < 1e-7);
             }
         }
+
+        // Lognormal: the scale is the median e^{µ_ln}, the first moment is
+        // the requested mean exactly, E[X²] = µ² e^{σ²}, CV = √(e^{σ²} − 1),
+        // and the CDF evaluated at the median is exactly 1/2.
+        for sigma in [0.4, 0.9, 1.5] {
+            let spec = FailureSpec::LogNormal { sigma };
+            let model = LogNormalFailures::new(mtbf, sigma).unwrap();
+            assert!((spec.scale(mtbf) - model.mu_ln().exp()).abs() < 1e-9, "sigma {sigma}");
+            assert!((spec.raw_moment(mtbf, 1.0) - mtbf).abs() / mtbf < 1e-12, "sigma {sigma}");
+            let second = mtbf * mtbf * (sigma * sigma).exp();
+            assert!(
+                (spec.raw_moment(mtbf, 2.0) - second).abs() / second < 1e-12,
+                "sigma {sigma}"
+            );
+            let cv = spec.coefficient_of_variation();
+            assert!(((cv * cv + 1.0).ln() - sigma * sigma).abs() < 1e-12, "sigma {sigma}");
+            assert!((spec.cdf(mtbf, spec.scale(mtbf)) - 0.5).abs() < 1e-12, "sigma {sigma}");
+            assert_eq!(spec.cdf(mtbf, -3.0), 0.0);
+        }
     }
 
     #[test]
@@ -539,6 +778,7 @@ mod tests {
             (FailureSpec::Exponential, 5u64),
             (FailureSpec::Weibull { shape: 0.7 }, 6),
             (FailureSpec::Weibull { shape: 1.6 }, 7),
+            (FailureSpec::LogNormal { sigma: 0.9 }, 8),
         ] {
             let tau = 700.0;
             let model = spec.build(mtbf).unwrap();
@@ -572,16 +812,16 @@ mod tests {
         /// model evaluates it on, including the mass-underflow τ → 0 branch.
         #[test]
         fn conditional_mean_below_is_monotone_and_bounded(
-            kind in 0usize..2,
+            kind in 0usize..3,
             shape in 0.15f64..4.0,
             mtbf in 1.0f64..100_000.0,
             tau_rel in 1e-6f64..10.0,
             step_rel in 1e-6f64..2.0,
         ) {
-            let spec = if kind == 0 {
-                FailureSpec::Exponential
-            } else {
-                FailureSpec::Weibull { shape }
+            let spec = match kind {
+                0 => FailureSpec::Exponential,
+                1 => FailureSpec::Weibull { shape },
+                _ => FailureSpec::LogNormal { sigma: shape },
             };
             let tau = tau_rel * mtbf;
             let at = spec.conditional_mean_below(mtbf, tau);
@@ -602,6 +842,47 @@ mod tests {
         assert_eq!(exp.spec(), FailureSpec::Exponential);
         let weibull = FailureSpec::Weibull { shape: 0.7 }.build(100.0).unwrap();
         assert_eq!(weibull.spec(), FailureSpec::Weibull { shape: 0.7 });
+        let lognormal = FailureSpec::LogNormal { sigma: 0.9 }.build(100.0).unwrap();
+        assert_eq!(lognormal.spec(), FailureSpec::LogNormal { sigma: 0.9 });
+    }
+
+    #[test]
+    fn lognormal_empirical_mean_matches() {
+        for sigma in [0.4, 0.9, 1.5] {
+            let model = LogNormalFailures::new(500.0, sigma).unwrap();
+            let mut rng = Xoshiro256::seed_from_u64(13);
+            let n = 400_000;
+            let sum: f64 = (0..n).map(|_| model.next_interarrival(&mut rng)).sum();
+            let mean = sum / n as f64;
+            assert!(
+                (mean - 500.0).abs() / 500.0 < 0.05,
+                "sigma {sigma}: empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_next_failure_time_is_bit_identical_to_gap_accumulation() {
+        // The stateful hook's i.i.d. default must reproduce the historical
+        // `last += gap` accumulation bit for bit, for every i.i.d. family.
+        for spec in [
+            FailureSpec::Exponential,
+            FailureSpec::Weibull { shape: 0.7 },
+            FailureSpec::LogNormal { sigma: 0.9 },
+        ] {
+            let model = spec.build(444.0).unwrap();
+            let mut rng_a = Xoshiro256::seed_from_u64(21);
+            let mut rng_b = Xoshiro256::seed_from_u64(21);
+            let mut state = SourceState::default();
+            let mut last_hook = 0.0f64;
+            let mut last_acc = 0.0f64;
+            for _ in 0..200 {
+                last_hook = model.next_failure_time(last_hook, &mut state, &mut rng_a);
+                last_acc += model.next_interarrival(&mut rng_b);
+                assert_eq!(last_hook.to_bits(), last_acc.to_bits(), "{spec}");
+            }
+            assert_eq!(state, SourceState::default(), "{spec}: default hook touched state");
+        }
     }
 
     #[test]
@@ -633,17 +914,36 @@ mod tests {
             FailureSpec::parse("weibull", 0.7),
             Some(FailureSpec::Weibull { shape: 0.7 })
         );
-        assert_eq!(FailureSpec::parse("lognormal", 0.7), None);
+        assert_eq!(
+            FailureSpec::parse("lognormal", 0.7),
+            Some(FailureSpec::LogNormal { sigma: 0.7 })
+        );
+        assert_eq!(
+            FailureSpec::parse("lognorm", 1.2),
+            Some(FailureSpec::LogNormal { sigma: 1.2 })
+        );
+        assert_eq!(FailureSpec::parse("gamma", 0.7), None);
         assert_eq!(FailureSpec::default(), FailureSpec::Exponential);
         assert!(FailureSpec::Exponential.validate().is_ok());
         assert!(FailureSpec::Weibull { shape: 0.0 }.validate().is_err());
         assert!(FailureSpec::Weibull { shape: 1.5 }.validate().is_ok());
         assert!(FailureSpec::Weibull { shape: 1.5 }.build(0.0).is_err());
+        assert!(FailureSpec::LogNormal { sigma: 0.0 }.validate().is_err());
+        assert!(FailureSpec::LogNormal { sigma: f64::NAN }.validate().is_err());
+        assert!(FailureSpec::LogNormal { sigma: 0.9 }.validate().is_ok());
+        assert!(FailureSpec::LogNormal { sigma: 0.9 }.build(-1.0).is_err());
         let m = FailureSpec::Weibull { shape: 1.5 }.build(500.0).unwrap();
         assert_eq!(m.name(), "weibull");
         assert!((m.mean() - 500.0).abs() < 1e-9);
+        let m = FailureSpec::LogNormal { sigma: 0.9 }.build(500.0).unwrap();
+        assert_eq!(m.name(), "lognormal");
+        assert_eq!(m.mean(), 500.0);
         assert_eq!(format!("{}", FailureSpec::Weibull { shape: 0.7 }), "weibull(k=0.7)");
         assert_eq!(format!("{}", FailureSpec::Exponential), "exponential");
+        assert_eq!(
+            format!("{}", FailureSpec::LogNormal { sigma: 0.7 }),
+            "lognormal(sigma=0.7)"
+        );
     }
 
     #[test]
@@ -702,8 +1002,10 @@ mod tests {
             Box::new(exp),
             Box::new(WeibullFailures::new(500.0, 0.7).unwrap()),
             Box::new(WeibullFailures::new(500.0, 1.6).unwrap()),
+            Box::new(LogNormalFailures::new(500.0, 0.9).unwrap()),
             Box::new(FailureSpec::Weibull { shape: 0.7 }.build(500.0).unwrap()),
             Box::new(FailureSpec::Exponential.build(777.0).unwrap()),
+            Box::new(FailureSpec::LogNormal { sigma: 1.3 }.build(500.0).unwrap()),
             Box::new(DefaultOnly(exp)),
         ];
         for model in &models {

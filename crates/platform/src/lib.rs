@@ -16,6 +16,10 @@
 //!   storage, constant-cost buddy/NVRAM storage, hierarchical storage);
 //! * [`memory`] — the LIBRARY / REMAINDER dataset split (the paper's `ρ`);
 //! * [`grid`] — the virtual 2-D process grid used by the ABFT substrate;
+//! * [`scenario`] — trace-driven and non-stationary failure scenarios
+//!   (recorded-trace playback, cascade bursts, diurnal modulation,
+//!   wear-out) that deliberately break the i.i.d. inter-arrival assumption
+//!   while staying bit-exactly replayable;
 //! * [`rng`] — small, fully deterministic random number generators so that
 //!   every simulation in the workspace is reproducible from a `u64` seed;
 //! * [`checksum`] — streaming 32-bit checksum generators (CRC-32 and a null
@@ -45,6 +49,7 @@ pub mod grid;
 pub mod memory;
 pub mod node;
 pub mod rng;
+pub mod scenario;
 pub mod special;
 pub mod storage;
 pub mod trace;
@@ -56,11 +61,15 @@ pub use cluster::Cluster;
 pub use error::PlatformError;
 pub use failure::{
     AnyFailureModel, ExponentialFailures, FailureModel, FailureSource, FailureSpec, FailureStream,
-    WeibullFailures,
+    LogNormalFailures, SourceState, WeibullFailures,
 };
 pub use grid::ProcessGrid;
 pub use memory::DatasetLayout;
 pub use node::Node;
 pub use rng::{AntitheticRng, DeterministicRng, SeedStream, SplitMix64, Xoshiro256};
+pub use scenario::{
+    bundled_playback, playback_from_file, CascadeFailures, DiurnalFailures, RecordedTrace,
+    ScenarioError, ScenarioSpec, TraceFileError, TracePlayback, WearoutFailures,
+};
 pub use storage::{BandwidthBound, ConstantCost, Hierarchical, StorageModel};
 pub use trace::{FailureEvent, FailureTrace, TraceBuffer, TraceCursor};

@@ -150,6 +150,75 @@ pub fn normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
 }
 
+/// The inverse standard normal CDF `Φ⁻¹(p)` for `p ∈ (0, 1)` — the
+/// quantile transform behind lognormal inter-arrival sampling
+/// (`X = exp(μ + σ Φ⁻¹(U))` maps one uniform to one gap, which keeps the
+/// lognormal clock on the single-uniform columnar fast path).
+///
+/// Acklam's rational approximation (~1.15e-9 relative) refined by one
+/// Halley step against [`normal_cdf`], which lands the round-trip error at
+/// the ~1e-15 level across the full open interval. Out-of-range arguments
+/// saturate: `p ≤ 0 → −∞`, `p ≥ 1 → +∞`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    if p.is_nan() || p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    // Acklam coefficients (central rational on [0.02425, 0.97575], tail
+    // rational outside).
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step against the forward CDF (standard normal
+    // density φ(x) = e^{−x²/2}/√(2π); Halley handles φ'(x) = −x·φ(x)).
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +233,60 @@ mod tests {
         assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
         assert!((normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
         assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_values() {
+        assert_eq!(inverse_normal_cdf(0.5), 0.0);
+        assert!((inverse_normal_cdf(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.025) + 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.841_344_746_068_543) - 1.0).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.001) + 3.090_232_306_167_813).abs() < 1e-9);
+        assert_eq!(inverse_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(1.0), f64::INFINITY);
+        assert_eq!(inverse_normal_cdf(-0.2), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(f64::NAN), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_round_trips_through_the_forward_cdf() {
+        // Both directions, across the central region and both tails —
+        // including the extreme quantiles a 2^-53-grained uniform can reach.
+        for p in [
+            1e-12, 1e-6, 0.001, 0.02, 0.024, 0.025, 0.3, 0.5, 0.7, 0.975, 0.976, 0.98, 0.999,
+            1.0 - 1e-6, 1.0 - 1e-12,
+        ] {
+            let x = inverse_normal_cdf(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() <= 1e-12 * p.max(1.0 - p).max(1e-3),
+                "p = {p}: Φ(Φ⁻¹(p)) = {back}"
+            );
+        }
+        for x in [-8.0, -6.0, -3.0, -1.0, -0.1, 0.0, 0.1, 1.0, 3.0, 6.0, 8.0] {
+            let p = normal_cdf(x);
+            let forth = inverse_normal_cdf(p);
+            // Beyond |x| ≈ 6 the forward CDF's own tail precision (absolute
+            // error ~1e-17 against φ(8) ≈ 5e-15) bounds the round trip.
+            let tol = if x.abs() > 6.0 { 1e-2 } else { 1e-7 };
+            assert!((forth - x).abs() < tol, "x = {x}: Φ⁻¹(Φ(x)) = {forth}");
+        }
+    }
+
+    #[test]
+    fn inverse_normal_cdf_is_strictly_monotone_and_antisymmetric() {
+        let mut previous = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let x = inverse_normal_cdf(p);
+            assert!(x > previous, "p = {p}: {x} ≤ {previous}");
+            // Φ⁻¹(1 − p) = −Φ⁻¹(p).
+            assert!(
+                (inverse_normal_cdf(1.0 - p) + x).abs() < 1e-9,
+                "p = {p}: antisymmetry broken"
+            );
+            previous = x;
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ensure_positive, Result};
-use crate::failure::{FailureModel, FailureSource};
+use crate::failure::{FailureModel, FailureSource, SourceState};
 use crate::rng::{DeterministicRng, Xoshiro256};
 
 /// One failure: an absolute timestamp and the rank of the victim process.
@@ -180,6 +180,7 @@ pub struct TraceBuffer<M: FailureModel> {
     antithetic: bool,
     times: Vec<f64>,
     last: f64,
+    state: SourceState,
 }
 
 impl<M: FailureModel> TraceBuffer<M> {
@@ -192,6 +193,7 @@ impl<M: FailureModel> TraceBuffer<M> {
             antithetic: false,
             times: Vec::new(),
             last: 0.0,
+            state: SourceState::default(),
         }
     }
 
@@ -203,6 +205,7 @@ impl<M: FailureModel> TraceBuffer<M> {
         self.antithetic = false;
         self.times.clear();
         self.last = 0.0;
+        self.state = SourceState::default();
     }
 
     /// Starts the **antithetic partner** of `seed`'s failure sequence: the
@@ -223,13 +226,23 @@ impl<M: FailureModel> TraceBuffer<M> {
     /// sampling (and recording) any failures not yet drawn.
     pub fn time(&mut self, index: usize) -> f64 {
         while self.times.len() <= index {
-            let gap = if self.antithetic {
-                self.model
-                    .next_interarrival(&mut crate::rng::AntitheticRng(&mut self.rng))
+            // Advance through the stateful hook: for i.i.d. models this is
+            // exactly the historical `last += next_interarrival` step (the
+            // default never touches `state`); non-stationary scenario models
+            // use `last` and their `SourceState` scratch.  Since the state is
+            // rebuilt by replaying from index 0 after every reset, lazily
+            // re-extending a reset buffer (the crash-resume repositioning
+            // path) reproduces the original sequence bit for bit.
+            self.last = if self.antithetic {
+                self.model.next_failure_time(
+                    self.last,
+                    &mut self.state,
+                    &mut crate::rng::AntitheticRng(&mut self.rng),
+                )
             } else {
-                self.model.next_interarrival(&mut self.rng)
+                self.model
+                    .next_failure_time(self.last, &mut self.state, &mut self.rng)
             };
-            self.last += gap;
             self.times.push(self.last);
         }
         self.times[index]

@@ -16,9 +16,10 @@
 use abft_ckpt_composite::composite::params::ModelParams;
 use abft_ckpt_composite::composite::scenario::ApplicationProfile;
 use abft_ckpt_composite::platform::batch::BatchTraceBuffer;
-use abft_ckpt_composite::platform::failure::FailureSpec;
+use abft_ckpt_composite::platform::failure::{AnyFailureModel, FailureModel, FailureSpec};
 use abft_ckpt_composite::platform::rng::SeedStream;
-use abft_ckpt_composite::platform::units::minutes;
+use abft_ckpt_composite::platform::scenario::ScenarioSpec;
+use abft_ckpt_composite::platform::units::{hours, minutes};
 use abft_ckpt_composite::sim::batch::{
     accumulate_paired_engine_batch, accumulate_paired_programs_batch,
     accumulate_profile_engine_batch, accumulate_profile_program_batch, simulate_profile_batch,
@@ -203,6 +204,139 @@ proptest! {
             let batch =
                 accumulate_profile_engine_batch(&engine, protocol, &profile, plan, master, lanes);
             assert_eq!(scalar, batch, "{spec} {protocol:?} lanes {lanes}");
+        }
+    }
+}
+
+/// A scenario or lognormal failure source resolved at a sampled MTBF: the
+/// trace playback, the three synthesized non-stationary clocks and the
+/// lognormal family.  The non-stationary sources report
+/// `single_uniform() = false`, which pins them to the batch engine's
+/// explicit scalar per-lane fallback — this strategy is what proves that
+/// dispatch bit-exact against the scalar oracle.
+fn arb_scenario_model() -> impl Strategy<Value = AnyFailureModel> {
+    (0usize..5, 50.0f64..300.0, 0.4f64..1.6).prop_map(|(flavour, mtbf_min, sigma)| {
+        let mtbf = minutes(mtbf_min);
+        let horizon = hours(48.0);
+        match flavour {
+            0 => ScenarioSpec::Trace { path: None }.resolve(mtbf, horizon).unwrap(),
+            1 => ScenarioSpec::Cascade.resolve(mtbf, horizon).unwrap(),
+            2 => ScenarioSpec::Diurnal.resolve(mtbf, horizon).unwrap(),
+            3 => ScenarioSpec::Wearout.resolve(mtbf, horizon).unwrap(),
+            _ => FailureSpec::LogNormal { sigma }.build(mtbf).unwrap(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scenario and lognormal sources across the width range: fresh,
+    /// replayed and antithetic batches all equal the scalar oracle lane
+    /// for lane, whichever dispatch (columnar single-uniform or scalar
+    /// fallback) the source pins.
+    #[test]
+    fn scenario_batches_match_scalar_simulations(
+        model in arb_scenario_model(),
+        (params, profile) in arb_point(),
+        width in 1usize..33,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_model(&params, model);
+        let seeds = lane_seeds(master, width);
+        let mut batch_buffer = BatchTraceBuffer::new(*engine.failure_model(), &seeds);
+        let mut scalar_buffer = engine.trace_buffer(0);
+        let name = model.name();
+        for protocol in Protocol::all() {
+            let fresh = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+            let replayed =
+                simulate_profile_batch_replay(&engine, protocol, &profile, &mut batch_buffer);
+            let antithetic =
+                simulate_profile_batch_antithetic(&engine, protocol, &profile, &seeds);
+            prop_assert_eq!(fresh.len(), width);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let scalar = engine.simulate_profile(protocol, &profile, seed);
+                assert_bit_identical(
+                    &fresh[lane],
+                    &scalar,
+                    &format!("{name} {protocol:?} width {width} lane {lane} fresh"),
+                );
+                scalar_buffer.reset(seed);
+                let scalar_replay =
+                    engine.simulate_profile_replay(protocol, &profile, &mut scalar_buffer);
+                assert_bit_identical(
+                    &replayed[lane],
+                    &scalar_replay,
+                    &format!("{name} {protocol:?} width {width} lane {lane} replay"),
+                );
+                scalar_buffer.reset_antithetic(seed);
+                let scalar_anti =
+                    engine.simulate_profile_replay(protocol, &profile, &mut scalar_buffer);
+                assert_bit_identical(
+                    &antithetic[lane],
+                    &scalar_anti,
+                    &format!("{name} {protocol:?} width {width} lane {lane} antithetic"),
+                );
+            }
+        }
+    }
+
+    /// Driver-level accumulators for scenario and lognormal sources: batch
+    /// blocks at a width that leaves ragged tails reproduce the scalar
+    /// Welford state bit for bit, plain and antithetic.
+    #[test]
+    fn scenario_accumulators_are_bit_identical_across_ragged_widths(
+        model in arb_scenario_model(),
+        (params, profile) in arb_point(),
+        total in 1usize..90,
+        lanes in 1usize..40,
+        antithetic_bit in 0usize..2,
+        master in 0u64..u64::MAX,
+    ) {
+        let engine = Engine::with_failure_model(&params, model);
+        let plan =
+            ReplicationPlan::new(ReplicationBudget::Fixed(total)).antithetic(antithetic_bit == 1);
+        for protocol in Protocol::all() {
+            let scalar = accumulate_profile_engine(&engine, protocol, &profile, plan, master);
+            let batch =
+                accumulate_profile_engine_batch(&engine, protocol, &profile, plan, master, lanes);
+            assert_eq!(scalar, batch, "{} {protocol:?} lanes {lanes}", model.name());
+        }
+    }
+}
+
+/// The production batch widths for the scenario sources, exactly: every
+/// protocol × source at widths 128 and 256 (and a ragged 193) against the
+/// scalar oracle — the same pin `production_widths_are_bit_exact` places
+/// on the i.i.d. families, extended to the scalar-fallback dispatch.
+#[test]
+fn scenario_production_widths_are_bit_exact() {
+    let params = ModelParams::paper_figure7(0.5, minutes(120.0)).unwrap();
+    let profile = ApplicationProfile::from_params_repeated(&params, 3);
+    let mtbf = minutes(120.0);
+    let horizon = hours(48.0);
+    let models = [
+        ScenarioSpec::Trace { path: None }.resolve(mtbf, horizon).unwrap(),
+        ScenarioSpec::Cascade.resolve(mtbf, horizon).unwrap(),
+        ScenarioSpec::Diurnal.resolve(mtbf, horizon).unwrap(),
+        ScenarioSpec::Wearout.resolve(mtbf, horizon).unwrap(),
+        FailureSpec::LogNormal { sigma: 0.9 }.build(mtbf).unwrap(),
+    ];
+    for model in models {
+        let engine = Engine::with_failure_model(&params, model);
+        for width in [128usize, 193, 256] {
+            let seeds = lane_seeds(0x5CE_0DD5 ^ width as u64, width);
+            for protocol in Protocol::all() {
+                let batch = simulate_profile_batch(&engine, protocol, &profile, &seeds);
+                for (lane, &seed) in seeds.iter().enumerate() {
+                    let scalar = engine.simulate_profile(protocol, &profile, seed);
+                    assert_bit_identical(
+                        &batch[lane],
+                        &scalar,
+                        &format!("{} {protocol:?} width {width} lane {lane}", model.name()),
+                    );
+                }
+            }
         }
     }
 }

@@ -15,6 +15,8 @@ use abft_ckpt_composite::platform::failure::FailureSpec;
 use abft_ckpt_composite::platform::units::minutes;
 use abft_ckpt_composite::sim::engine::Engine;
 use abft_ckpt_composite::sim::protocols::Protocol;
+use abft_ckpt_composite::platform::scenario::ScenarioSpec;
+use abft_ckpt_composite::platform::units::hours;
 use abft_ckpt_composite::sim::resume::{ResumableSim, RunStatus, SimSnapshot};
 use abft_ckpt_composite::composite::scenario::ApplicationProfile;
 
@@ -65,6 +67,94 @@ fn resume_is_bit_identical_at_every_injection_point() {
                 );
             }
         }
+    }
+}
+
+/// The same every-kill-point contract through a trace-driven and a
+/// synthesized non-stationary clock: the recorded playback's armed phase
+/// and the diurnal clock's absolute-time hazard are reconstructed by the
+/// trace buffer on resume, so a run killed at *any* snapshot boundary
+/// still lands on the uninterrupted outcome bit for bit.
+#[test]
+fn scenario_clocks_resume_bit_identical_at_every_injection_point() {
+    let params = params();
+    let mtbf = params.platform_mtbf;
+    let horizon = hours(48.0);
+    let models = [
+        ("trace", ScenarioSpec::Trace { path: None }.resolve(mtbf, horizon).unwrap()),
+        ("diurnal", ScenarioSpec::Diurnal.resolve(mtbf, horizon).unwrap()),
+    ];
+    for (name, model) in models {
+        let engine = Engine::with_failure_model(&params, model);
+        let profile = ApplicationProfile::from_params_repeated(engine.params(), 2);
+        let mut buffer = engine.trace_buffer(0xC0FFEE);
+        for protocol in Protocol::all() {
+            let sim = ResumableSim::new(&engine, protocol, &profile);
+            buffer.reset(41);
+            let reference = sim.run(&mut buffer);
+            buffer.reset(41);
+            let total = sim.count_boundaries(&mut buffer);
+            assert!(total > 0, "{name}/{protocol:?}: no snapshot boundaries");
+            for kill in 1..=total {
+                buffer.reset(41);
+                let RunStatus::Killed(snapshot) = sim.run_killed(&mut buffer, kill) else {
+                    panic!("{name}/{protocol:?}: kill {kill}/{total} did not kill");
+                };
+                buffer.reset(41);
+                let resumed = sim.resume(&mut buffer, &snapshot);
+                assert_eq!(
+                    resumed.final_time.to_bits(),
+                    reference.final_time.to_bits(),
+                    "{name}/{protocol:?} kill {kill}/{total}: final_time differs"
+                );
+                assert_eq!(
+                    resumed.base_time.to_bits(),
+                    reference.base_time.to_bits(),
+                    "{name}/{protocol:?} kill {kill}/{total}: base_time differs"
+                );
+                assert_eq!(
+                    resumed.failures, reference.failures,
+                    "{name}/{protocol:?} kill {kill}/{total}: failures differ"
+                );
+            }
+        }
+    }
+}
+
+/// A trace-driven snapshot survives the *real* durable pipeline too:
+/// persist mid-run under the recorded playback, reload with verification,
+/// resume to the reference outcome.
+#[test]
+fn trace_clock_resumes_through_the_frame_pipeline() {
+    let params = params();
+    let model = ScenarioSpec::Trace { path: None }
+        .resolve(params.platform_mtbf, hours(48.0))
+        .unwrap();
+    let engine = Engine::with_failure_model(&params, model);
+    let profile = ApplicationProfile::from_params_repeated(engine.params(), 2);
+    let mut buffer = engine.trace_buffer(7);
+    for protocol in Protocol::all() {
+        let sim = ResumableSim::new(&engine, protocol, &profile);
+        buffer.reset(7);
+        let reference = sim.run(&mut buffer);
+        buffer.reset(7);
+        let total = sim.count_boundaries(&mut buffer);
+        let kill = total / 2 + 1;
+        buffer.reset(7);
+        let RunStatus::Killed(snapshot) = sim.run_killed(&mut buffer, kill) else {
+            panic!("{protocol:?}: kill {kill}/{total} did not kill");
+        };
+
+        let mut pipeline = CheckpointPipeline::new(Crc32::new(), MemoryBackend::new());
+        snapshot.persist(&mut pipeline).unwrap();
+        let (loaded, outcome) = SimSnapshot::load(&mut pipeline).unwrap();
+        assert_eq!(loaded, snapshot);
+        assert_eq!(outcome.fallback_depth, 0);
+
+        buffer.reset(7);
+        let resumed = sim.resume(&mut buffer, &loaded);
+        assert_eq!(resumed.final_time.to_bits(), reference.final_time.to_bits());
+        assert_eq!(resumed.failures, reference.failures);
     }
 }
 

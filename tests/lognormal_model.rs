@@ -1,0 +1,275 @@
+//! Property tests for the lognormal failure family and its moment
+//! helpers, mirroring `tests/weibull_model.rs`:
+//!
+//! * the closed-form moments (`raw_moment`, `coefficient_of_variation`)
+//!   are internally consistent and exact at order 1 (mean pinned to the
+//!   MTBF);
+//! * `cdf` and `conditional_mean_below` agree with an independent
+//!   Simpson-rule integration of the lognormal density — the analytic
+//!   Φ-based forms are checked against plain quadrature, not against
+//!   themselves;
+//! * `conditional_mean_below` is monotone in the cutoff τ, bounded by
+//!   `min(τ, MTBF)`, and converges to the MTBF as τ → ∞;
+//! * sampled estimates from the actual `LogNormalFailures` sampler (the
+//!   Φ⁻¹ inverse-CDF transform the batch engine's columnar path runs)
+//!   reproduce the analytic mean, CDF and partial means;
+//! * the analytic waste model has **no** lognormal correction: the
+//!   `AnyWasteModel` dispatch falls back to the first-order exponential
+//!   formula bit for bit, with the fallback surfaced in the label (never
+//!   silently presented as a lognormal-aware prediction).
+
+use abft_ckpt_composite::composite::model::analytic::{
+    AnyWasteModel, FirstOrderExponential, WasteModel,
+};
+use abft_ckpt_composite::composite::params::ModelParams;
+use abft_ckpt_composite::platform::failure::{FailureModel, FailureSpec, LogNormalFailures};
+use abft_ckpt_composite::platform::rng::Xoshiro256;
+use abft_ckpt_composite::platform::units::hours;
+use abft_ckpt_composite::sim::validate::model_waste_with;
+use abft_ckpt_composite::sim::Protocol;
+use proptest::prelude::*;
+
+/// Relative tolerance for closed-form identities (exact up to rounding).
+const EXACT_REL_TOL: f64 = 1e-12;
+/// Relative tolerance against the Simpson quadrature (limited by the
+/// quadrature itself, not the closed forms).
+const QUAD_REL_TOL: f64 = 1e-8;
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+}
+
+/// Composite Simpson rule on `[a, b]` with `n` (even) panels.
+fn simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        sum += f(a + i as f64 * h) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Standard normal density.
+fn phi(z: f64) -> f64 {
+    (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// `∫₀^τ xᵖ f(x) dx` for the lognormal density with mean `mtbf` and
+/// log-scale `sigma`, via the substitution `x = e^y` (which turns the
+/// integrand into a smooth Gaussian-weighted exponential — Simpson
+/// converges fast and nothing is borrowed from the Φ implementation
+/// under test).
+fn lognormal_partial_moment(mtbf: f64, sigma: f64, p: f64, tau: f64) -> f64 {
+    let mu_ln = mtbf.ln() - sigma * sigma / 2.0;
+    let lo = mu_ln - 14.0 * sigma;
+    let hi = tau.ln();
+    if hi <= lo {
+        return 0.0;
+    }
+    simpson(
+        |y| (p * y).exp() * phi((y - mu_ln) / sigma) / sigma,
+        lo,
+        hi,
+        4096,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Order-1 calibration and moment consistency: the mean is the MTBF
+    /// exactly, and the closed-form CV equals the one rebuilt from the
+    /// first two raw moments.
+    #[test]
+    fn moments_are_exact_and_internally_consistent(
+        sigma in 0.2f64..2.0,
+        mtbf_hours in 0.5f64..8.0,
+    ) {
+        let mtbf = hours(mtbf_hours);
+        let spec = FailureSpec::LogNormal { sigma };
+        prop_assert!(rel_err(spec.raw_moment(mtbf, 1.0), mtbf) < EXACT_REL_TOL);
+        let m1 = spec.raw_moment(mtbf, 1.0);
+        let m2 = spec.raw_moment(mtbf, 2.0);
+        let cv_from_moments = (m2 / (m1 * m1) - 1.0).sqrt();
+        prop_assert!(
+            rel_err(spec.coefficient_of_variation(), cv_from_moments) < 1e-9,
+            "cv {} vs moments {}",
+            spec.coefficient_of_variation(),
+            cv_from_moments
+        );
+        // The sampler model is calibrated to the same mean.
+        let model = LogNormalFailures::new(mtbf, sigma).unwrap();
+        prop_assert!(rel_err(model.mean(), mtbf) < EXACT_REL_TOL);
+    }
+
+    /// The Φ-based CDF equals the Simpson integration of the density at
+    /// cutoffs spanning the deep left tail to far beyond the mean.
+    #[test]
+    fn cdf_matches_numeric_integration(
+        sigma in 0.2f64..2.0,
+        mtbf_hours in 0.5f64..8.0,
+    ) {
+        let mtbf = hours(mtbf_hours);
+        let spec = FailureSpec::LogNormal { sigma };
+        for factor in [0.05, 0.3, 1.0, 3.0, 10.0] {
+            let tau = factor * mtbf;
+            let quad = lognormal_partial_moment(mtbf, sigma, 0.0, tau);
+            let analytic = spec.cdf(mtbf, tau);
+            prop_assert!(
+                (analytic - quad).abs() < QUAD_REL_TOL,
+                "sigma={sigma} tau={factor}µ: cdf {analytic} vs quadrature {quad}"
+            );
+        }
+        prop_assert_eq!(spec.cdf(mtbf, 0.0), 0.0);
+        prop_assert_eq!(spec.cdf(mtbf, -1.0), 0.0);
+    }
+
+    /// The closed-form conditional mean `E[X | X ≤ τ] = µ Φ(z − σ)/Φ(z)`
+    /// equals the quadrature ratio `∫₀^τ x f / ∫₀^τ f`.
+    #[test]
+    fn conditional_mean_matches_numeric_integration(
+        sigma in 0.2f64..1.8,
+        mtbf_hours in 0.5f64..8.0,
+    ) {
+        let mtbf = hours(mtbf_hours);
+        let spec = FailureSpec::LogNormal { sigma };
+        for factor in [0.2, 0.7, 1.0, 2.5, 8.0] {
+            let tau = factor * mtbf;
+            let mass = lognormal_partial_moment(mtbf, sigma, 0.0, tau);
+            let partial = lognormal_partial_moment(mtbf, sigma, 1.0, tau);
+            let quad = partial / mass;
+            let analytic = spec.conditional_mean_below(mtbf, tau);
+            prop_assert!(
+                rel_err(analytic, quad) < 1e-6,
+                "sigma={sigma} tau={factor}µ: conditional mean {analytic} vs quadrature {quad}"
+            );
+        }
+    }
+
+    /// Structural properties of the conditional mean: zero below zero,
+    /// monotone non-decreasing in τ, bounded by `min(τ, µ)`, and
+    /// converging to the unconditional mean as the cutoff swallows the
+    /// whole distribution.
+    #[test]
+    fn conditional_mean_is_monotone_and_bounded(
+        sigma in 0.2f64..2.0,
+        mtbf_hours in 0.5f64..8.0,
+    ) {
+        let mtbf = hours(mtbf_hours);
+        let spec = FailureSpec::LogNormal { sigma };
+        prop_assert_eq!(spec.conditional_mean_below(mtbf, 0.0), 0.0);
+        prop_assert_eq!(spec.conditional_mean_below(mtbf, -5.0), 0.0);
+        let mut previous = 0.0;
+        for factor in [1e-3, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+            let tau = factor * mtbf;
+            let value = spec.conditional_mean_below(mtbf, tau);
+            prop_assert!(
+                value >= previous - 1e-12 * mtbf,
+                "sigma={sigma}: E[X|X≤{factor}µ] = {value} fell below {previous}"
+            );
+            prop_assert!(
+                value <= tau.min(mtbf) * (1.0 + 1e-12),
+                "sigma={sigma}: E[X|X≤{factor}µ] = {value} exceeds min(τ, µ)"
+            );
+            previous = value;
+        }
+        let saturated = spec.conditional_mean_below(mtbf, 1e6 * mtbf);
+        prop_assert!(
+            rel_err(saturated, mtbf) < 1e-9,
+            "sigma={sigma}: E[X|X≤∞] = {saturated} vs µ = {mtbf}"
+        );
+    }
+
+    /// The waste-model dispatch: a lognormal spec resolves to the
+    /// first-order exponential fallback, bit-identical in every waste
+    /// prediction, with the label saying so explicitly.
+    #[test]
+    fn waste_model_falls_back_to_exponential_with_the_gap_surfaced(
+        sigma in 0.2f64..2.0,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let params = ModelParams::paper_figure7(alpha, hours(2.0)).unwrap();
+        let via_spec = AnyWasteModel::from_spec(FailureSpec::LogNormal { sigma }).unwrap();
+        prop_assert!(
+            via_spec.label().contains("exponential fallback for lognormal"),
+            "label `{}` hides the fallback",
+            via_spec.label()
+        );
+        for protocol in Protocol::all() {
+            prop_assert_eq!(
+                model_waste_with(&via_spec, protocol, &params).to_bits(),
+                model_waste_with(&FirstOrderExponential, protocol, &params).to_bits()
+            );
+        }
+    }
+}
+
+/// Monte-Carlo cross-check of the actual sampler: the inverse-CDF draws
+/// behind the batch engine's columnar path reproduce the analytic mean,
+/// CDF and partial mean within standard-error bounds (fixed seed, so the
+/// check is deterministic).
+#[test]
+fn sampled_estimates_match_the_analytic_moments() {
+    let mtbf = 500.0;
+    for sigma in [0.4, 0.9, 1.5] {
+        let spec = FailureSpec::LogNormal { sigma };
+        let model = LogNormalFailures::new(mtbf, sigma).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(0x10C_0DDu64 ^ sigma.to_bits());
+        let n = 400_000usize;
+        let tau = 0.8 * mtbf;
+        let (mut sum, mut below, mut below_sum) = (0.0f64, 0usize, 0.0f64);
+        for _ in 0..n {
+            let x = model.next_interarrival(&mut rng);
+            assert!(x > 0.0 && x.is_finite());
+            sum += x;
+            if x <= tau {
+                below += 1;
+                below_sum += x;
+            }
+        }
+        let nf = n as f64;
+        // Standard errors: the mean's is cv·µ/√n; the CDF's is the
+        // binomial √(p(1−p)/n).  Five sigmas keeps the fixed-seed check
+        // robust without hiding real miscalibration.
+        let mean_se = spec.coefficient_of_variation() * mtbf / nf.sqrt();
+        let p = spec.cdf(mtbf, tau);
+        let p_se = (p * (1.0 - p) / nf).sqrt();
+        assert!(
+            (sum / nf - mtbf).abs() < 5.0 * mean_se,
+            "sigma={sigma}: sampled mean {} vs µ {mtbf} (se {mean_se})",
+            sum / nf
+        );
+        assert!(
+            (below as f64 / nf - p).abs() < 5.0 * p_se,
+            "sigma={sigma}: sampled F(τ) {} vs {p}",
+            below as f64 / nf
+        );
+        let cond = spec.conditional_mean_below(mtbf, tau);
+        let sampled_cond = below_sum / below as f64;
+        assert!(
+            rel_err(sampled_cond, cond) < 0.02,
+            "sigma={sigma}: sampled E[X|X≤τ] {sampled_cond} vs analytic {cond}"
+        );
+    }
+}
+
+/// Spec-level dispatch consistency with the concrete model, mirroring
+/// `weibull_spec_dispatch_matches_direct_construction`: building through
+/// `FailureSpec::build` yields the same distribution the direct
+/// constructor does.
+#[test]
+fn spec_build_matches_direct_construction() {
+    let mtbf = hours(2.0);
+    for sigma in [0.3, 1.0, 1.7] {
+        let via_spec = FailureSpec::LogNormal { sigma }.build(mtbf).unwrap();
+        let direct = LogNormalFailures::new(mtbf, sigma).unwrap();
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(
+                via_spec.next_interarrival(&mut a).to_bits(),
+                direct.next_interarrival(&mut b).to_bits()
+            );
+        }
+    }
+}
